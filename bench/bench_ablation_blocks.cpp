@@ -1,0 +1,39 @@
+// Ablation (Section 3.1 / Eq. 8): blocks-per-rank trade-off — more blocks
+// shrink the decompression scratch term but add per-block compression
+// overhead; fewer blocks amortize the codec but grow the working set.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "circuits/qaoa.hpp"
+#include "common/timer.hpp"
+#include "core/memory_model.hpp"
+#include "core/simulator.hpp"
+
+int main() {
+  using namespace cqs;
+  bench::print_header(
+      "Ablation: blocks per rank (Eq. 8 trade-off) on qaoa_18");
+  const auto circuit = circuits::qaoa_maxcut_circuit({.num_qubits = 18});
+  std::printf("%12s %12s %14s %16s %14s\n", "blocks/rank", "time (s)",
+              "peak state", "scratch/block", "min ratio");
+  for (int blocks : {2, 8, 32, 128}) {
+    core::SimConfig config;
+    config.num_qubits = 18;
+    config.num_ranks = 2;
+    config.blocks_per_rank = blocks;
+    core::CompressedStateSimulator sim(config);
+    WallTimer timer;
+    sim.apply_circuit(circuit);
+    const auto report = sim.report();
+    std::printf("%12d %12.2f %14s %16s %14.2f\n", blocks, timer.seconds(),
+                core::format_bytes(report.peak_compressed_bytes).c_str(),
+                core::format_bytes(sim.partition().bytes_per_block()).c_str(),
+                report.min_compression_ratio);
+  }
+  std::printf(
+      "\nexpectation: the compressed-state footprint is nearly flat across "
+      "block counts, while the per-worker scratch (the second term of Eq. "
+      "8) shrinks linearly as blocks get smaller; very small blocks pay "
+      "codec overhead in time and ratio\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation (Section 3.4): the compressed block cache on structured
+// (Grover) vs unstructured (supremacy) workloads — hit rates, the
+// auto-disable behaviour, and wall-time impact.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "circuits/grover.hpp"
+#include "circuits/supremacy.hpp"
+#include "common/timer.hpp"
+#include "core/simulator.hpp"
+
+namespace {
+
+using namespace cqs;
+
+void run(const char* name, const qsim::Circuit& circuit, bool cache) {
+  core::SimConfig config;
+  config.num_qubits = circuit.num_qubits();
+  config.num_ranks = 4;
+  config.blocks_per_rank = 16;
+  config.enable_cache = cache;
+  core::CompressedStateSimulator sim(config);
+  WallTimer timer;
+  sim.apply_circuit(circuit);
+  const auto report = sim.report();
+  std::printf("%-12s %8s %10.2f %12lu %12lu %10.1f%% %s\n", name,
+              cache ? "on" : "off", timer.seconds(),
+              static_cast<unsigned long>(report.cache.hits),
+              static_cast<unsigned long>(report.cache.misses),
+              100.0 * report.cache.hit_rate(),
+              report.cache.disabled ? "[auto-disabled]" : "");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: compressed block cache (Section 3.4) on structured vs "
+      "unstructured workloads");
+  std::printf("%-12s %8s %10s %12s %12s %10s\n", "workload", "cache",
+              "time (s)", "hits", "misses", "hit rate");
+
+  const auto grover = circuits::grover_circuit(
+      {.data_qubits = 10, .marked_state = 0x2aa});
+  const auto sup =
+      circuits::supremacy_circuit({.rows = 4, .cols = 4, .depth = 11});
+
+  run("grover_18", grover, true);
+  run("grover_18", grover, false);
+  run("sup_4x4", sup, true);
+  run("sup_4x4", sup, false);
+
+  std::printf(
+      "\nexpectation: Grover states repeat blocks, so the cache hits and "
+      "pays for itself; random circuits never repeat, the hit rate stays "
+      "zero and the cache disables itself to stop paying the miss "
+      "penalty\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 11 reproduction: single-core compression and decompression rates
+// (MB/s) of Solutions A-D under pointwise relative bounds.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "compression/compressor.hpp"
+
+namespace {
+
+void run(const char* name, std::span<const double> data) {
+  using namespace cqs;
+  const char* codecs[] = {"sz", "sz-complex", "qzc", "qzc-shuffle"};
+  const char* labels[] = {"Sol.A", "Sol.B", "Sol.C", "Sol.D"};
+
+  std::printf("\n--- %s: compression rate (MB/s) ---\n", name);
+  std::printf("%10s %10s %10s %10s %10s\n", "bound", labels[0], labels[1],
+              labels[2], labels[3]);
+  bench::RateResult results[4][5];
+  for (int c = 0; c < 4; ++c) {
+    const auto codec = compression::make_compressor(codecs[c]);
+    for (int b = 0; b < 5; ++b) {
+      results[c][b] = bench::measure_rate(
+          *codec, data, compression::ErrorBound::relative(bench::kBounds[b]));
+    }
+  }
+  for (int b = 0; b < 5; ++b) {
+    std::printf("%10.0e", bench::kBounds[b]);
+    for (int c = 0; c < 4; ++c) {
+      std::printf(" %10.1f", results[c][b].compress_mb_per_s);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n--- %s: decompression rate (MB/s) ---\n", name);
+  std::printf("%10s %10s %10s %10s %10s\n", "bound", labels[0], labels[1],
+              labels[2], labels[3]);
+  for (int b = 0; b < 5; ++b) {
+    std::printf("%10.0e", bench::kBounds[b]);
+    for (int c = 0; c < 4; ++c) {
+      std::printf(" %10.1f", results[c][b].decompress_mb_per_s);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace cqs;
+  bench::print_header(
+      "Figure 11: compress/decompress rates of Solutions A-D (single core)");
+  run("qaoa_18", bench::qaoa_data());
+  run("sup_16", bench::sup_data());
+  std::printf(
+      "\nshape check (paper): C/D run far faster than A (they drop the "
+      "prediction + quantization + Huffman stages); C is slightly faster "
+      "than D (no reshuffle)\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 14 reproduction: CDF of Solution C's pointwise relative errors
+// normalized by the bound, plus the lag-1 autocorrelation check backing
+// the paper's non-correlation claim.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "compression/verify.hpp"
+#include "qzc/qzc.hpp"
+
+namespace {
+
+void run(const char* name, std::span<const double> data) {
+  using namespace cqs;
+  qzc::QzcCodec codec;
+  std::printf("\n--- %s ---\n", name);
+  std::printf("%10s | CDF of |normalized error| at:            | lag-1\n",
+              "bound");
+  std::printf("%10s | %6s %6s %6s %6s %6s | %s\n", "", "0.1", "0.25", "0.5",
+              "0.75", "1.0", "autocorr");
+  for (double eps : bench::kBounds) {
+    const auto compressed =
+        codec.compress(data, compression::ErrorBound::relative(eps));
+    std::vector<double> out(data.size());
+    codec.decompress(compressed, out);
+    const auto normalized =
+        compression::normalized_relative_errors(data, out, eps);
+    const auto raw_errors = compression::signed_errors(data, out);
+    std::printf("%10.0e | %6.3f %6.3f %6.3f %6.3f %6.3f | %+.2e\n", eps,
+                fraction_below(normalized, 0.1),
+                fraction_below(normalized, 0.25),
+                fraction_below(normalized, 0.5),
+                fraction_below(normalized, 0.75),
+                fraction_below(normalized, 1.0 + 1e-12),
+                autocorrelation(raw_errors, 1));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace cqs;
+  bench::print_header(
+      "Figure 14: normalized compression error distribution (Solution C)");
+  run("qaoa_18", bench::qaoa_data());
+  run("sup_16", bench::sup_data());
+  std::printf(
+      "\nshape check (paper): (1) all errors within the bound (CDF reaches "
+      "1.0 at normalized error 1); (2) roughly uniform spread; (3) most "
+      "errors far below the bound; lag-1 autocorrelation ~0 (paper "
+      "reports [-1e-4, 1e-4] on dense data)\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 15 reproduction: normalized execution time of single-node
+// simulations as the qubit count grows. The paper sweeps 34-40 qubits
+// with a per-qubit-Hadamard program; at reduced scale a bare Hadamard
+// wall leaves the state sparse and the measurement noise-dominated, so we
+// use the QAOA workload (dense state, same per-gate block machinery) and
+// report per-gate time, normalized to the smallest size.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuits/qaoa.hpp"
+#include "common/timer.hpp"
+#include "core/simulator.hpp"
+
+namespace {
+
+double run_once(int n) {
+  using namespace cqs;
+  core::SimConfig config;
+  config.num_qubits = n;
+  config.num_ranks = 4;
+  config.blocks_per_rank = 8;
+  core::CompressedStateSimulator sim(config);
+  const auto circuit = circuits::qaoa_maxcut_circuit({.num_qubits = n});
+  WallTimer timer;
+  sim.apply_circuit(circuit);
+  return timer.seconds() / static_cast<double>(circuit.size());
+}
+
+}  // namespace
+
+int main() {
+  using namespace cqs;
+  bench::print_header(
+      "Figure 15: normalized per-gate time vs qubit count (single node)");
+
+  run_once(14);  // warmup: thread pool + allocator
+  std::vector<std::pair<int, double>> rows;
+  for (int n = 14; n <= 20; ++n) {
+    double best = 1e30;
+    for (int rep = 0; rep < 2; ++rep) best = std::min(best, run_once(n));
+    rows.emplace_back(n, best);
+  }
+  const double base = rows.front().second;
+  std::printf("%10s %18s %18s\n", "qubits", "s/gate", "normalized");
+  for (const auto& [n, spg] : rows) {
+    std::printf("%10d %18.5f %17.1f%%\n", n, spg, 100.0 * spg / base);
+  }
+  std::printf(
+      "\nshape check (paper): monotone growth with qubit count — their "
+      "34->40 sweep spans 100%%..169%% (sub-2x per doubling because block "
+      "parallelism absorbs part of the state growth); the same sublinear "
+      "growth pattern should appear here until the state stops fitting in "
+      "cache\n");
+  return 0;
+}

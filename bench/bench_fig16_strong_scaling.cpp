@@ -1,0 +1,58 @@
+// Figure 16 reproduction: strong scaling of a fixed-size simulation. The
+// paper scales a 51-qubit Hadamard program from 128 to 512 Theta nodes;
+// the single-server analogue scales worker parallelism over a fixed
+// 20-qubit QAOA workload (dense state, real compression work per block).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuits/qaoa.hpp"
+#include "common/timer.hpp"
+#include "core/simulator.hpp"
+
+namespace {
+
+double run_once(int threads) {
+  using namespace cqs;
+  core::SimConfig config;
+  config.num_qubits = 20;
+  config.num_ranks = 8;
+  config.blocks_per_rank = 8;
+  config.threads = threads;
+  core::CompressedStateSimulator sim(config);
+  const auto circuit = circuits::qaoa_maxcut_circuit({.num_qubits = 20});
+  WallTimer timer;
+  sim.apply_circuit(circuit);
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main() {
+  using namespace cqs;
+  bench::print_header(
+      "Figure 16: strong scaling of a fixed-size simulation (20-qubit "
+      "QAOA, 8 ranks, workers = 'nodes')");
+
+  run_once(2);  // warmup
+  std::vector<std::pair<int, double>> rows;
+  for (int threads : {1, 2, 4, 8}) {
+    double best = 1e30;
+    for (int rep = 0; rep < 2; ++rep) {
+      best = std::min(best, run_once(threads));
+    }
+    rows.emplace_back(threads, best);
+  }
+  const double base = rows.front().second;
+  std::printf("%10s %14s %12s %12s\n", "workers", "time (s)", "speedup",
+              "ideal");
+  for (const auto& [threads, secs] : rows) {
+    std::printf("%10d %14.3f %12.2f %12d\n", threads, secs, base / secs,
+                threads);
+  }
+  std::printf(
+      "\nshape check (paper): sublinear but monotone speedup (theirs: "
+      "1.70x at 2x nodes, 2.84x at 4x nodes) — per-block codec work "
+      "parallelizes, cross-rank exchange and stragglers eat the rest\n");
+  return 0;
+}

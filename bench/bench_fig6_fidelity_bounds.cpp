@@ -1,0 +1,28 @@
+// Figure 6 reproduction: minimum fidelity bounds as the gate count grows,
+// one series per pointwise relative error level (Eq. 11).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/fidelity.hpp"
+
+int main() {
+  using namespace cqs;
+  bench::print_header(
+      "Figure 6: fidelity lower bound vs gate count per error level");
+  std::printf("%8s", "gates");
+  for (double eps : bench::kBounds) std::printf("  PWR=%-7.0e", eps);
+  std::printf("\n");
+  for (int gates = 0; gates <= 5000; gates += 500) {
+    std::printf("%8d", gates);
+    for (double eps : bench::kBounds) {
+      std::printf("  %-11.4g",
+                  core::FidelityTracker::bound_after(gates, eps));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nshape check (paper): 1e-5 stays ~0.95 at 5000 gates; 1e-3 decays "
+      "to ~0.007; 1e-2 and 1e-1 collapse to ~0 within the first few "
+      "hundred gates\n");
+  return 0;
+}

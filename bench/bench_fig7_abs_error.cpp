@@ -1,0 +1,49 @@
+// Figure 7 reproduction: compression ratios of SZ vs ZFP under absolute
+// error bounds (set as a fraction of each dataset's value range), on the
+// qaoa and supremacy state snapshots.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sz/sz.hpp"
+#include "zfp/zfp.hpp"
+
+namespace {
+
+double value_range(std::span<const double> data) {
+  const auto [lo, hi] = std::minmax_element(data.begin(), data.end());
+  return *hi - *lo;
+}
+
+void run(const char* name, std::span<const double> data) {
+  using namespace cqs;
+  const double range = value_range(data);
+  std::printf("\n--- %s (value range %.3g) ---\n", name, range);
+  std::printf("%10s %14s %14s\n", "bound", "SZ ratio", "ZFP ratio");
+  sz::SzCodec sz_codec;
+  zfp::ZfpCodec zfp_codec;
+  for (double fraction : bench::kBounds) {
+    const auto bound =
+        compression::ErrorBound::absolute(fraction * range);
+    const auto sz_bytes = sz_codec.compress(data, bound);
+    const auto zfp_bytes = zfp_codec.compress(data, bound);
+    std::printf("%10.0e %14.2f %14.2f\n", fraction,
+                bench::ratio_of(data, sz_bytes.size()),
+                bench::ratio_of(data, zfp_bytes.size()));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace cqs;
+  bench::print_header(
+      "Figure 7: SZ vs ZFP compression ratio (absolute error bounds)");
+  run("qaoa_18", bench::qaoa_data());
+  run("sup_16", bench::sup_data());
+  std::printf(
+      "\nshape check (paper): SZ leads ZFP by 1-2 orders of magnitude at "
+      "every bound; qaoa SZ reaches ~100:1 at loose bounds while ZFP stays "
+      "below ~13:1\n");
+  return 0;
+}

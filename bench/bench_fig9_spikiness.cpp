@@ -1,0 +1,53 @@
+// Figure 9 reproduction: illustrates the spikiness of quantum circuit
+// simulation data — sample windows of the state plus quantitative
+// spikiness measures (neighbor correlation, sign-flip rate) showing why
+// smoothness-based compressors fail on this data.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+
+namespace {
+
+void run(const char* name, std::span<const double> data) {
+  using namespace cqs;
+  std::printf("\n--- %s ---\n", name);
+  // The two zoomed windows of Figure 9.
+  for (std::size_t start : {std::size_t{1000}, std::size_t{2000}}) {
+    std::printf("window [%zu, %zu):\n", start, start + 10);
+    for (std::size_t i = start; i < start + 10; ++i) {
+      std::printf("  data[%zu] = %+.6e\n", i, data[i]);
+    }
+  }
+  // Quantitative spikiness: lag-1 autocorrelation of the raw series (low
+  // for spiky data) and the rate of sign changes between neighbors.
+  const double corr = autocorrelation(data, 1);
+  std::size_t flips = 0;
+  std::size_t nonzero_pairs = 0;
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    if (data[i] == 0.0 || data[i - 1] == 0.0) continue;
+    ++nonzero_pairs;
+    if (std::signbit(data[i]) != std::signbit(data[i - 1])) ++flips;
+  }
+  std::printf("lag-1 autocorrelation: %.4f (smooth data would be ~1)\n",
+              corr);
+  std::printf("neighbor sign-flip rate: %.3f (random signs would be 0.5)\n",
+              nonzero_pairs ? static_cast<double>(flips) / nonzero_pairs
+                            : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cqs;
+  bench::print_header(
+      "Figure 9: spikiness of quantum circuit simulation data");
+  run("qaoa_18", bench::qaoa_data());
+  run("sup_16", bench::sup_data());
+  std::printf(
+      "\nshape check (paper): values oscillate at the 1e-5..1e-6 scale "
+      "with rapid sign changes; no smooth neighborhoods for predictors or "
+      "transforms to exploit\n");
+  return 0;
+}

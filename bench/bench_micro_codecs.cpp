@@ -1,0 +1,72 @@
+// google-benchmark micro suite over every codec in the repository:
+// compression and decompression throughput on the qaoa_18 snapshot and on
+// an early-simulation sparse state, at a representative relative bound.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuits/datasets.hpp"
+#include "compression/compressor.hpp"
+
+namespace {
+
+using namespace cqs;
+
+const std::vector<double>& sparse_data() {
+  static const std::vector<double> data = circuits::sparse_dataset(10, 4);
+  return data;
+}
+
+compression::ErrorBound bound_for(const compression::Compressor& codec) {
+  return codec.supports(compression::BoundMode::kPointwiseRelative)
+             ? compression::ErrorBound::relative(1e-3)
+             : compression::ErrorBound::lossless();
+}
+
+void BM_Compress(benchmark::State& state, const std::string& name,
+                 const std::vector<double>& data) {
+  const auto codec = compression::make_compressor(name);
+  const auto bound = bound_for(*codec);
+  std::size_t compressed_size = 0;
+  for (auto _ : state) {
+    const auto compressed = codec->compress(data, bound);
+    compressed_size = compressed.size();
+    benchmark::DoNotOptimize(compressed.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size() * 8));
+  state.counters["ratio"] =
+      static_cast<double>(data.size() * 8) /
+      static_cast<double>(compressed_size);
+}
+
+void BM_Decompress(benchmark::State& state, const std::string& name,
+                   const std::vector<double>& data) {
+  const auto codec = compression::make_compressor(name);
+  const auto compressed = codec->compress(data, bound_for(*codec));
+  std::vector<double> out(data.size());
+  for (auto _ : state) {
+    codec->decompress(compressed, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size() * 8));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& name : compression::compressor_names()) {
+    benchmark::RegisterBenchmark(("compress/" + name + "/qaoa18").c_str(),
+                                 BM_Compress, name, bench::qaoa_data());
+    benchmark::RegisterBenchmark(("decompress/" + name + "/qaoa18").c_str(),
+                                 BM_Decompress, name, bench::qaoa_data());
+    benchmark::RegisterBenchmark(("compress/" + name + "/sparse").c_str(),
+                                 BM_Compress, name, sparse_data());
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Table 1 reproduction: supercomputer memory capacities and the maximum
+// number of qubits they can simulate for arbitrary circuits, plus the
+// Section 5.5 projections with measured compression ratios.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/memory_model.hpp"
+
+int main() {
+  using namespace cqs;
+  bench::print_header(
+      "Table 1: memory capacity vs. maximum simulable qubits");
+  std::printf("%-20s %10s %10s\n", "System", "Mem (PB)", "Max Qubits");
+  for (const auto& row : core::table1_machines()) {
+    std::printf("%-20s %10.2f %10d\n", row.name.c_str(),
+                row.memory_petabytes, row.max_qubits);
+  }
+  std::printf("\npaper: Summit 47, Sierra 46, Sunway TaihuLight 46, "
+              "Theta 45\n\n");
+
+  bench::print_header(
+      "Section 5.5 projection: max qubits at measured compression ratios");
+  std::printf("%-20s %12s %12s %12s %12s\n", "System", "ratio 1x",
+              "ratio 4.85x", "ratio 21.3x", "Grover 7e4x");
+  for (double pb : {2.8, 0.8}) {
+    const auto bytes = static_cast<std::uint64_t>(pb * 1e15);
+    std::printf("%-20s %12d %12d %12d %12d\n",
+                pb == 2.8 ? "Summit" : "Theta",
+                core::max_qubits_for_memory(bytes),
+                core::max_qubits_with_compression(bytes, 4.85),
+                core::max_qubits_with_compression(bytes, 21.34),
+                core::max_qubits_with_compression(bytes, 7.39e4));
+  }
+  std::printf("\npaper: Theta 45 -> 61 qubits for Grover (768 TB instead of "
+              "32 EB); Summit general-circuit projection 63 qubits\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Table 2 reproduction: the paper's main results table — Grover, random
+// circuit sampling, QAOA, and QFT simulations under tight memory budgets,
+// reporting memory, time breakdown, time per gate, fidelity, and the
+// minimum compression ratio. Qubit counts are reduced to one server; the
+// budget-to-requirement percentages mirror the paper's "Sys Mem / Req"
+// row (tiny for Grover, 37.5% / 18.75% for the dense workloads).
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "circuits/grover.hpp"
+#include "circuits/qaoa.hpp"
+#include "circuits/qft.hpp"
+#include "circuits/supremacy.hpp"
+#include "common/timer.hpp"
+#include "core/memory_model.hpp"
+#include "core/simulator.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace {
+
+using namespace cqs;
+
+struct Row {
+  std::string name;
+  qsim::Circuit circuit;
+  double budget_fraction;  // of the raw 2^{n+4} requirement
+};
+
+void run_row(const Row& row) {
+  const int n = row.circuit.num_qubits();
+  const auto requirement = core::memory_required_bytes(n);
+  core::SimConfig config;
+  config.num_qubits = n;
+  config.num_ranks = 4;
+  config.blocks_per_rank = n >= 18 ? 16 : 8;
+  config.memory_budget_bytes =
+      static_cast<std::size_t>(row.budget_fraction *
+                               static_cast<double>(requirement));
+  core::CompressedStateSimulator sim(config);
+  WallTimer timer;
+  sim.apply_circuit(row.circuit);
+  const double seconds = timer.seconds();
+  const auto report = sim.report();
+
+  // Measured fidelity against an uncompressed dense run (possible at the
+  // reduced scale; the paper reports the analytic bound).
+  qsim::StateVector reference(n);
+  reference.apply_circuit(row.circuit);
+  const double measured_fidelity =
+      qsim::state_fidelity(reference.raw(), sim.to_raw());
+
+  std::printf("%-14s %6d %10s %7zu %9s %8.1f%% %7.2f %8.3f ", row.name.c_str(),
+              n, core::format_bytes(requirement).c_str(),
+              row.circuit.size(),
+              core::format_bytes(config.memory_budget_bytes).c_str(),
+              100.0 * row.budget_fraction, seconds,
+              report.seconds_per_gate());
+  std::printf("%7.1f%% %7.1f%% %7.1f%% %7.1f%% ",
+              100.0 * report.phase_fraction(Phase::kCompression),
+              100.0 * report.phase_fraction(Phase::kDecompression),
+              100.0 * report.phase_fraction(Phase::kCommunication),
+              100.0 * report.phase_fraction(Phase::kComputation));
+  std::printf("%8.4f %8.4f %10.2f%s\n", measured_fidelity,
+              report.fidelity_bound, report.min_compression_ratio,
+              report.budget_exceeded ? " [over budget]" : "");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table 2: main simulation results (reduced scale)");
+  std::printf(
+      "%-14s %6s %10s %7s %9s %9s %7s %8s %8s %8s %8s %8s %8s %8s %10s\n",
+      "benchmark", "qubits", "mem req", "gates", "budget", "bud/req",
+      "time_s", "s/gate", "cmpr%", "dcmp%", "comm%", "comp%", "fid",
+      "fid_bnd", "min_ratio");
+
+  // Grover: the paper's flagship (61 qubits on 0.002% of the raw
+  // requirement). Structured states compress enormously, so the budget is
+  // set to 1% here.
+  run_row({"grover_18", circuits::grover_circuit({.data_qubits = 10,
+                                                  .marked_state = 0x25b}),
+           0.01});
+  run_row({"grover_16", circuits::grover_circuit({.data_qubits = 9,
+                                                  .marked_state = 0x1a3}),
+           0.01});
+
+  // Random circuit sampling at depth 11 (paper: 5x9..7x5 grids, 37.5%).
+  run_row({"sup_4x4",
+           circuits::supremacy_circuit({.rows = 4, .cols = 4, .depth = 11}),
+           0.375});
+  run_row({"sup_3x5",
+           circuits::supremacy_circuit({.rows = 3, .cols = 5, .depth = 11}),
+           0.1875});
+
+  // QAOA MAXCUT on random 4-regular graphs (paper: 42-45 qubits, 37.5%).
+  run_row({"qaoa_18", circuits::qaoa_maxcut_circuit({.num_qubits = 18}),
+           0.375});
+  run_row({"qaoa_16", circuits::qaoa_maxcut_circuit({.num_qubits = 16}),
+           0.375});
+
+  // QFT, the deep circuit (paper: 36 qubits, 18.75%, 3258 gates).
+  run_row({"qft_16", circuits::qft_circuit({.num_qubits = 16}), 0.1875});
+
+  std::printf(
+      "\nshape check (paper): Grover fits in a vanishing fraction of the "
+      "requirement at ratios >> 100x with fidelity ~1; supremacy circuits "
+      "are the hardest (ratios 5-10x, fidelity dips under tight budgets); "
+      "QAOA and QFT sit in between with high fidelity; compression + "
+      "decompression dominate the dense workloads' time while Grover is "
+      "computation/communication bound\n");
+  return 0;
+}

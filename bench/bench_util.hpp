@@ -1,0 +1,83 @@
+// Shared helpers for the figure/table reproduction benches: reduced-scale
+// stand-ins for the paper's qaoa_36 / sup_36 datasets, ratio/rate
+// measurement, and aligned table printing.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuits/datasets.hpp"
+#include "compression/compressor.hpp"
+
+namespace cqs::bench {
+
+/// Reduced-qubit stand-in for the paper's qaoa_36 snapshot. 18 qubits:
+/// 4 MB of state, the same spiky value structure as Figure 9.
+inline const std::vector<double>& qaoa_data() {
+  static const std::vector<double> data = circuits::qaoa_dataset(18);
+  return data;
+}
+
+/// Reduced-qubit stand-in for sup_36 (4x4 grid, depth 11).
+inline const std::vector<double>& sup_data() {
+  static const std::vector<double> data = circuits::supremacy_dataset(4, 4);
+  return data;
+}
+
+inline double ratio_of(std::span<const double> data,
+                       std::size_t compressed_size) {
+  return static_cast<double>(data.size() * sizeof(double)) /
+         static_cast<double>(compressed_size);
+}
+
+struct RateResult {
+  double compress_mb_per_s = 0.0;
+  double decompress_mb_per_s = 0.0;
+  double ratio = 0.0;
+};
+
+/// Times one compress + decompress round trip (single core, like the
+/// paper's Figure 11) over `repeats` runs, reporting the best rate.
+inline RateResult measure_rate(const compression::Compressor& codec,
+                               std::span<const double> data,
+                               const compression::ErrorBound& bound,
+                               int repeats = 3) {
+  using clock = std::chrono::steady_clock;
+  const double megabytes =
+      static_cast<double>(data.size() * sizeof(double)) / (1024.0 * 1024.0);
+  RateResult result;
+  Bytes compressed;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = clock::now();
+    compressed = codec.compress(data, bound);
+    const auto t1 = clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    result.compress_mb_per_s =
+        std::max(result.compress_mb_per_s, megabytes / secs);
+  }
+  std::vector<double> out(data.size());
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = clock::now();
+    codec.decompress(compressed, out);
+    const auto t1 = clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    result.decompress_mb_per_s =
+        std::max(result.decompress_mb_per_s, megabytes / secs);
+  }
+  result.ratio = ratio_of(data, compressed.size());
+  return result;
+}
+
+/// The error-bound sweep every compression figure uses.
+inline const double kBounds[] = {1e-1, 1e-2, 1e-3, 1e-4, 1e-5};
+
+inline void print_header(const std::string& title) {
+  std::printf("=======================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("=======================================================\n");
+}
+
+}  // namespace cqs::bench

@@ -1,0 +1,134 @@
+// cqs_run — command-line driver: run a serialized circuit file through
+// the compressed-state simulator.
+//
+//   $ ./cqs_run circuit.cqs [options]
+//     --ranks N          logical ranks (power of two, default 4)
+//     --blocks N         blocks per rank (power of two, default 8)
+//     --codec NAME       lossy codec (default qzc)
+//     --budget-frac F    memory budget as a fraction of 2^{n+4} (default 0:
+//                        unlimited, stays lossless)
+//     --fuse             apply single-qubit gate fusion first
+//     --checkpoint PATH  save a checkpoint at the end
+//     --samples N        print N sampled basis states
+//
+// Circuit file format (see src/qsim/serialize.hpp):
+//   qubits 4
+//   h 0
+//   cx 0 1
+//   rz 2 0.785398
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/memory_model.hpp"
+#include "core/simulator.hpp"
+#include "qsim/fusion.hpp"
+#include "qsim/serialize.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <circuit-file> [--ranks N] [--blocks N] "
+               "[--codec NAME] [--budget-frac F] [--fuse] "
+               "[--checkpoint PATH] [--samples N]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  using namespace cqs;
+  if (argc < 2) usage(argv[0]);
+
+  std::string circuit_path = argv[1];
+  core::SimConfig config;
+  config.num_ranks = 4;
+  config.blocks_per_rank = 8;
+  double budget_fraction = 0.0;
+  bool fuse = false;
+  std::string checkpoint_path;
+  int samples = 0;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--ranks") {
+      config.num_ranks = std::atoi(next());
+    } else if (arg == "--blocks") {
+      config.blocks_per_rank = std::atoi(next());
+    } else if (arg == "--codec") {
+      config.codec = next();
+    } else if (arg == "--budget-frac") {
+      budget_fraction = std::atof(next());
+    } else if (arg == "--fuse") {
+      fuse = true;
+    } else if (arg == "--checkpoint") {
+      checkpoint_path = next();
+    } else if (arg == "--samples") {
+      samples = std::atoi(next());
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  std::ifstream in(circuit_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", circuit_path.c_str());
+    return 1;
+  }
+  qsim::Circuit circuit = qsim::parse_circuit(in);
+  if (fuse) {
+    qsim::FusionStats stats;
+    circuit = qsim::fuse_single_qubit_gates(circuit, &stats);
+    std::printf("fusion: %zu -> %zu gates (%zu runs)\n", stats.gates_before,
+                stats.gates_after, stats.fused_runs);
+  }
+  config.num_qubits = circuit.num_qubits();
+  // Shrink the default partition for small circuits: every block must hold
+  // at least two amplitudes.
+  while (config.num_ranks * config.blocks_per_rank * 2 >
+             (1 << circuit.num_qubits()) &&
+         (config.num_ranks > 1 || config.blocks_per_rank > 1)) {
+    if (config.blocks_per_rank > 1) {
+      config.blocks_per_rank /= 2;
+    } else {
+      config.num_ranks /= 2;
+    }
+  }
+  if (budget_fraction > 0.0) {
+    config.memory_budget_bytes = static_cast<std::size_t>(
+        budget_fraction *
+        static_cast<double>(
+            core::memory_required_bytes(circuit.num_qubits())));
+  }
+
+  core::CompressedStateSimulator sim(config);
+  sim.apply_circuit(circuit);
+
+  std::cout << sim.report();
+  if (samples > 0) {
+    Rng rng(20190517);
+    std::printf("samples:\n");
+    for (int s = 0; s < samples; ++s) {
+      std::printf("  %0*llx\n", (circuit.num_qubits() + 3) / 4,
+                  static_cast<unsigned long long>(sim.sample(rng)));
+    }
+  }
+  if (!checkpoint_path.empty()) {
+    sim.save_checkpoint(checkpoint_path);
+    std::printf("checkpoint written to %s\n", checkpoint_path.c_str());
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "cqs_run: %s\n", e.what());
+  return 1;
+}

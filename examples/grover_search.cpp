@@ -1,0 +1,70 @@
+// Grover's search on the compressed simulator — the paper's flagship
+// workload (61 qubits on 768 TB instead of 32 EB). At this reduced scale
+// the same structure holds: the Grover state is so compressible that the
+// run fits a budget of ~1% of the raw state size, and the compressed
+// block cache hits on the oracle's repeated block patterns.
+//
+//   $ ./grover_search [data_qubits] [marked]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <numbers>
+
+#include "circuits/grover.hpp"
+#include "core/memory_model.hpp"
+#include "core/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cqs;
+  const int data_qubits = argc > 1 ? std::atoi(argv[1]) : 10;
+  const std::uint64_t marked =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 0)
+               : (std::uint64_t{0x5a5a5a5a} &
+                  ((std::uint64_t{1} << data_qubits) - 1));
+
+  // Optimal iteration count ~ pi/4 * sqrt(2^d).
+  const int iterations = std::max(
+      1, static_cast<int>(std::round(
+             std::numbers::pi / 4.0 *
+             std::sqrt(std::pow(2.0, data_qubits)))));
+  const auto circuit = circuits::grover_circuit({.data_qubits = data_qubits,
+                                                 .marked_state = marked,
+                                                 .iterations = iterations});
+  const int total_qubits = circuit.num_qubits();
+  std::printf("Grover: %d data qubits (+%d ancilla), marked=0x%llx, "
+              "%d iterations, %zu gates\n",
+              data_qubits, total_qubits - data_qubits,
+              static_cast<unsigned long long>(marked), iterations,
+              circuit.size());
+
+  core::SimConfig config;
+  config.num_qubits = total_qubits;
+  config.num_ranks = 4;
+  config.blocks_per_rank = 16;
+  // The paper ran 61-qubit Grover on 0.002% of the requirement; at small
+  // scale 1% exercises the same always-under-pressure regime.
+  config.memory_budget_bytes = static_cast<std::size_t>(
+      0.01 * static_cast<double>(
+                 core::memory_required_bytes(total_qubits)));
+
+  core::CompressedStateSimulator sim(config);
+  sim.apply_circuit(circuit);
+
+  // Probability of the marked state: read the per-qubit marginals.
+  double p_marked = 1.0;
+  for (int q = 0; q < data_qubits; ++q) {
+    const double p1 = sim.probability_one(q);
+    p_marked *= ((marked >> q) & 1u) ? p1 : (1.0 - p1);
+  }
+  std::printf("product of per-qubit marginals at the marked pattern: %.4f "
+              "(near 1 means the search converged)\n", p_marked);
+  std::printf("memory requirement %s, budget %s, peak used %s\n",
+              core::format_bytes(core::memory_required_bytes(total_qubits))
+                  .c_str(),
+              core::format_bytes(config.memory_budget_bytes).c_str(),
+              core::format_bytes(sim.report().peak_compressed_bytes)
+                  .c_str());
+  std::cout << "\n--- simulation report ---\n" << sim.report();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// QAOA MAXCUT under a tight memory budget: demonstrates the adaptive
+// error-bound ladder (Section 3.7). The dense variational state does not
+// fit losslessly, the simulator escalates to lossy compression, and the
+// sampled cut quality survives — the paper's point that QAOA is robust to
+// reduced-fidelity simulation.
+//
+//   $ ./qaoa_maxcut [qubits] [budget_fraction]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "circuits/qaoa.hpp"
+#include "core/memory_model.hpp"
+#include "core/simulator.hpp"
+#include "qsim/state_vector.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cqs;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 16;
+  const double fraction = argc > 2 ? std::atof(argv[2]) : 0.2;
+
+  const circuits::QaoaSpec spec{.num_qubits = n, .layers = 1};
+  const auto edges = circuits::random_regular_graph(n, 4, spec.seed);
+  const auto circuit = circuits::qaoa_maxcut_circuit(spec);
+  std::printf("QAOA MAXCUT: %d qubits, %zu edges, %zu gates, budget %.0f%% "
+              "of the raw state\n",
+              n, edges.size(), circuit.size(), 100.0 * fraction);
+
+  core::SimConfig config;
+  config.num_qubits = n;
+  config.num_ranks = 4;
+  config.blocks_per_rank = 8;
+  config.memory_budget_bytes = static_cast<std::size_t>(
+      fraction * static_cast<double>(core::memory_required_bytes(n)));
+
+  core::CompressedStateSimulator sim(config);
+  sim.apply_circuit(circuit);
+
+  // Sample cuts from the (possibly lossy) simulated distribution.
+  Rng rng(99);
+  const auto amps = sim.to_amplitudes();
+  double total_cut = 0.0;
+  const int shots = 512;
+  for (int s = 0; s < shots; ++s) {
+    double r = rng.next_double();
+    std::uint64_t sample = 0;
+    double norm = 0.0;
+    for (std::uint64_t i = 0; i < amps.size(); ++i) {
+      norm += std::norm(amps[i]);
+    }
+    for (std::uint64_t i = 0; i < amps.size(); ++i) {
+      r -= std::norm(amps[i]) / norm;
+      if (r <= 0.0) {
+        sample = i;
+        break;
+      }
+    }
+    total_cut += circuits::cut_value(edges, sample);
+  }
+  std::printf("mean sampled cut: %.2f of %zu edges (random assignment: "
+              "%.1f)\n",
+              total_cut / shots, edges.size(), edges.size() / 2.0);
+  std::printf("ladder level reached: %d, fidelity lower bound: %.4f\n",
+              sim.ladder_level(), sim.fidelity_bound());
+  std::cout << "\n--- simulation report ---\n" << sim.report();
+  return 0;
+}

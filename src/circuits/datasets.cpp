@@ -1,0 +1,42 @@
+#include "circuits/datasets.hpp"
+
+#include <algorithm>
+
+#include "circuits/grover.hpp"
+#include "circuits/qaoa.hpp"
+#include "circuits/supremacy.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace cqs::circuits {
+
+std::vector<double> qaoa_dataset(int num_qubits, std::uint64_t seed) {
+  qsim::StateVector state(num_qubits);
+  state.apply_circuit(
+      qaoa_maxcut_circuit({.num_qubits = num_qubits, .seed = seed}));
+  const auto raw = state.raw();
+  return {raw.begin(), raw.end()};
+}
+
+std::vector<double> supremacy_dataset(int rows, int cols, int depth,
+                                      std::uint64_t seed) {
+  qsim::StateVector state(rows * cols);
+  state.apply_circuit(supremacy_circuit(
+      {.rows = rows, .cols = cols, .depth = depth, .seed = seed}));
+  const auto raw = state.raw();
+  return {raw.begin(), raw.end()};
+}
+
+std::vector<double> sparse_dataset(int data_qubits, int gates) {
+  const GroverSpec spec{.data_qubits = data_qubits,
+                        .marked_state = 0,
+                        .iterations = 1};
+  const qsim::Circuit full = grover_circuit(spec);
+  qsim::StateVector state(full.num_qubits());
+  const std::size_t limit =
+      std::min<std::size_t>(gates, full.ops().size());
+  for (std::size_t i = 0; i < limit; ++i) state.apply(full.ops()[i]);
+  const auto raw = state.raw();
+  return {raw.begin(), raw.end()};
+}
+
+}  // namespace cqs::circuits

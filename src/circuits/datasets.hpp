@@ -1,0 +1,25 @@
+// The qaoa_N / sup_N compression study datasets of Section 4: state-vector
+// snapshots taken after running the corresponding circuit on the dense
+// reference simulator, exposed as raw interleaved re/im double arrays.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cqs::circuits {
+
+/// State of an n-qubit QAOA MAXCUT circuit (one layer), re/im interleaved:
+/// the paper's qaoa_N dataset at reduced qubit count.
+std::vector<double> qaoa_dataset(int num_qubits, std::uint64_t seed = 7);
+
+/// State of a random supremacy circuit on a rows x cols grid at the given
+/// depth: the paper's sup_N dataset.
+std::vector<double> supremacy_dataset(int rows, int cols, int depth = 11,
+                                      std::uint64_t seed = 11);
+
+/// Early-simulation state (mostly zeros): the regime where the lossless
+/// stage of the hybrid pipeline shines. Runs only the first `gates` ops of
+/// a Grover circuit with the given data qubits.
+std::vector<double> sparse_dataset(int data_qubits, int gates);
+
+}  // namespace cqs::circuits

@@ -1,0 +1,90 @@
+#include "circuits/grover.hpp"
+
+#include <stdexcept>
+
+namespace cqs::circuits {
+namespace {
+
+using qsim::Circuit;
+
+/// Flips data qubits whose `marked` bit is 0 so the all-ones pattern
+/// corresponds to the marked state.
+void apply_mark_frame(Circuit& c, int d, std::uint64_t marked) {
+  for (int q = 0; q < d; ++q) {
+    if (((marked >> q) & 1u) == 0) c.x(q);
+  }
+}
+
+/// Phase flip on |1...1> of the data register using the ancilla AND-ladder:
+/// anc[0] = q0 AND q1, anc[i] = anc[i-1] AND q_{i+1}; Z on the last ancilla
+/// applies the phase, then the ladder is uncomputed. Only X/Toffoli/Z/CZ.
+void apply_controlled_phase_ladder(Circuit& c, int d) {
+  const int anc = d;  // first ancilla index
+  if (d == 1) {
+    c.z(0);
+    return;
+  }
+  if (d == 2) {
+    c.cz(0, 1);
+    return;
+  }
+  c.ccx(0, 1, anc);
+  for (int i = 2; i < d - 1; ++i) {
+    c.ccx(anc + i - 2, i, anc + i - 1);
+  }
+  c.cz(anc + d - 3, d - 1);
+  for (int i = d - 2; i >= 2; --i) {
+    c.ccx(anc + i - 2, i, anc + i - 1);
+  }
+  c.ccx(0, 1, anc);
+}
+
+}  // namespace
+
+int grover_total_qubits(int data_qubits) {
+  return data_qubits <= 2 ? data_qubits : 2 * data_qubits - 2;
+}
+
+int grover_data_qubits(int total_qubits) {
+  if (total_qubits <= 2) return total_qubits;
+  return (total_qubits + 2) / 2;
+}
+
+qsim::Circuit grover_circuit(const GroverSpec& spec) {
+  const int d = spec.data_qubits;
+  if (d < 1) throw std::invalid_argument("grover: need >= 1 data qubit");
+  if (spec.marked_state >> d != 0) {
+    throw std::invalid_argument("grover: marked state out of range");
+  }
+  Circuit c(grover_total_qubits(d));
+
+  // Uniform superposition over the data register.
+  for (int q = 0; q < d; ++q) c.h(q);
+
+  for (int iter = 0; iter < spec.iterations; ++iter) {
+    // Oracle: phase-flip the marked state.
+    apply_mark_frame(c, d, spec.marked_state);
+    apply_controlled_phase_ladder(c, d);
+    apply_mark_frame(c, d, spec.marked_state);
+
+    // Diffusion: reflect about the mean.
+    for (int q = 0; q < d; ++q) c.h(q);
+    for (int q = 0; q < d; ++q) c.x(q);
+    apply_controlled_phase_ladder(c, d);
+    for (int q = 0; q < d; ++q) c.x(q);
+    for (int q = 0; q < d; ++q) c.h(q);
+  }
+  return c;
+}
+
+std::uint64_t grover_sqrt_target(int data_qubits, std::uint64_t square) {
+  const std::uint64_t mask =
+      data_qubits >= 64 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << data_qubits) - 1;
+  for (std::uint64_t x = 0; x <= mask; ++x) {
+    if (((x * x) & mask) == (square & mask)) return x;
+  }
+  return 0;  // every square has a root mod 2^d only sometimes; 0*0 == 0
+}
+
+}  // namespace cqs::circuits

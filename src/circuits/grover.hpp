@@ -1,0 +1,36 @@
+// Grover's search benchmark (Section 5.3). The oracle marks one basis
+// state and is synthesized exclusively from X and Toffoli gates via an
+// AND-ladder into ancilla qubits, matching the paper's oracle structure
+// ("the oracle consists of X and Toffoli gates").
+//
+// Layout: d data qubits [0, d) and d-1 ancillas [d, 2d-1); a d-data-qubit
+// instance therefore occupies 2d-1 qubits total — the paper's 61-qubit run
+// corresponds to d = 31.
+#pragma once
+
+#include <cstdint>
+
+#include "qsim/circuit.hpp"
+
+namespace cqs::circuits {
+
+struct GroverSpec {
+  int data_qubits = 4;
+  std::uint64_t marked_state = 0;  ///< must be < 2^data_qubits
+  int iterations = 1;
+};
+
+/// Total qubits used by a Grover instance with d data qubits.
+int grover_total_qubits(int data_qubits);
+
+/// Data qubits for a total qubit budget (inverse of grover_total_qubits).
+int grover_data_qubits(int total_qubits);
+
+qsim::Circuit grover_circuit(const GroverSpec& spec);
+
+/// The paper's motivating use: search for the square root of
+/// `square` modulo 2^d, i.e. the marked state is the x with x*x == square
+/// (lowest d bits). Returns the marked value.
+std::uint64_t grover_sqrt_target(int data_qubits, std::uint64_t square);
+
+}  // namespace cqs::circuits

@@ -1,0 +1,36 @@
+#include "circuits/phase_estimation.hpp"
+
+#include <numbers>
+
+namespace cqs::circuits {
+
+void append_inverse_qft(qsim::Circuit& circuit, int n) {
+  // Reverse of the standard QFT ladder with negated phases; qubit-reversal
+  // swaps first (the QFT emits them last).
+  for (int q = 0; q < n / 2; ++q) circuit.swap(q, n - 1 - q);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < i; ++j) {
+      const double theta =
+          -std::numbers::pi / static_cast<double>(1ull << (i - j));
+      circuit.cphase(j, i, theta);
+    }
+    circuit.h(i);
+  }
+}
+
+qsim::Circuit phase_estimation_circuit(const PhaseEstimationSpec& spec) {
+  const int t = spec.counting_qubits;
+  qsim::Circuit circuit(t + 1);
+  circuit.x(t);  // |1> is the eigenstate of the phase gate
+  for (int q = 0; q < t; ++q) circuit.h(q);
+  // Controlled-U^{2^j}: U = P(2 pi phi), so U^{2^j} = P(2 pi phi 2^j).
+  for (int j = 0; j < t; ++j) {
+    const double theta = 2.0 * std::numbers::pi * spec.phase *
+                         static_cast<double>(1ull << j);
+    circuit.cphase(j, t, theta);
+  }
+  append_inverse_qft(circuit, t);
+  return circuit;
+}
+
+}  // namespace cqs::circuits

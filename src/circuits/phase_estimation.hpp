@@ -1,0 +1,26 @@
+// Quantum phase estimation — the algorithm the paper cites as the reason
+// QFT circuits matter ("an important function in many quantum algorithms
+// (Shor's algorithm, phase estimation algorithm, ...)"). Estimates the
+// phase phi of the eigenvalue e^{2 pi i phi} of a phase gate applied to
+// its |1> eigenstate, using `counting_qubits` bits of precision.
+#pragma once
+
+#include "qsim/circuit.hpp"
+
+namespace cqs::circuits {
+
+struct PhaseEstimationSpec {
+  int counting_qubits = 6;
+  double phase = 0.3125;  ///< the phi to estimate, in [0, 1)
+};
+
+/// Layout: qubits [0, counting) = counting register, qubit `counting` =
+/// the eigenstate target. After the circuit, measuring the counting
+/// register yields round(phi * 2^counting) with high probability.
+qsim::Circuit phase_estimation_circuit(const PhaseEstimationSpec& spec);
+
+/// Inverse QFT on the low `n` qubits of a circuit under construction
+/// (exposed for reuse; phase_estimation_circuit uses it).
+void append_inverse_qft(qsim::Circuit& circuit, int n);
+
+}  // namespace cqs::circuits

@@ -1,0 +1,83 @@
+#include "circuits/qaoa.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace cqs::circuits {
+
+std::vector<std::pair<int, int>> random_regular_graph(int num_vertices,
+                                                      int degree,
+                                                      std::uint64_t seed) {
+  if (num_vertices <= degree) {
+    throw std::invalid_argument("random_regular_graph: too few vertices");
+  }
+  if ((num_vertices * degree) % 2 != 0) {
+    throw std::invalid_argument("random_regular_graph: odd stub count");
+  }
+  Rng rng(seed);
+  // Configuration model with full restart on self-loop / parallel edge.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::vector<int> stubs;
+    stubs.reserve(static_cast<std::size_t>(num_vertices) * degree);
+    for (int v = 0; v < num_vertices; ++v) {
+      for (int k = 0; k < degree; ++k) stubs.push_back(v);
+    }
+    // Fisher-Yates with our deterministic RNG.
+    for (std::size_t i = stubs.size() - 1; i > 0; --i) {
+      std::swap(stubs[i], stubs[rng.next_below(i + 1)]);
+    }
+    std::vector<std::pair<int, int>> edges;
+    std::set<std::pair<int, int>> seen;
+    bool ok = true;
+    for (std::size_t i = 0; i < stubs.size(); i += 2) {
+      int u = stubs[i];
+      int v = stubs[i + 1];
+      if (u == v) {
+        ok = false;
+        break;
+      }
+      if (u > v) std::swap(u, v);
+      if (!seen.insert({u, v}).second) {
+        ok = false;
+        break;
+      }
+      edges.push_back({u, v});
+    }
+    if (ok) return edges;
+  }
+  throw std::runtime_error("random_regular_graph: failed to converge");
+}
+
+qsim::Circuit qaoa_maxcut_circuit(const QaoaSpec& spec) {
+  const auto edges =
+      random_regular_graph(spec.num_qubits, 4, spec.seed);
+  qsim::Circuit c(spec.num_qubits);
+  for (int q = 0; q < spec.num_qubits; ++q) c.h(q);
+  for (int layer = 1; layer <= spec.layers; ++layer) {
+    const double gamma = spec.gamma;
+    const double beta = spec.beta;
+    for (const auto& [u, v] : edges) {
+      c.cx(u, v);
+      c.rz(v, 2.0 * gamma);
+      c.cx(u, v);
+    }
+    for (int q = 0; q < spec.num_qubits; ++q) c.rx(q, 2.0 * beta);
+  }
+  return c;
+}
+
+double cut_value(const std::vector<std::pair<int, int>>& edges,
+                 std::uint64_t assignment) {
+  double cut = 0.0;
+  for (const auto& [u, v] : edges) {
+    const bool su = ((assignment >> u) & 1u) != 0;
+    const bool sv = ((assignment >> v) & 1u) != 0;
+    if (su != sv) cut += 1.0;
+  }
+  return cut;
+}
+
+}  // namespace cqs::circuits

@@ -1,0 +1,35 @@
+// QAOA MAXCUT benchmark on a random 4-regular graph (Section 5.3, [27]).
+// One layer = cost unitary exp(-i gamma Z_u Z_v) per edge (CX, RZ, CX)
+// followed by the transverse-field mixer RX(2 beta) on every qubit.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "qsim/circuit.hpp"
+
+namespace cqs::circuits {
+
+struct QaoaSpec {
+  int num_qubits = 8;
+  int layers = 1;            ///< QAOA depth p
+  double gamma = 1.3;        ///< cost angle (numerically tuned for p = 1
+                             ///< MAXCUT on random 4-regular graphs)
+  double beta = 0.7;         ///< mixer angle
+  std::uint64_t seed = 7;    ///< graph randomness
+};
+
+/// Random 4-regular simple graph via the configuration model with
+/// rejection. Requires num_vertices >= 5 and num_vertices * 4 even.
+std::vector<std::pair<int, int>> random_regular_graph(int num_vertices,
+                                                      int degree,
+                                                      std::uint64_t seed);
+
+qsim::Circuit qaoa_maxcut_circuit(const QaoaSpec& spec);
+
+/// Expected cut value of a sampled bitstring under the spec's graph.
+double cut_value(const std::vector<std::pair<int, int>>& edges,
+                 std::uint64_t assignment);
+
+}  // namespace cqs::circuits

@@ -1,0 +1,41 @@
+#include "circuits/qft.hpp"
+
+#include <numbers>
+
+#include "common/rng.hpp"
+
+namespace cqs::circuits {
+
+qsim::Circuit qft_circuit(const QftSpec& spec) {
+  qsim::Circuit c(spec.num_qubits);
+  if (spec.random_input) {
+    Rng rng(spec.seed);
+    for (int q = 0; q < spec.num_qubits; ++q) {
+      if (rng.next_bool()) c.x(q);
+    }
+  }
+  for (int i = spec.num_qubits - 1; i >= 0; --i) {
+    c.h(i);
+    for (int j = i - 1; j >= 0; --j) {
+      const double theta =
+          std::numbers::pi / static_cast<double>(1ull << (i - j));
+      c.cphase(j, i, theta);
+    }
+  }
+  if (spec.final_swaps) {
+    for (int q = 0; q < spec.num_qubits / 2; ++q) {
+      c.swap(q, spec.num_qubits - 1 - q);
+    }
+  }
+  return c;
+}
+
+qsim::Circuit hadamard_wall(int num_qubits, int layers) {
+  qsim::Circuit c(num_qubits);
+  for (int layer = 0; layer < layers; ++layer) {
+    for (int q = 0; q < num_qubits; ++q) c.h(q);
+  }
+  return c;
+}
+
+}  // namespace cqs::circuits

@@ -1,0 +1,26 @@
+// Quantum Fourier transform benchmark (Section 5.3): the standard
+// H + controlled-phase ladder + qubit-reversal swaps, preceded by a random
+// X-gate layer as the paper does ("we randomly apply X gate to the initial
+// state as the input").
+#pragma once
+
+#include <cstdint>
+
+#include "qsim/circuit.hpp"
+
+namespace cqs::circuits {
+
+struct QftSpec {
+  int num_qubits = 8;
+  bool random_input = true;    ///< prepend random X layer
+  bool final_swaps = true;     ///< append qubit-reversal swaps
+  std::uint64_t seed = 3;
+};
+
+qsim::Circuit qft_circuit(const QftSpec& spec);
+
+/// Hadamard wall used by the scalability studies (Figures 15/16): `layers`
+/// rounds of H on every qubit.
+qsim::Circuit hadamard_wall(int num_qubits, int layers = 1);
+
+}  // namespace cqs::circuits

@@ -1,0 +1,86 @@
+#include "circuits/supremacy.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cqs::circuits {
+namespace {
+
+using qsim::GateKind;
+
+/// The eight staggered CZ patterns: horizontal / vertical pairs offset by
+/// row/column parity, interleaved so consecutive cycles alternate
+/// orientation (pattern order follows Boixo et al.'s layout).
+std::vector<std::pair<int, int>> cz_pattern(int rows, int cols, int pattern) {
+  auto index = [cols](int r, int c) { return r * cols + c; };
+  std::vector<std::pair<int, int>> edges;
+  const bool horizontal = (pattern % 2) == 0;
+  const int variant = pattern / 2;  // 0..3
+  if (horizontal) {
+    // Edge (r, c)-(r, c+1) where c has the variant's parity, staggered by
+    // row so neighbouring rows do not activate the same columns.
+    for (int r = 0; r < rows; ++r) {
+      const int start = (variant / 2 + r * (variant % 2 == 0 ? 0 : 1)) % 2;
+      for (int c = start; c + 1 < cols; c += 2) {
+        edges.push_back({index(r, c), index(r, c + 1)});
+      }
+    }
+  } else {
+    for (int c = 0; c < cols; ++c) {
+      const int start = (variant / 2 + c * (variant % 2 == 0 ? 0 : 1)) % 2;
+      for (int r = start; r + 1 < rows; r += 2) {
+        edges.push_back({index(r, c), index(r + 1, c)});
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+qsim::Circuit supremacy_circuit(const SupremacySpec& spec) {
+  const int n = spec.rows * spec.cols;
+  if (n < 2) throw std::invalid_argument("supremacy: grid too small");
+  qsim::Circuit c(n);
+  Rng rng(spec.seed);
+
+  for (int q = 0; q < n; ++q) c.h(q);
+
+  // Per-qubit single-gate history for Boixo's rules.
+  std::vector<bool> had_t(n, false);
+  std::vector<GateKind> last_gate(n, GateKind::kH);
+  const GateKind pool[3] = {GateKind::kSqrtX, GateKind::kSqrtY,
+                            GateKind::kSqrtW};
+  // Pattern order interleaves horizontal and vertical configurations.
+  const int order[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+
+  for (int cycle = 0; cycle < spec.depth; ++cycle) {
+    const auto edges =
+        cz_pattern(spec.rows, spec.cols, order[cycle % 8]);
+    std::vector<bool> in_cz(n, false);
+    for (const auto& [a, b] : edges) {
+      c.cz(a, b);
+      in_cz[a] = in_cz[b] = true;
+    }
+    for (int q = 0; q < n; ++q) {
+      if (in_cz[q]) continue;
+      if (!had_t[q]) {
+        c.t(q);
+        had_t[q] = true;
+        last_gate[q] = GateKind::kT;
+        continue;
+      }
+      GateKind pick;
+      do {
+        pick = pool[rng.next_below(3)];
+      } while (pick == last_gate[q]);
+      c.append({pick, q});
+      last_gate[q] = pick;
+    }
+  }
+  return c;
+}
+
+}  // namespace cqs::circuits

@@ -1,0 +1,24 @@
+// Google random circuit sampling benchmark (Boixo et al. [9], Section 5.3).
+// Qubits form a rows x cols grid. After an initial layer of Hadamards, each
+// cycle applies one of eight staggered CZ patterns, and every qubit not
+// touched by a CZ in that cycle receives a random single-qubit gate:
+// T the first time (per Boixo's rules), afterwards uniformly from
+// {sqrt(X), sqrt(Y), sqrt(W)} with no immediate repetition.
+#pragma once
+
+#include <cstdint>
+
+#include "qsim/circuit.hpp"
+
+namespace cqs::circuits {
+
+struct SupremacySpec {
+  int rows = 4;
+  int cols = 4;
+  int depth = 11;          ///< number of CZ cycles (paper runs depth 11)
+  std::uint64_t seed = 11;
+};
+
+qsim::Circuit supremacy_circuit(const SupremacySpec& spec);
+
+}  // namespace cqs::circuits

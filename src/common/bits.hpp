@@ -1,0 +1,94 @@
+// MSB-first bit stream reader/writer used by the entropy coders and the
+// embedded bit-plane coder.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace cqs {
+
+/// Accumulates bits MSB-first into a byte vector.
+class BitWriter {
+ public:
+  explicit BitWriter(Bytes& sink) : sink_(sink) {}
+
+  /// Writes the low `nbits` bits of `value`, most significant first.
+  void write(std::uint64_t value, int nbits) {
+    for (int i = nbits - 1; i >= 0; --i) {
+      write_bit((value >> i) & 1u);
+    }
+  }
+
+  void write_bit(std::uint64_t bit) {
+    accum_ = (accum_ << 1) | (bit & 1u);
+    if (++filled_ == 8) {
+      sink_.push_back(static_cast<std::byte>(accum_));
+      accum_ = 0;
+      filled_ = 0;
+    }
+  }
+
+  /// Pads the final partial byte with zero bits.
+  void flush() {
+    if (filled_ > 0) {
+      sink_.push_back(static_cast<std::byte>(accum_ << (8 - filled_)));
+      accum_ = 0;
+      filled_ = 0;
+    }
+  }
+
+  ~BitWriter() { flush(); }
+
+  BitWriter(const BitWriter&) = delete;
+  BitWriter& operator=(const BitWriter&) = delete;
+
+ private:
+  Bytes& sink_;
+  std::uint64_t accum_ = 0;
+  int filled_ = 0;
+};
+
+/// Reads bits MSB-first from a byte span.
+class BitReader {
+ public:
+  explicit BitReader(ByteSpan data) : data_(data) {}
+
+  std::uint32_t read_bit() {
+    if (pos_ >= data_.size() * 8) {
+      throw std::out_of_range("cqs: bit stream truncated");
+    }
+    const auto byte = static_cast<std::uint8_t>(data_[pos_ >> 3]);
+    const std::uint32_t bit = (byte >> (7 - (pos_ & 7))) & 1u;
+    ++pos_;
+    return bit;
+  }
+
+  std::uint64_t read(int nbits) {
+    std::uint64_t value = 0;
+    for (int i = 0; i < nbits; ++i) value = (value << 1) | read_bit();
+    return value;
+  }
+
+  /// Bits consumed so far.
+  std::size_t position() const { return pos_; }
+
+  /// True when fewer than `nbits` remain.
+  bool exhausted(int nbits = 1) const {
+    return pos_ + static_cast<std::size_t>(nbits) > data_.size() * 8;
+  }
+
+ private:
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+/// Number of leading zero *bytes* of a 64-bit value (big-endian byte order).
+inline int leading_zero_bytes(std::uint64_t x) {
+  if (x == 0) return 8;
+  return std::countl_zero(x) / 8;
+}
+
+}  // namespace cqs

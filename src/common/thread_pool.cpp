@@ -1,0 +1,74 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace cqs {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  {
+    std::lock_guard lock(mutex_);
+    job_.count = count;
+    job_.body = &body;
+    job_.next = 0;
+    job_.done = 0;
+    ++job_.generation;
+  }
+  work_cv_.notify_all();
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return job_.done == job_.count; });
+  job_.body = nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t worker_id) {
+  std::size_t seen_generation = 0;
+  while (true) {
+    std::unique_lock lock(mutex_);
+    work_cv_.wait(lock, [&] {
+      return stop_ || (job_.body != nullptr && job_.generation != seen_generation &&
+                       job_.next < job_.count);
+    });
+    if (stop_) return;
+    const std::size_t generation = job_.generation;
+    // Chunked self-scheduling: grab a slice, run it unlocked, repeat.
+    while (job_.body != nullptr && job_.generation == generation &&
+           job_.next < job_.count) {
+      const std::size_t chunk =
+          std::max<std::size_t>(1, (job_.count - job_.next) /
+                                       (2 * workers_.size() + 1));
+      const std::size_t begin = job_.next;
+      const std::size_t end = std::min(job_.count, begin + chunk);
+      job_.next = end;
+      const auto* body = job_.body;
+      lock.unlock();
+      for (std::size_t i = begin; i < end; ++i) (*body)(i, worker_id);
+      lock.lock();
+      job_.done += end - begin;
+      if (job_.done == job_.count) done_cv_.notify_all();
+    }
+    seen_generation = generation;
+  }
+}
+
+}  // namespace cqs

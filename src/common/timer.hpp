@@ -1,0 +1,89 @@
+// Wall-clock timing and per-phase accumulation. The simulator reports the
+// same breakdown Table 2 does: compression / decompression / communication /
+// computation.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <string_view>
+
+namespace cqs {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// The four phases Table 2 breaks simulation time into.
+enum class Phase : int {
+  kCompression = 0,
+  kDecompression = 1,
+  kCommunication = 2,
+  kComputation = 3,
+};
+
+inline constexpr std::size_t kNumPhases = 4;
+
+inline constexpr std::string_view phase_name(Phase p) {
+  switch (p) {
+    case Phase::kCompression: return "compression";
+    case Phase::kDecompression: return "decompression";
+    case Phase::kCommunication: return "communication";
+    case Phase::kComputation: return "computation";
+  }
+  return "?";
+}
+
+/// Accumulates seconds per phase. One instance per worker thread; merge after.
+class PhaseTimers {
+ public:
+  void add(Phase p, double seconds) {
+    seconds_[static_cast<int>(p)] += seconds;
+  }
+
+  double get(Phase p) const { return seconds_[static_cast<int>(p)]; }
+
+  double total() const {
+    double t = 0.0;
+    for (double s : seconds_) t += s;
+    return t;
+  }
+
+  void merge(const PhaseTimers& other) {
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+      seconds_[i] += other.seconds_[i];
+    }
+  }
+
+ private:
+  std::array<double, kNumPhases> seconds_{};
+};
+
+/// RAII phase timer: adds elapsed time to `timers` on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimers& timers, Phase phase)
+      : timers_(timers), phase_(phase) {}
+  ~ScopedPhase() { timers_.add(phase_, timer_.seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimers& timers_;
+  Phase phase_;
+  WallTimer timer_;
+};
+
+}  // namespace cqs

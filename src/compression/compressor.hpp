@@ -1,0 +1,72 @@
+// The compressor abstraction shared by the lossless stage and all four
+// lossy "Solutions" of Section 4, plus the ZFP/FPZIP baselines. All codecs
+// compress arrays of doubles (a state-vector block is viewed as interleaved
+// re/im doubles) into self-describing byte containers.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace cqs::compression {
+
+/// Error control model (Section 2.3 of the paper).
+enum class BoundMode {
+  kLossless,           ///< exact reconstruction
+  kAbsolute,           ///< |d - d'| <= value
+  kPointwiseRelative,  ///< |d - d'| <= value * |d|
+};
+
+struct ErrorBound {
+  BoundMode mode = BoundMode::kLossless;
+  double value = 0.0;
+
+  static ErrorBound lossless() { return {BoundMode::kLossless, 0.0}; }
+  static ErrorBound absolute(double e) { return {BoundMode::kAbsolute, e}; }
+  static ErrorBound relative(double eps) {
+    return {BoundMode::kPointwiseRelative, eps};
+  }
+};
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True if the codec honors this bound mode.
+  virtual bool supports(BoundMode mode) const = 0;
+
+  /// Compresses `data` under `bound` into a self-describing container.
+  virtual Bytes compress(std::span<const double> data,
+                         const ErrorBound& bound) const = 0;
+
+  /// Decompresses into `out`, which must have the original element count
+  /// (recorded in the container and queryable via element_count).
+  virtual void decompress(ByteSpan compressed,
+                          std::span<double> out) const = 0;
+
+  /// Element count recorded in a container produced by this codec.
+  virtual std::size_t element_count(ByteSpan compressed) const = 0;
+
+  /// Convenience: decompress into a fresh vector.
+  std::vector<double> decompress_to_vector(ByteSpan compressed) const {
+    std::vector<double> out(element_count(compressed));
+    decompress(compressed, out);
+    return out;
+  }
+};
+
+/// Factory over every codec in the repository, keyed by the names used in
+/// the paper's figures: "zstd" (zx lossless), "sz" (Solution A),
+/// "sz-complex" (Solution B), "qzc" (Solution C), "qzc-shuffle" (Solution D),
+/// "zfp", "fpzip".
+std::unique_ptr<Compressor> make_compressor(const std::string& name);
+
+/// All codec names known to make_compressor.
+std::vector<std::string> compressor_names();
+
+}  // namespace cqs::compression

@@ -1,0 +1,32 @@
+// make_compressor: name-keyed factory over every codec in the repository.
+#include <stdexcept>
+
+#include "compression/compressor.hpp"
+#include "compression/zx_codec.hpp"
+#include "fpzip/fpzip.hpp"
+#include "qzc/qzc.hpp"
+#include "sz/sz.hpp"
+#include "zfp/zfp.hpp"
+
+namespace cqs::compression {
+
+std::unique_ptr<Compressor> make_compressor(const std::string& name) {
+  if (name == "zstd") return std::make_unique<ZxCodec>();
+  if (name == "sz") return std::make_unique<sz::SzCodec>();
+  if (name == "sz-complex") {
+    return std::make_unique<sz::SzCodec>(
+        sz::SzConfig{.complex_split = true, .max_bins = 16384});
+  }
+  if (name == "qzc") return std::make_unique<qzc::QzcCodec>(false);
+  if (name == "qzc-shuffle") return std::make_unique<qzc::QzcCodec>(true);
+  if (name == "zfp") return std::make_unique<zfp::ZfpCodec>();
+  if (name == "fpzip") return std::make_unique<fpzip::FpzipCodec>();
+  throw std::invalid_argument("make_compressor: unknown codec '" + name +
+                              "'");
+}
+
+std::vector<std::string> compressor_names() {
+  return {"zstd", "sz", "sz-complex", "qzc", "qzc-shuffle", "zfp", "fpzip"};
+}
+
+}  // namespace cqs::compression

@@ -1,0 +1,66 @@
+#include "compression/verify.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace cqs::compression {
+
+ErrorReport measure_error(std::span<const double> original,
+                          std::span<const double> decompressed) {
+  if (original.size() != decompressed.size()) {
+    throw std::invalid_argument("measure_error: size mismatch");
+  }
+  ErrorReport report;
+  std::vector<double> errors;
+  errors.reserve(original.size());
+  double abs_sum = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double err = original[i] - decompressed[i];
+    errors.push_back(err);
+    const double abs_err = std::abs(err);
+    abs_sum += abs_err;
+    report.max_absolute = std::max(report.max_absolute, abs_err);
+    if (original[i] != 0.0) {
+      report.max_pointwise_relative = std::max(
+          report.max_pointwise_relative, abs_err / std::abs(original[i]));
+    }
+  }
+  report.mean_absolute =
+      original.empty() ? 0.0
+                       : abs_sum / static_cast<double>(original.size());
+  report.error_autocorrelation = autocorrelation(errors, 1);
+  return report;
+}
+
+std::vector<double> signed_errors(std::span<const double> original,
+                                  std::span<const double> decompressed) {
+  if (original.size() != decompressed.size()) {
+    throw std::invalid_argument("signed_errors: size mismatch");
+  }
+  std::vector<double> errors(original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    errors[i] = original[i] - decompressed[i];
+  }
+  return errors;
+}
+
+std::vector<double> normalized_relative_errors(
+    std::span<const double> original, std::span<const double> decompressed,
+    double bound) {
+  if (original.size() != decompressed.size()) {
+    throw std::invalid_argument("normalized_relative_errors: size mismatch");
+  }
+  std::vector<double> out;
+  out.reserve(original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (original[i] == 0.0) continue;
+    double rel = (original[i] - decompressed[i]) / std::abs(original[i]);
+    if (bound > 0.0) rel /= bound;
+    out.push_back(rel);
+  }
+  return out;
+}
+
+}  // namespace cqs::compression

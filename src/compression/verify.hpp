@@ -1,0 +1,33 @@
+// Post-hoc error measurement between original and decompressed arrays:
+// used by tests (bound enforcement) and the Figure 12/14 benches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace cqs::compression {
+
+struct ErrorReport {
+  double max_absolute = 0.0;
+  double max_pointwise_relative = 0.0;  ///< over elements with |orig| > 0
+  double mean_absolute = 0.0;
+  /// Lag-1 autocorrelation of the signed error series (paper: ~[-1e-4,1e-4]
+  /// for Solution C on dense data).
+  double error_autocorrelation = 0.0;
+};
+
+ErrorReport measure_error(std::span<const double> original,
+                          std::span<const double> decompressed);
+
+/// Signed pointwise errors (orig - decompressed), for CDF plots.
+std::vector<double> signed_errors(std::span<const double> original,
+                                  std::span<const double> decompressed);
+
+/// Pointwise relative errors |orig-dec|/|orig| over nonzero originals,
+/// normalized by `bound` if bound > 0 (Figure 14 plots these in [-1, 1],
+/// signed).
+std::vector<double> normalized_relative_errors(
+    std::span<const double> original, std::span<const double> decompressed,
+    double bound);
+
+}  // namespace cqs::compression

@@ -1,0 +1,30 @@
+#include "compression/zx_codec.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "lossless/zx.hpp"
+
+namespace cqs::compression {
+
+Bytes ZxCodec::compress(std::span<const double> data,
+                        const ErrorBound& bound) const {
+  if (bound.mode != BoundMode::kLossless) {
+    throw std::invalid_argument("ZxCodec is lossless only");
+  }
+  return lossless::zx_compress(as_bytes_span(data));
+}
+
+void ZxCodec::decompress(ByteSpan compressed, std::span<double> out) const {
+  const Bytes raw = lossless::zx_decompress(compressed);
+  if (raw.size() != out.size_bytes()) {
+    throw std::runtime_error("ZxCodec: output size mismatch");
+  }
+  std::memcpy(out.data(), raw.data(), raw.size());
+}
+
+std::size_t ZxCodec::element_count(ByteSpan compressed) const {
+  return lossless::zx_original_size(compressed) / sizeof(double);
+}
+
+}  // namespace cqs::compression

@@ -1,0 +1,48 @@
+// Configuration of the compressed-state simulator.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cqs::core {
+
+struct SimConfig {
+  int num_qubits = 8;
+
+  /// Logical MPI-style ranks (power of two). The state vector is divided
+  /// equally across ranks (Section 3.1).
+  int num_ranks = 1;
+
+  /// Compressed blocks per rank (power of two). The paper uses blocks of
+  /// 2^20 amplitudes (16 MB); at reduced qubit counts we use more, smaller
+  /// blocks so the blocking machinery is still exercised.
+  int blocks_per_rank = 4;
+
+  /// Lossy codec name (make_compressor key): "qzc" (Solution C, the
+  /// paper's default), "qzc-shuffle" (D), "sz" (A), "sz-complex" (B),
+  /// "zfp", "fpzip". "zstd" forces a lossless-only simulation.
+  std::string codec = "qzc";
+
+  /// Error-bound ladder (Section 3.7): level 0 is lossless Zstd; level k
+  /// compresses with pointwise relative bound ladder[k-1]. Whenever the
+  /// memory budget is exceeded the level escalates to the next entry.
+  std::vector<double> error_ladder = {1e-5, 1e-4, 1e-3, 1e-2, 1e-1};
+
+  /// Total bytes the compressed state may occupy (the sum term of Eq. 8,
+  /// excluding scratch). 0 = unlimited (stay lossless).
+  std::size_t memory_budget_bytes = 0;
+
+  /// Ladder level to start at (0 = lossless-first hybrid, the paper's
+  /// default; >0 starts lossy, used by some ablations).
+  int initial_level = 0;
+
+  /// Worker threads (0 = hardware concurrency).
+  int threads = 0;
+
+  /// Compressed block cache (Section 3.4).
+  bool enable_cache = true;
+  std::size_t cache_lines = 64;
+};
+
+}  // namespace cqs::core

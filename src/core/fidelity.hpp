@@ -1,0 +1,35 @@
+// Fidelity lower-bound tracking (Section 3.8): each lossy compression with
+// pointwise relative bound delta multiplies the bound on
+// |<psi_ideal|psi_sim>| by (1 - delta); combining all gates gives
+// F >= prod_i (1 - delta_i) (Eq. 11).
+#pragma once
+
+#include <cstdint>
+
+namespace cqs::core {
+
+class FidelityTracker {
+ public:
+  /// Records one lossy compression pass applied during gate execution.
+  void record_lossy_pass(double delta) {
+    bound_ *= (1.0 - delta);
+    ++lossy_passes_;
+  }
+
+  double bound() const { return bound_; }
+  std::uint64_t lossy_passes() const { return lossy_passes_; }
+
+  /// Analytic helper for Figure 6: the bound after `gates` gates all at
+  /// error level `delta`.
+  static double bound_after(std::uint64_t gates, double delta) {
+    double f = 1.0;
+    for (std::uint64_t i = 0; i < gates; ++i) f *= (1.0 - delta);
+    return f;
+  }
+
+ private:
+  double bound_ = 1.0;
+  std::uint64_t lossy_passes_ = 0;
+};
+
+}  // namespace cqs::core

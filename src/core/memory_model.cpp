@@ -1,0 +1,66 @@
+#include "core/memory_model.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace cqs::core {
+
+std::uint64_t memory_required_bytes(int num_qubits) {
+  if (num_qubits < 0 || num_qubits > 59) {
+    throw std::invalid_argument(
+        "memory_required_bytes: 2^{n+4} overflows uint64 beyond n = 59");
+  }
+  return std::uint64_t{1} << (num_qubits + 4);
+}
+
+int max_qubits_for_memory(std::uint64_t memory_bytes) {
+  return max_qubits_with_compression(memory_bytes, 1.0);
+}
+
+int max_qubits_with_compression(std::uint64_t memory_bytes, double ratio) {
+  if (!(ratio >= 1.0)) {
+    throw std::invalid_argument("compression ratio must be >= 1");
+  }
+  if (memory_bytes < 16) return 0;
+  // Largest n with 2^{n+4} <= memory * ratio; computed in log space so
+  // compressed capacities beyond 2^64 bytes (e.g. Grover's 7e4x on a PB
+  // machine) are still representable.
+  const double effective_log2 = std::log2(static_cast<double>(memory_bytes)) +
+                                std::log2(ratio);
+  const int n = static_cast<int>(std::floor(effective_log2 + 1e-9)) - 4;
+  return std::max(n, 0);
+}
+
+std::vector<MachineRow> table1_machines(double compression_ratio) {
+  // Memory capacities from Table 1 (petabytes).
+  const std::pair<const char*, double> machines[] = {
+      {"Summit", 2.8},
+      {"Sierra", 1.38},
+      {"Sunway TaihuLight", 1.31},
+      {"Theta", 0.8},
+  };
+  std::vector<MachineRow> rows;
+  for (const auto& [name, pb] : machines) {
+    const auto bytes = static_cast<std::uint64_t>(pb * 1e15);
+    rows.push_back({name, pb, max_qubits_for_memory(bytes),
+                    max_qubits_with_compression(bytes, compression_ratio)});
+  }
+  return rows;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB", "EB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 6) {
+    value /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os.precision(value < 10 ? 2 : (value < 100 ? 1 : 0));
+  os << std::fixed << value << ' ' << units[unit];
+  return os.str();
+}
+
+}  // namespace cqs::core

@@ -1,0 +1,37 @@
+// The paper's memory arithmetic: a full n-qubit state needs 2^{n+4} bytes
+// (2^n double-precision complex amplitudes), so a machine with M bytes
+// simulates at most floor(log2 M) - 4 qubits without compression (Table 1)
+// and gains log2(ratio) qubits with a compression ratio (Section 5.5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cqs::core {
+
+/// Bytes required for the uncompressed full state of n qubits: 2^{n+4}.
+std::uint64_t memory_required_bytes(int num_qubits);
+
+/// Largest n with 2^{n+4} <= memory_bytes.
+int max_qubits_for_memory(std::uint64_t memory_bytes);
+
+/// Largest n simulable when the state compresses by `ratio` on average.
+int max_qubits_with_compression(std::uint64_t memory_bytes, double ratio);
+
+/// One row of Table 1 (plus the Section 5.5 projection column).
+struct MachineRow {
+  std::string name;
+  double memory_petabytes;
+  int max_qubits;                 ///< uncompressed (Table 1)
+  int max_qubits_compressed;      ///< with the given ratio (Section 5.5)
+};
+
+/// Table 1's machines evaluated at a compression ratio (use ratio = 1 for
+/// the plain table).
+std::vector<MachineRow> table1_machines(double compression_ratio = 1.0);
+
+/// Pretty-prints bytes as B/KB/MB/GB/TB/PB/EB with 3 significant digits.
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace cqs::core

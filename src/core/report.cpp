@@ -1,0 +1,56 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "core/memory_model.hpp"
+
+namespace cqs::core {
+
+double SimulationReport::phase_fraction(Phase p) const {
+  const double total = phases.total();
+  return total == 0.0 ? 0.0 : phases.get(p) / total;
+}
+
+void SimulationReport::print(std::ostream& os) const {
+  const auto pct = [&](Phase p) {
+    return phase_fraction(p) * 100.0;
+  };
+  os << std::fixed << std::setprecision(2);
+  os << "qubits:              " << num_qubits << "\n"
+     << "ranks x blocks:      " << num_ranks << " x " << blocks_per_rank
+     << "\n"
+     << "codec:               " << codec << "\n"
+     << "gates:               " << gates << "\n"
+     << "memory requirement:  " << format_bytes(memory_requirement_bytes)
+     << "\n"
+     << "peak compressed:     " << format_bytes(peak_compressed_bytes)
+     << " (+" << format_bytes(scratch_bytes) << " scratch)\n";
+  if (budget_bytes > 0) {
+    os << "memory budget:       " << format_bytes(budget_bytes)
+       << (budget_exceeded ? "  [EXCEEDED]" : "") << "\n";
+  }
+  os << "total time:          " << total_seconds << " s\n"
+     << "  compression:       " << pct(Phase::kCompression) << " %\n"
+     << "  decompression:     " << pct(Phase::kDecompression) << " %\n"
+     << "  communication:     " << pct(Phase::kCommunication) << " %\n"
+     << "  computation:       " << pct(Phase::kComputation) << " %\n"
+     << "time per gate:       " << std::setprecision(6)
+     << seconds_per_gate() << " s\n"
+     << std::setprecision(4) << "fidelity bound:      " << fidelity_bound
+     << " (" << lossy_passes << " lossy passes, final level "
+     << final_ladder_level << ")\n"
+     << std::setprecision(2) << "min compression:     "
+     << min_compression_ratio << "x\n"
+     << "communication:       " << format_bytes(comm_bytes) << " in "
+     << comm_messages << " messages\n"
+     << "cache:               " << cache.hits << " hits / " << cache.misses
+     << " misses" << (cache.disabled ? " (disabled)" : "") << "\n";
+}
+
+std::ostream& operator<<(std::ostream& os, const SimulationReport& report) {
+  report.print(os);
+  return os;
+}
+
+}  // namespace cqs::core

@@ -1,0 +1,64 @@
+// SimulationReport: everything Table 2 prints for one run — memory
+// requirement vs. used, time breakdown by phase, time per gate, fidelity
+// lower bound, and the minimum compression ratio observed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "common/timer.hpp"
+#include "runtime/block_cache.hpp"
+
+namespace cqs::core {
+
+struct SimulationReport {
+  // Configuration echoes.
+  int num_qubits = 0;
+  int num_ranks = 0;
+  int blocks_per_rank = 0;
+  std::string codec;
+
+  // Workload.
+  std::uint64_t gates = 0;
+
+  // Timing.
+  double total_seconds = 0.0;
+  PhaseTimers phases;  ///< summed across workers (>= wall time when parallel)
+
+  // Memory.
+  std::uint64_t memory_requirement_bytes = 0;  ///< 2^{n+4}, uncompressed
+  std::size_t peak_compressed_bytes = 0;       ///< max over gates of Eq. 8 sum
+  std::size_t scratch_bytes = 0;               ///< decompression buffers
+  std::size_t budget_bytes = 0;                ///< 0 = unlimited
+  bool budget_exceeded = false;  ///< over budget even at the last ladder level
+
+  // Compression.
+  double min_compression_ratio = 0.0;  ///< min over gates (Table 2 last row)
+  int final_ladder_level = 0;          ///< 0 = still lossless
+
+  // Fidelity.
+  double fidelity_bound = 1.0;
+  std::uint64_t lossy_passes = 0;
+
+  // Communication (cross-rank gates only).
+  std::uint64_t comm_bytes = 0;
+  std::uint64_t comm_messages = 0;
+
+  runtime::CacheStats cache;
+
+  double seconds_per_gate() const {
+    return gates == 0 ? 0.0 : total_seconds / static_cast<double>(gates);
+  }
+
+  /// Fraction of summed phase time spent in `p` (the percentage rows of
+  /// Table 2).
+  double phase_fraction(Phase p) const;
+
+  /// Table 2-style one-run summary.
+  void print(std::ostream& os) const;
+};
+
+std::ostream& operator<<(std::ostream& os, const SimulationReport& report);
+
+}  // namespace cqs::core

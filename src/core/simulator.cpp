@@ -1,0 +1,801 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <complex>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/memory_model.hpp"
+#include "runtime/checkpoint.hpp"
+
+namespace cqs::core {
+
+using compression::ErrorBound;
+using qsim::Amplitude;
+using qsim::GateKind;
+using qsim::GateOp;
+using qsim::Mat2;
+using runtime::Partition;
+
+namespace {
+
+
+inline std::complex<double>* as_complex(std::span<double> raw) {
+  return reinterpret_cast<std::complex<double>*>(raw.data());
+}
+
+}  // namespace
+
+/// Resolved routing of one gate against the partition: where the target
+/// and each control fall (Figure 3's three segments), the materialized
+/// unitary, and the cache-key descriptor.
+struct CompressedStateSimulator::GateRouting {
+  GateOp op;
+  Mat2 m{};
+  bool diagonal = false;
+  Partition::Segment target_segment = Partition::Segment::kOffset;
+  int target_local_bit = 0;
+  std::uint64_t offset_ctrl_mask = 0;
+  int block_ctrl_mask = 0;
+  int rank_ctrl_mask = 0;
+  int level = 0;
+  Bytes descriptor;
+  /// Count of blocks recompressed during this gate (shared across workers).
+  mutable std::atomic<std::uint64_t> blocks_compressed{0};
+};
+
+CompressedStateSimulator::CompressedStateSimulator(SimConfig config)
+    : config_(std::move(config)),
+      partition_(runtime::make_partition(config_.num_qubits,
+                                         config_.num_ranks,
+                                         config_.blocks_per_rank)) {
+  lossless_ = compression::make_compressor("zstd");
+  if (config_.codec != "zstd") {
+    lossy_ = compression::make_compressor(config_.codec);
+    if (!lossy_->supports(compression::BoundMode::kPointwiseRelative)) {
+      throw std::invalid_argument(
+          "simulator: codec must support pointwise relative bounds");
+    }
+  }
+  for (double eps : config_.error_ladder) {
+    if (!(eps > 0.0) || !(eps < 1.0)) {
+      throw std::invalid_argument("simulator: ladder bounds must be in (0,1)");
+    }
+  }
+  if (!std::is_sorted(config_.error_ladder.begin(),
+                      config_.error_ladder.end())) {
+    throw std::invalid_argument(
+        "simulator: error ladder must be sorted ascending (tight to loose)");
+  }
+  level_ = std::clamp(config_.initial_level, 0,
+                      static_cast<int>(config_.error_ladder.size()));
+  if (level_ > 0 && lossy_ == nullptr) {
+    throw std::invalid_argument(
+        "simulator: lossless codec cannot start at a lossy level");
+  }
+
+  const std::size_t threads =
+      config_.threads > 0 ? static_cast<std::size_t>(config_.threads) : 0;
+  pool_ = std::make_unique<ThreadPool>(threads);
+  worker_timers_.resize(pool_->size());
+  scratch_ = std::make_unique<runtime::ScratchArena>(
+      pool_->size(), partition_.doubles_per_block());
+  comm_ = std::make_unique<runtime::Comm>(partition_.num_ranks());
+  ranks_.assign(partition_.num_ranks(),
+                runtime::BlockStore(partition_.blocks_per_rank()));
+  for (int r = 0; r < partition_.num_ranks(); ++r) {
+    caches_.push_back(std::make_unique<runtime::BlockCache>(
+        config_.enable_cache ? config_.cache_lines : 0));
+  }
+  init_blocks();
+}
+
+void CompressedStateSimulator::init_blocks() {
+  // |0...0>: amplitude (1,0) lives at offset 0 of block 0 of rank 0; every
+  // other block is all zeros and shares one compressed payload.
+  std::vector<double> zeros(partition_.doubles_per_block(), 0.0);
+  const Bytes zero_block = compress_block(zeros, level_, worker_timers_[0]);
+  zeros[0] = 1.0;
+  const Bytes one_block = compress_block(zeros, level_, worker_timers_[0]);
+
+  const auto meta =
+      runtime::BlockMeta{static_cast<std::uint8_t>(level_)};
+  for (int r = 0; r < partition_.num_ranks(); ++r) {
+    for (int b = 0; b < partition_.blocks_per_rank(); ++b) {
+      ranks_[r].set_block(b, (r == 0 && b == 0) ? one_block : zero_block,
+                          meta);
+    }
+  }
+}
+
+Bytes CompressedStateSimulator::compress_block(std::span<const double> data,
+                                               int level,
+                                               PhaseTimers& timers) const {
+  ScopedPhase phase(timers, Phase::kCompression);
+  if (level == 0) {
+    return lossless_->compress(data, ErrorBound::lossless());
+  }
+  return lossy_->compress(
+      data, ErrorBound::relative(config_.error_ladder[level - 1]));
+}
+
+void CompressedStateSimulator::decompress_block(int rank, int block,
+                                                std::span<double> out,
+                                                PhaseTimers& timers) const {
+  ScopedPhase phase(timers, Phase::kDecompression);
+  const auto& store = ranks_[rank];
+  if (store.meta(block).level == 0) {
+    lossless_->decompress(store.block(block), out);
+  } else {
+    lossy_->decompress(store.block(block), out);
+  }
+}
+
+void CompressedStateSimulator::apply(const GateOp& op) {
+  WallTimer timer;
+  apply_impl(op);
+  ++gates_;
+  note_gate_finished(timer.seconds());
+}
+
+void CompressedStateSimulator::apply_circuit(const qsim::Circuit& circuit) {
+  if (circuit.num_qubits() != config_.num_qubits) {
+    throw std::invalid_argument("apply_circuit: qubit count mismatch");
+  }
+  const auto& ops = circuit.ops();
+  for (std::uint64_t i = gate_cursor_; i < ops.size(); ++i) {
+    apply(ops[i]);
+    gate_cursor_ = i + 1;
+  }
+}
+
+void CompressedStateSimulator::apply_impl(const GateOp& op) {
+  if (op.kind == GateKind::kSwap) {
+    // SWAP = CX(a,b) CX(b,a) CX(a,b); reuses the pairing machinery.
+    const int a = op.target;
+    const int b = op.controls[0];
+    apply_impl({GateKind::kCX, b, {a, -1}});
+    apply_impl({GateKind::kCX, a, {b, -1}});
+    apply_impl({GateKind::kCX, b, {a, -1}});
+    return;
+  }
+
+  GateRouting routing;
+  routing.op = op;
+  routing.m = qsim::gate_matrix(op);
+  routing.diagonal = qsim::is_diagonal(op.kind);
+  routing.target_segment = partition_.segment_of(op.target);
+  routing.target_local_bit = partition_.local_bit(op.target);
+  routing.level = level_;
+  for (int c : op.controls) {
+    if (c < 0) continue;
+    switch (partition_.segment_of(c)) {
+      case Partition::Segment::kOffset:
+        routing.offset_ctrl_mask |= std::uint64_t{1} << partition_.local_bit(c);
+        break;
+      case Partition::Segment::kBlock:
+        routing.block_ctrl_mask |= 1 << partition_.local_bit(c);
+        break;
+      case Partition::Segment::kRank:
+        routing.rank_ctrl_mask |= 1 << partition_.local_bit(c);
+        break;
+    }
+  }
+  // Cache-key descriptor: gate identity + placement + compression level.
+  routing.descriptor.push_back(static_cast<std::byte>(op.kind));
+  put_varint(routing.descriptor, static_cast<std::uint64_t>(op.target));
+  put_varint(routing.descriptor,
+             static_cast<std::uint64_t>(op.controls[0] + 1));
+  put_varint(routing.descriptor,
+             static_cast<std::uint64_t>(op.controls[1] + 1));
+  for (double p : op.params) put_scalar(routing.descriptor, p);
+  routing.descriptor.push_back(static_cast<std::byte>(routing.level));
+
+  if (routing.diagonal) {
+    run_diagonal(routing);
+  } else {
+    switch (routing.target_segment) {
+      case Partition::Segment::kOffset: run_offset_target(routing); break;
+      case Partition::Segment::kBlock: run_block_target(routing); break;
+      case Partition::Segment::kRank: run_rank_target(routing); break;
+    }
+  }
+
+  if (routing.blocks_compressed.load() > 0 && level_ > 0) {
+    fidelity_.record_lossy_pass(config_.error_ladder[level_ - 1]);
+  }
+}
+
+bool CompressedStateSimulator::controls_satisfied_block(
+    const GateRouting& routing, int rank, int block) const {
+  return (rank & routing.rank_ctrl_mask) == routing.rank_ctrl_mask &&
+         (block & routing.block_ctrl_mask) == routing.block_ctrl_mask;
+}
+
+void CompressedStateSimulator::run_offset_target(const GateRouting& routing) {
+  std::vector<std::pair<int, int>> units;
+  for (int r = 0; r < partition_.num_ranks(); ++r) {
+    for (int b = 0; b < partition_.blocks_per_rank(); ++b) {
+      if (controls_satisfied_block(routing, r, b)) units.emplace_back(r, b);
+    }
+  }
+  pool_->parallel_for(units.size(), [&](std::size_t i, std::size_t worker) {
+    process_single(routing, units[i].first, units[i].second, worker, 0);
+  });
+}
+
+void CompressedStateSimulator::run_block_target(const GateRouting& routing) {
+  const int tb = routing.target_local_bit;
+  std::vector<std::pair<int, int>> units;  // (rank, block with target bit 0)
+  for (int r = 0; r < partition_.num_ranks(); ++r) {
+    if ((r & routing.rank_ctrl_mask) != routing.rank_ctrl_mask) continue;
+    for (int b = 0; b < partition_.blocks_per_rank(); ++b) {
+      if ((b >> tb) & 1) continue;
+      if ((b & routing.block_ctrl_mask) != routing.block_ctrl_mask) continue;
+      units.emplace_back(r, b);
+    }
+  }
+  pool_->parallel_for(units.size(), [&](std::size_t i, std::size_t worker) {
+    const auto [r, b0] = units[i];
+    process_pair(routing, r, b0, r, b0 | (1 << tb), worker);
+  });
+}
+
+void CompressedStateSimulator::run_rank_target(const GateRouting& routing) {
+  const int tb = routing.target_local_bit;
+  std::vector<std::pair<int, int>> units;  // (rank with target bit 0, block)
+  for (int r = 0; r < partition_.num_ranks(); ++r) {
+    if ((r >> tb) & 1) continue;
+    if ((r & routing.rank_ctrl_mask) != routing.rank_ctrl_mask) continue;
+    for (int b = 0; b < partition_.blocks_per_rank(); ++b) {
+      if ((b & routing.block_ctrl_mask) != routing.block_ctrl_mask) continue;
+      units.emplace_back(r, b);
+    }
+  }
+  pool_->parallel_for(units.size(), [&](std::size_t i, std::size_t worker) {
+    const auto [r0, b] = units[i];
+    process_pair(routing, r0, b, r0 | (1 << tb), b, worker);
+  });
+}
+
+void CompressedStateSimulator::run_diagonal(const GateRouting& routing) {
+  // Diagonal gates never mix amplitude pairs, so every unit is a single
+  // block regardless of which segment the target lives in. Blocks whose
+  // diagonal factor is exactly 1 are skipped without decompression.
+  const Amplitude one(1.0, 0.0);
+  std::vector<std::pair<int, int>> units;
+  for (int r = 0; r < partition_.num_ranks(); ++r) {
+    for (int b = 0; b < partition_.blocks_per_rank(); ++b) {
+      if (!controls_satisfied_block(routing, r, b)) continue;
+      if (routing.target_segment == Partition::Segment::kBlock) {
+        const int bit = (b >> routing.target_local_bit) & 1;
+        if ((bit ? routing.m.u11 : routing.m.u00) == one) continue;
+      } else if (routing.target_segment == Partition::Segment::kRank) {
+        const int bit = (r >> routing.target_local_bit) & 1;
+        if ((bit ? routing.m.u11 : routing.m.u00) == one) continue;
+      } else if (routing.m.u00 == one && routing.m.u11 == one) {
+        continue;  // identity
+      }
+      units.emplace_back(r, b);
+    }
+  }
+  pool_->parallel_for(units.size(), [&](std::size_t i, std::size_t worker) {
+    const auto [r, b] = units[i];
+    // The diagonal factor is selected by the target bit of the unit's
+    // block/rank index; make that selection part of the cache identity.
+    std::uint64_t salt = 0;
+    if (routing.target_segment == Partition::Segment::kBlock) {
+      salt = 1 + ((static_cast<unsigned>(b) >> routing.target_local_bit) & 1);
+    } else if (routing.target_segment == Partition::Segment::kRank) {
+      salt = 1 + ((static_cast<unsigned>(r) >> routing.target_local_bit) & 1);
+    }
+    process_single(routing, r, b, worker, salt);
+  });
+}
+
+void CompressedStateSimulator::process_single(const GateRouting& routing,
+                                              int rank, int block,
+                                              std::size_t worker,
+                                              std::uint64_t unit_salt) {
+  auto& store = ranks_[rank];
+  auto& timers = worker_timers_[worker];
+  runtime::BlockCache* cache =
+      config_.enable_cache ? caches_[rank].get() : nullptr;
+  std::uint64_t key = 0;
+  if (cache != nullptr && cache->enabled()) {
+    key = fnv1a_u64(unit_salt,
+                    runtime::BlockCache::make_key(routing.descriptor,
+                                                  store.block(block), {}));
+    Bytes out1;
+    Bytes out2;
+    if (cache->lookup(key, out1, out2)) {
+      store.set_block(block, std::move(out1),
+                      {static_cast<std::uint8_t>(routing.level)});
+      routing.blocks_compressed.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+
+  auto vx = scratch_->vector_x(worker);
+  decompress_block(rank, block, vx, timers);
+  {
+    ScopedPhase phase(timers, Phase::kComputation);
+    auto* amps = as_complex(vx);
+    const std::uint64_t count = partition_.amplitudes_per_block();
+    const std::uint64_t ctrl = routing.offset_ctrl_mask;
+    if (routing.diagonal) {
+      if (routing.target_segment == Partition::Segment::kOffset) {
+        const std::uint64_t bit = std::uint64_t{1}
+                                  << routing.target_local_bit;
+        for (std::uint64_t i = 0; i < count; ++i) {
+          if ((i & ctrl) != ctrl) continue;
+          amps[i] *= (i & bit) ? routing.m.u11 : routing.m.u00;
+        }
+      } else {
+        const int index = routing.target_segment == Partition::Segment::kBlock
+                              ? block
+                              : rank;
+        const Amplitude factor =
+            ((index >> routing.target_local_bit) & 1) ? routing.m.u11
+                                                      : routing.m.u00;
+        for (std::uint64_t i = 0; i < count; ++i) {
+          if ((i & ctrl) != ctrl) continue;
+          amps[i] *= factor;
+        }
+      }
+    } else {
+      // Non-diagonal with target in the offset segment: classic strided
+      // pairs within the block (Figure 1).
+      const std::uint64_t stride = std::uint64_t{1}
+                                   << routing.target_local_bit;
+      for (std::uint64_t base = 0; base < count; base += 2 * stride) {
+        for (std::uint64_t i = base; i < base + stride; ++i) {
+          if ((i & ctrl) != ctrl) continue;
+          const Amplitude a0 = amps[i];
+          const Amplitude a1 = amps[i + stride];
+          amps[i] = routing.m.u00 * a0 + routing.m.u01 * a1;
+          amps[i + stride] = routing.m.u10 * a0 + routing.m.u11 * a1;
+        }
+      }
+    }
+  }
+  Bytes compressed = compress_block(vx, routing.level, timers);
+  if (cache != nullptr && cache->enabled()) {
+    cache->insert(key, compressed, {});
+  }
+  store.set_block(block, std::move(compressed),
+                  {static_cast<std::uint8_t>(routing.level)});
+  routing.blocks_compressed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CompressedStateSimulator::process_pair(const GateRouting& routing,
+                                            int rank_a, int block_a,
+                                            int rank_b, int block_b,
+                                            std::size_t worker) {
+  auto& store_a = ranks_[rank_a];
+  auto& store_b = ranks_[rank_b];
+  auto& timers = worker_timers_[worker];
+  const bool cross_rank = rank_a != rank_b;
+
+  if (cross_rank) {
+    // Pull the partner's compressed block over the wire (Section 3.3).
+    ScopedPhase phase(timers, Phase::kCommunication);
+    comm_->transfer(rank_b, rank_a, store_b.block(block_b));
+  }
+
+  runtime::BlockCache* cache =
+      config_.enable_cache ? caches_[rank_a].get() : nullptr;
+  std::uint64_t key = 0;
+  bool hit = false;
+  if (cache != nullptr && cache->enabled()) {
+    key = runtime::BlockCache::make_key(
+        routing.descriptor, store_a.block(block_a), store_b.block(block_b));
+    Bytes out1;
+    Bytes out2;
+    if (cache->lookup(key, out1, out2)) {
+      store_a.set_block(block_a, std::move(out1),
+                        {static_cast<std::uint8_t>(routing.level)});
+      store_b.set_block(block_b, std::move(out2),
+                        {static_cast<std::uint8_t>(routing.level)});
+      routing.blocks_compressed.fetch_add(2, std::memory_order_relaxed);
+      hit = true;
+    }
+  }
+
+  if (!hit) {
+    auto vx = scratch_->vector_x(worker);
+    auto vy = scratch_->vector_y(worker);
+    decompress_block(rank_a, block_a, vx, timers);
+    decompress_block(rank_b, block_b, vy, timers);
+    {
+      ScopedPhase phase(timers, Phase::kComputation);
+      auto* a0 = as_complex(vx);
+      auto* a1 = as_complex(vy);
+      const std::uint64_t count = partition_.amplitudes_per_block();
+      const std::uint64_t ctrl = routing.offset_ctrl_mask;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        if ((i & ctrl) != ctrl) continue;
+        const Amplitude x = a0[i];
+        const Amplitude y = a1[i];
+        a0[i] = routing.m.u00 * x + routing.m.u01 * y;
+        a1[i] = routing.m.u10 * x + routing.m.u11 * y;
+      }
+    }
+    Bytes ca = compress_block(vx, routing.level, timers);
+    Bytes cb = compress_block(vy, routing.level, timers);
+    if (cache != nullptr && cache->enabled()) cache->insert(key, ca, cb);
+    store_a.set_block(block_a, std::move(ca),
+                      {static_cast<std::uint8_t>(routing.level)});
+    store_b.set_block(block_b, std::move(cb),
+                      {static_cast<std::uint8_t>(routing.level)});
+    routing.blocks_compressed.fetch_add(2, std::memory_order_relaxed);
+  }
+
+  if (cross_rank) {
+    // Push the partner's updated block back.
+    ScopedPhase phase(timers, Phase::kCommunication);
+    comm_->transfer(rank_a, rank_b, store_b.block(block_b));
+  }
+}
+
+void CompressedStateSimulator::note_gate_finished(double gate_seconds) {
+  wall_seconds_ += gate_seconds;
+  peak_bytes_ = std::max(peak_bytes_, compressed_bytes());
+  enforce_budget();
+  peak_bytes_ = std::max(peak_bytes_, compressed_bytes());
+  const double ratio = compression_ratio();
+  min_ratio_ = min_ratio_ == 0.0 ? ratio : std::min(min_ratio_, ratio);
+}
+
+void CompressedStateSimulator::enforce_budget() {
+  const std::size_t budget = config_.memory_budget_bytes;
+  if (budget == 0) return;
+  while (compressed_bytes() > budget &&
+         level_ < static_cast<int>(config_.error_ladder.size()) &&
+         lossy_ != nullptr) {
+    ++level_;
+    recompress_all(level_);
+    fidelity_.record_lossy_pass(config_.error_ladder[level_ - 1]);
+  }
+  if (compressed_bytes() > budget) budget_exceeded_ = true;
+}
+
+void CompressedStateSimulator::recompress_all(int new_level) {
+  const std::size_t total_blocks =
+      static_cast<std::size_t>(partition_.num_ranks()) *
+      partition_.blocks_per_rank();
+  pool_->parallel_for(total_blocks, [&](std::size_t i, std::size_t worker) {
+    const int rank = static_cast<int>(i) / partition_.blocks_per_rank();
+    const int block = static_cast<int>(i) % partition_.blocks_per_rank();
+    auto vx = scratch_->vector_x(worker);
+    decompress_block(rank, block, vx, worker_timers_[worker]);
+    Bytes compressed =
+        compress_block(vx, new_level, worker_timers_[worker]);
+    ranks_[rank].set_block(block, std::move(compressed),
+                           {static_cast<std::uint8_t>(new_level)});
+  });
+}
+
+double CompressedStateSimulator::probability_one(int qubit) {
+  if (qubit < 0 || qubit >= config_.num_qubits) {
+    throw std::out_of_range("probability_one: bad qubit");
+  }
+  const auto segment = partition_.segment_of(qubit);
+  const int local = partition_.local_bit(qubit);
+  std::vector<double> partials(pool_->size(), 0.0);
+
+  std::vector<std::pair<int, int>> units;
+  for (int r = 0; r < partition_.num_ranks(); ++r) {
+    if (segment == Partition::Segment::kRank && ((r >> local) & 1) == 0) {
+      continue;
+    }
+    for (int b = 0; b < partition_.blocks_per_rank(); ++b) {
+      if (segment == Partition::Segment::kBlock && ((b >> local) & 1) == 0) {
+        continue;
+      }
+      units.emplace_back(r, b);
+    }
+  }
+  pool_->parallel_for(units.size(), [&](std::size_t i, std::size_t worker) {
+    auto vx = scratch_->vector_x(worker);
+    decompress_block(units[i].first, units[i].second, vx,
+                     worker_timers_[worker]);
+    const auto* amps = as_complex(vx);
+    const std::uint64_t count = partition_.amplitudes_per_block();
+    double sum = 0.0;
+    if (segment == Partition::Segment::kOffset) {
+      const std::uint64_t bit = std::uint64_t{1} << local;
+      for (std::uint64_t k = 0; k < count; ++k) {
+        if (k & bit) sum += std::norm(amps[k]);
+      }
+    } else {
+      for (std::uint64_t k = 0; k < count; ++k) sum += std::norm(amps[k]);
+    }
+    partials[worker] += sum;
+  });
+  double total = 0.0;
+  for (double p : partials) total += p;
+  return total;
+}
+
+double CompressedStateSimulator::norm() {
+  std::vector<double> partials(pool_->size(), 0.0);
+  const std::size_t total_blocks =
+      static_cast<std::size_t>(partition_.num_ranks()) *
+      partition_.blocks_per_rank();
+  pool_->parallel_for(total_blocks, [&](std::size_t i, std::size_t worker) {
+    const int rank = static_cast<int>(i) / partition_.blocks_per_rank();
+    const int block = static_cast<int>(i) % partition_.blocks_per_rank();
+    auto vx = scratch_->vector_x(worker);
+    decompress_block(rank, block, vx, worker_timers_[worker]);
+    const auto* amps = as_complex(vx);
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k < partition_.amplitudes_per_block(); ++k) {
+      sum += std::norm(amps[k]);
+    }
+    partials[worker] += sum;
+  });
+  double total = 0.0;
+  for (double p : partials) total += p;
+  return total;
+}
+
+std::vector<double> CompressedStateSimulator::to_raw() {
+  if (config_.num_qubits > 26) {
+    throw std::invalid_argument("to_raw: refuses above 26 qubits");
+  }
+  std::vector<double> out(partition_.total_amplitudes() * 2);
+  const std::size_t total_blocks =
+      static_cast<std::size_t>(partition_.num_ranks()) *
+      partition_.blocks_per_rank();
+  pool_->parallel_for(total_blocks, [&](std::size_t i, std::size_t worker) {
+    const int rank = static_cast<int>(i) / partition_.blocks_per_rank();
+    const int block = static_cast<int>(i) % partition_.blocks_per_rank();
+    const std::uint64_t base = partition_.global_index(rank, block, 0) * 2;
+    decompress_block(rank, block,
+                     std::span<double>(out.data() + base,
+                                       partition_.doubles_per_block()),
+                     worker_timers_[worker]);
+  });
+  return out;
+}
+
+std::vector<Amplitude> CompressedStateSimulator::to_amplitudes() {
+  const auto raw = to_raw();
+  std::vector<Amplitude> amps(raw.size() / 2);
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    amps[i] = Amplitude(raw[2 * i], raw[2 * i + 1]);
+  }
+  return amps;
+}
+
+bool CompressedStateSimulator::assert_probability(int qubit, double expected,
+                                                  double tolerance) {
+  return std::abs(probability_one(qubit) - expected) <= tolerance;
+}
+
+double CompressedStateSimulator::expectation_pauli_z(
+    std::uint64_t qubit_mask) {
+  if (qubit_mask >> config_.num_qubits != 0) {
+    throw std::out_of_range("expectation_pauli_z: mask exceeds qubits");
+  }
+  const std::uint64_t offset_mask =
+      qubit_mask & (partition_.amplitudes_per_block() - 1);
+  const auto block_mask = static_cast<int>(
+      (qubit_mask >> partition_.offset_bits) &
+      (static_cast<std::uint64_t>(partition_.blocks_per_rank()) - 1));
+  const auto rank_mask = static_cast<int>(
+      qubit_mask >> (partition_.offset_bits + partition_.block_bits));
+
+  std::vector<double> partials(pool_->size(), 0.0);
+  const std::size_t total_blocks =
+      static_cast<std::size_t>(partition_.num_ranks()) *
+      partition_.blocks_per_rank();
+  pool_->parallel_for(total_blocks, [&](std::size_t i, std::size_t worker) {
+    const int rank = static_cast<int>(i) / partition_.blocks_per_rank();
+    const int block = static_cast<int>(i) % partition_.blocks_per_rank();
+    // Sign contribution of the block/rank index bits is block-constant.
+    const int high_parity =
+        (std::popcount(static_cast<unsigned>(block & block_mask)) +
+         std::popcount(static_cast<unsigned>(rank & rank_mask))) &
+        1;
+    auto vx = scratch_->vector_x(worker);
+    decompress_block(rank, block, vx, worker_timers_[worker]);
+    const auto* amps = as_complex(vx);
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k < partition_.amplitudes_per_block(); ++k) {
+      const int parity =
+          (std::popcount(k & offset_mask) + high_parity) & 1;
+      sum += (parity ? -1.0 : 1.0) * std::norm(amps[k]);
+    }
+    partials[worker] += sum;
+  });
+  double total = 0.0;
+  for (double p : partials) total += p;
+  return total;
+}
+
+std::uint64_t CompressedStateSimulator::sample(Rng& rng) {
+  // Pass 1: per-block probability mass.
+  const std::size_t total_blocks =
+      static_cast<std::size_t>(partition_.num_ranks()) *
+      partition_.blocks_per_rank();
+  std::vector<double> masses(total_blocks, 0.0);
+  pool_->parallel_for(total_blocks, [&](std::size_t i, std::size_t worker) {
+    const int rank = static_cast<int>(i) / partition_.blocks_per_rank();
+    const int block = static_cast<int>(i) % partition_.blocks_per_rank();
+    auto vx = scratch_->vector_x(worker);
+    decompress_block(rank, block, vx, worker_timers_[worker]);
+    const auto* amps = as_complex(vx);
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k < partition_.amplitudes_per_block(); ++k) {
+      sum += std::norm(amps[k]);
+    }
+    masses[i] = sum;
+  });
+  double total = 0.0;
+  for (double m : masses) total += m;
+
+  // Pass 2: pick the block, then the offset within it.
+  double r = rng.next_double() * total;
+  std::size_t chosen = total_blocks - 1;
+  for (std::size_t i = 0; i < total_blocks; ++i) {
+    r -= masses[i];
+    if (r <= 0.0) {
+      chosen = i;
+      break;
+    }
+  }
+  const int rank = static_cast<int>(chosen) / partition_.blocks_per_rank();
+  const int block = static_cast<int>(chosen) % partition_.blocks_per_rank();
+  auto vx = scratch_->vector_x(0);
+  decompress_block(rank, block, vx, worker_timers_[0]);
+  const auto* amps = as_complex(vx);
+  double r2 = rng.next_double() * masses[chosen];
+  std::uint64_t offset = partition_.amplitudes_per_block() - 1;
+  for (std::uint64_t k = 0; k < partition_.amplitudes_per_block(); ++k) {
+    r2 -= std::norm(amps[k]);
+    if (r2 <= 0.0) {
+      offset = k;
+      break;
+    }
+  }
+  return partition_.global_index(rank, block, offset);
+}
+
+int CompressedStateSimulator::measure(int qubit, Rng& rng) {
+  const double p1 = probability_one(qubit);
+  const int outcome = rng.next_double() < p1 ? 1 : 0;
+  const double keep = outcome == 1 ? p1 : 1.0 - p1;
+  const double scale = keep > 0.0 ? 1.0 / std::sqrt(keep) : 0.0;
+
+  const auto segment = partition_.segment_of(qubit);
+  const int local = partition_.local_bit(qubit);
+  const std::size_t total_blocks =
+      static_cast<std::size_t>(partition_.num_ranks()) *
+      partition_.blocks_per_rank();
+  std::atomic<std::uint64_t> recompressed{0};
+  pool_->parallel_for(total_blocks, [&](std::size_t i, std::size_t worker) {
+    const int rank = static_cast<int>(i) / partition_.blocks_per_rank();
+    const int block = static_cast<int>(i) % partition_.blocks_per_rank();
+    // Whole-block / whole-rank projections need no decompression when the
+    // block is uniformly kept or uniformly zeroed... but zeroing still
+    // requires rewriting the block, and scaling requires touching every
+    // amplitude, so only the "kept and scale == 1" case could skip; that
+    // never happens for 0 < p < 1.
+    int block_bit = -1;  // -1: decided per amplitude
+    if (segment == Partition::Segment::kBlock) {
+      block_bit = (block >> local) & 1;
+    } else if (segment == Partition::Segment::kRank) {
+      block_bit = (rank >> local) & 1;
+    }
+    auto vx = scratch_->vector_x(worker);
+    decompress_block(rank, block, vx, worker_timers_[worker]);
+    auto* amps = as_complex(vx);
+    const std::uint64_t count = partition_.amplitudes_per_block();
+    const std::uint64_t bit = std::uint64_t{1} << local;
+    {
+      ScopedPhase phase(worker_timers_[worker], Phase::kComputation);
+      for (std::uint64_t k = 0; k < count; ++k) {
+        const int amp_bit = block_bit >= 0
+                                ? block_bit
+                                : static_cast<int>((k & bit) != 0);
+        if (amp_bit == outcome) {
+          amps[k] *= scale;
+        } else {
+          amps[k] = Amplitude(0, 0);
+        }
+      }
+    }
+    Bytes compressed =
+        compress_block(vx, level_, worker_timers_[worker]);
+    ranks_[rank].set_block(block, std::move(compressed),
+                           {static_cast<std::uint8_t>(level_)});
+    recompressed.fetch_add(1, std::memory_order_relaxed);
+  });
+  if (recompressed.load() > 0 && level_ > 0) {
+    fidelity_.record_lossy_pass(config_.error_ladder[level_ - 1]);
+  }
+  enforce_budget();
+  return outcome;
+}
+
+std::size_t CompressedStateSimulator::compressed_bytes() const {
+  std::size_t total = 0;
+  for (const auto& store : ranks_) total += store.total_bytes();
+  return total;
+}
+
+double CompressedStateSimulator::compression_ratio() const {
+  const auto raw = static_cast<double>(partition_.total_amplitudes()) * 16.0;
+  const auto compressed = static_cast<double>(compressed_bytes());
+  return compressed == 0.0 ? 0.0 : raw / compressed;
+}
+
+void CompressedStateSimulator::save_checkpoint(
+    const std::string& path) const {
+  runtime::CheckpointHeader header;
+  header.num_qubits = config_.num_qubits;
+  header.num_ranks = config_.num_ranks;
+  header.blocks_per_rank = config_.blocks_per_rank;
+  header.ladder_level = static_cast<std::uint32_t>(level_);
+  header.next_gate_index = gate_cursor_;
+  header.fidelity_bound = fidelity_.bound();
+  header.codec_name = config_.codec;
+  runtime::save_checkpoint(path, header, ranks_);
+}
+
+CompressedStateSimulator CompressedStateSimulator::load_checkpoint(
+    const std::string& path, SimConfig config) {
+  auto [header, stores] = runtime::load_checkpoint(path);
+  config.num_qubits = header.num_qubits;
+  config.num_ranks = header.num_ranks;
+  config.blocks_per_rank = header.blocks_per_rank;
+  config.codec = header.codec_name;
+  CompressedStateSimulator sim(config);
+  sim.ranks_ = std::move(stores);
+  sim.level_ = static_cast<int>(header.ladder_level);
+  sim.gate_cursor_ = header.next_gate_index;
+  // The saved bound is restored; subsequent lossy passes multiply onto it.
+  sim.fidelity_ = FidelityTracker();
+  if (header.fidelity_bound < 1.0) {
+    sim.fidelity_.record_lossy_pass(1.0 - header.fidelity_bound);
+  }
+  return sim;
+}
+
+SimulationReport CompressedStateSimulator::report() const {
+  SimulationReport rep;
+  rep.num_qubits = config_.num_qubits;
+  rep.num_ranks = config_.num_ranks;
+  rep.blocks_per_rank = config_.blocks_per_rank;
+  rep.codec = config_.codec;
+  rep.gates = gates_;
+  rep.total_seconds = wall_seconds_;
+  for (const auto& timers : worker_timers_) rep.phases.merge(timers);
+  rep.memory_requirement_bytes =
+      memory_required_bytes(config_.num_qubits);
+  rep.peak_compressed_bytes = peak_bytes_;
+  rep.scratch_bytes = scratch_->bytes();
+  rep.budget_bytes = config_.memory_budget_bytes;
+  rep.budget_exceeded = budget_exceeded_;
+  rep.min_compression_ratio = min_ratio_;
+  rep.final_ladder_level = level_;
+  rep.fidelity_bound = fidelity_.bound();
+  rep.lossy_passes = fidelity_.lossy_passes();
+  const auto comm_stats = comm_->stats();
+  rep.comm_bytes = comm_stats.bytes_moved;
+  rep.comm_messages = comm_stats.messages;
+  for (const auto& cache : caches_) {
+    const auto stats = cache->stats();
+    rep.cache.hits += stats.hits;
+    rep.cache.misses += stats.misses;
+    rep.cache.disabled = rep.cache.disabled || stats.disabled;
+  }
+  return rep;
+}
+
+}  // namespace cqs::core

@@ -1,0 +1,209 @@
+#include "lossless/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace cqs::lossless {
+namespace {
+
+struct Node {
+  std::uint64_t weight;
+  std::uint32_t order;  // tie-break for determinism
+  int left;             // -1 for leaf
+  int right;
+  std::uint32_t symbol;
+};
+
+struct NodeGreater {
+  const std::vector<Node>* nodes;
+  bool operator()(int a, int b) const {
+    const Node& na = (*nodes)[a];
+    const Node& nb = (*nodes)[b];
+    if (na.weight != nb.weight) return na.weight > nb.weight;
+    return na.order > nb.order;
+  }
+};
+
+void assign_depths(const std::vector<Node>& nodes, int root,
+                   std::vector<std::uint8_t>& lengths) {
+  // Iterative DFS: (node, depth).
+  std::vector<std::pair<int, int>> stack{{root, 0}};
+  while (!stack.empty()) {
+    auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[idx];
+    if (n.left < 0) {
+      lengths[n.symbol] = static_cast<std::uint8_t>(std::max(depth, 1));
+    } else {
+      stack.push_back({n.left, depth + 1});
+      stack.push_back({n.right, depth + 1});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> build_code_lengths(
+    std::span<const std::uint64_t> counts) {
+  std::vector<std::uint64_t> working(counts.begin(), counts.end());
+  std::vector<std::uint8_t> lengths(counts.size(), 0);
+
+  while (true) {
+    std::vector<Node> nodes;
+    nodes.reserve(2 * working.size());
+    std::priority_queue<int, std::vector<int>, NodeGreater> heap{
+        NodeGreater{&nodes}};
+    // The heap holds indices into `nodes`; push leaves first.
+    std::vector<int> heap_seed;
+    for (std::uint32_t s = 0; s < working.size(); ++s) {
+      if (working[s] == 0) continue;
+      nodes.push_back({working[s], s, -1, -1, s});
+      heap_seed.push_back(static_cast<int>(nodes.size()) - 1);
+    }
+    if (heap_seed.empty()) return lengths;  // empty input: all zero lengths
+    if (heap_seed.size() == 1) {
+      lengths[nodes[heap_seed[0]].symbol] = 1;
+      return lengths;
+    }
+    // Reserve ahead of time: pushing into `nodes` must not invalidate the
+    // comparator's view mid-heap operation.
+    nodes.reserve(2 * heap_seed.size());
+    for (int idx : heap_seed) heap.push(idx);
+
+    std::uint32_t order = static_cast<std::uint32_t>(working.size());
+    while (heap.size() > 1) {
+      const int a = heap.top();
+      heap.pop();
+      const int b = heap.top();
+      heap.pop();
+      nodes.push_back(
+          {nodes[a].weight + nodes[b].weight, order++, a, b, 0});
+      heap.push(static_cast<int>(nodes.size()) - 1);
+    }
+    std::fill(lengths.begin(), lengths.end(), 0);
+    assign_depths(nodes, heap.top(), lengths);
+
+    const auto max_len =
+        *std::max_element(lengths.begin(), lengths.end());
+    if (max_len <= kMaxCodeLength) return lengths;
+    // Depth limiting: flatten the distribution and rebuild. Halving skewed
+    // counts converges in a handful of iterations.
+    for (auto& c : working) {
+      if (c > 0) c = c / 2 + 1;
+    }
+  }
+}
+
+std::vector<std::uint32_t> canonical_codes(
+    std::span<const std::uint8_t> lengths) {
+  // Order symbols by (length, symbol value) and hand out consecutive codes.
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > 0) order.push_back(s);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+              return a < b;
+            });
+  std::vector<std::uint32_t> codes(lengths.size(), 0);
+  std::uint32_t code = 0;
+  int prev_len = 0;
+  for (std::uint32_t s : order) {
+    code <<= (lengths[s] - prev_len);
+    codes[s] = code;
+    ++code;
+    prev_len = lengths[s];
+  }
+  return codes;
+}
+
+HuffmanEncoder HuffmanEncoder::from_counts(
+    std::span<const std::uint64_t> counts) {
+  HuffmanEncoder enc;
+  enc.lengths_ = build_code_lengths(counts);
+  enc.codes_ = canonical_codes(enc.lengths_);
+  return enc;
+}
+
+void HuffmanEncoder::write_table(Bytes& out) const {
+  // Sparse encoding: count of used symbols, then (delta symbol, length)
+  // pairs in symbol order.
+  std::uint64_t used = 0;
+  for (auto l : lengths_) {
+    if (l > 0) ++used;
+  }
+  put_varint(out, used);
+  std::uint32_t prev = 0;
+  for (std::uint32_t s = 0; s < lengths_.size(); ++s) {
+    if (lengths_[s] == 0) continue;
+    put_varint(out, s - prev);
+    out.push_back(static_cast<std::byte>(lengths_[s]));
+    prev = s;
+  }
+}
+
+void HuffmanEncoder::encode(BitWriter& writer, std::uint32_t symbol) const {
+  writer.write(codes_[symbol], lengths_[symbol]);
+}
+
+HuffmanDecoder HuffmanDecoder::read_table(ByteSpan in, std::size_t& offset,
+                                          std::size_t alphabet_size) {
+  std::vector<std::uint8_t> lengths(alphabet_size, 0);
+  const std::uint64_t used = get_varint(in, offset);
+  std::uint32_t symbol = 0;
+  for (std::uint64_t i = 0; i < used; ++i) {
+    symbol += static_cast<std::uint32_t>(get_varint(in, offset));
+    if (symbol >= alphabet_size) {
+      throw std::runtime_error("cqs: huffman table symbol out of range");
+    }
+    if (offset >= in.size()) {
+      throw std::out_of_range("cqs: huffman table truncated");
+    }
+    lengths[symbol] = static_cast<std::uint8_t>(in[offset++]);
+    if (lengths[symbol] == 0 || lengths[symbol] > kMaxCodeLength) {
+      throw std::runtime_error("cqs: huffman table invalid length");
+    }
+  }
+
+  HuffmanDecoder dec;
+  dec.first_code_.assign(kMaxCodeLength + 1, 0);
+  dec.first_index_.assign(kMaxCodeLength + 1, 0);
+  dec.symbol_count_.assign(kMaxCodeLength + 1, 0);
+  for (std::uint32_t s = 0; s < alphabet_size; ++s) {
+    if (lengths[s] > 0) {
+      ++dec.symbol_count_[lengths[s]];
+      dec.symbols_.push_back(s);
+    }
+  }
+  std::sort(dec.symbols_.begin(), dec.symbols_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+              return a < b;
+            });
+  std::uint32_t code = 0;
+  std::uint32_t index = 0;
+  for (int len = 1; len <= kMaxCodeLength; ++len) {
+    code <<= 1;
+    dec.first_code_[len] = code;
+    dec.first_index_[len] = index;
+    code += dec.symbol_count_[len];
+    index += dec.symbol_count_[len];
+  }
+  return dec;
+}
+
+std::uint32_t HuffmanDecoder::decode(BitReader& reader) const {
+  std::uint32_t code = 0;
+  for (int len = 1; len <= kMaxCodeLength; ++len) {
+    code = (code << 1) | reader.read_bit();
+    const std::uint32_t delta = code - first_code_[len];
+    if (code >= first_code_[len] && delta < symbol_count_[len]) {
+      return symbols_[first_index_[len] + delta];
+    }
+  }
+  throw std::runtime_error("cqs: invalid huffman code");
+}
+
+}  // namespace cqs::lossless

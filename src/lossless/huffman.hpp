@@ -1,0 +1,63 @@
+// Canonical Huffman coding over a runtime-sized alphabet (up to 2^16
+// symbols). Used twice in the stack: on LZ77 token bytes inside the zx
+// lossless codec, and on quantization codes inside the SZ-like compressor —
+// mirroring the "Huffman encoding + Zstd" stages of the paper's Solution A/B.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/bytes.hpp"
+
+namespace cqs::lossless {
+
+/// Maximum admitted code length; counts are rescaled until respected.
+inline constexpr int kMaxCodeLength = 24;
+
+/// Builds canonical code lengths from symbol frequencies.
+/// Returns one length per symbol (0 = symbol unused). The tree is depth
+/// limited to kMaxCodeLength by iterative frequency flattening.
+std::vector<std::uint8_t> build_code_lengths(
+    std::span<const std::uint64_t> counts);
+
+class HuffmanEncoder {
+ public:
+  /// Builds an encoder from frequencies (size = alphabet size).
+  static HuffmanEncoder from_counts(std::span<const std::uint64_t> counts);
+
+  /// Serializes the code-length table (sparse varint encoding).
+  void write_table(Bytes& out) const;
+
+  void encode(BitWriter& writer, std::uint32_t symbol) const;
+
+  const std::vector<std::uint8_t>& lengths() const { return lengths_; }
+
+ private:
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint32_t> codes_;
+};
+
+class HuffmanDecoder {
+ public:
+  /// Reads the table written by HuffmanEncoder::write_table.
+  static HuffmanDecoder read_table(ByteSpan in, std::size_t& offset,
+                                   std::size_t alphabet_size);
+
+  std::uint32_t decode(BitReader& reader) const;
+
+ private:
+  // Canonical decoding state: for each length, the first code value and the
+  // index of its first symbol in the length-ordered symbol list.
+  std::vector<std::uint32_t> first_code_;    // size kMaxCodeLength + 1
+  std::vector<std::uint32_t> first_index_;   // size kMaxCodeLength + 1
+  std::vector<std::uint32_t> symbol_count_;  // size kMaxCodeLength + 1
+  std::vector<std::uint32_t> symbols_;       // sorted by (length, symbol)
+};
+
+/// Builds canonical codes (value per symbol) from lengths.
+std::vector<std::uint32_t> canonical_codes(
+    std::span<const std::uint8_t> lengths);
+
+}  // namespace cqs::lossless

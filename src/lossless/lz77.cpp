@@ -1,0 +1,139 @@
+#include "lossless/lz77.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace cqs::lossless {
+namespace {
+
+// Hash 6 bytes, not the minimum match length of 4: double-precision
+// payloads share 4-byte prefixes (sign/exponent/top mantissa) so widely
+// that 4-byte buckets degenerate into thousands of short false
+// candidates; 6 bytes keeps buckets selective. Only matches of at least
+// kMinEmit bytes are emitted (shorter ones barely cover token overhead).
+inline std::uint32_t hash6(const std::byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  v &= 0xffffffffffffull;  // low 6 bytes
+  return static_cast<std::uint32_t>((v * 0x9e3779b185ebca87ull) >> 46);
+}
+
+constexpr std::size_t kHashSize = 1u << 18;
+constexpr std::size_t kMinEmit = 6;
+constexpr std::size_t kHashBytes = 8;  // hash6 reads 8 bytes
+
+/// Length of the common prefix of [a, limit) and [b, limit-relative).
+inline std::size_t match_length(const std::byte* a, const std::byte* b,
+                                const std::byte* limit) {
+  const std::byte* start = a;
+  while (a + 8 <= limit) {
+    std::uint64_t va;
+    std::uint64_t vb;
+    std::memcpy(&va, a, 8);
+    std::memcpy(&vb, b, 8);
+    if (va != vb) {
+      const std::uint64_t diff = va ^ vb;
+      return static_cast<std::size_t>(a - start) +
+             (std::countr_zero(diff) >> 3);
+    }
+    a += 8;
+    b += 8;
+  }
+  while (a < limit && *a == *b) {
+    ++a;
+    ++b;
+  }
+  return static_cast<std::size_t>(a - start);
+}
+
+}  // namespace
+
+void lz77_tokenize(ByteSpan input, Bytes& out, const Lz77Config& config) {
+  const std::size_t n = input.size();
+  const std::byte* base = input.data();
+
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(n, -1);
+
+  std::size_t literal_start = 0;
+  std::size_t pos = 0;
+  while (pos + kHashBytes <= n) {
+    const std::uint32_t h = hash6(base + pos);
+    std::int64_t candidate = head[h];
+    std::size_t best_len = 0;
+    std::size_t best_offset = 0;
+    int chain = config.max_chain;
+    while (candidate >= 0 && chain-- > 0) {
+      const auto cand_pos = static_cast<std::size_t>(candidate);
+      const std::size_t len =
+          match_length(base + pos, base + cand_pos, base + n);
+      if (len > best_len) {
+        best_len = len;
+        best_offset = pos - cand_pos;
+        if (len >= config.good_match || len >= config.max_match) break;
+      }
+      candidate = prev[cand_pos];
+    }
+
+    if (best_len >= kMinEmit) {
+      best_len = std::min(best_len, config.max_match);
+      // Emit pending literals + this match.
+      put_varint(out, pos - literal_start);
+      out.insert(out.end(), base + literal_start, base + pos);
+      put_varint(out, best_len - kMinMatch + 1);
+      put_varint(out, best_offset);
+
+      // Index the covered positions (sparsely for long matches to stay fast).
+      const std::size_t end = pos + best_len;
+      const std::size_t step = best_len > 512 ? 509 : 1;  // prime stride
+      for (std::size_t i = pos; i + kHashBytes <= n && i < end; i += step) {
+        const std::uint32_t hi = hash6(base + i);
+        prev[i] = head[hi];
+        head[hi] = static_cast<std::int64_t>(i);
+      }
+      pos = end;
+      literal_start = pos;
+    } else {
+      prev[pos] = head[h];
+      head[h] = static_cast<std::int64_t>(pos);
+      ++pos;
+    }
+  }
+  // Trailing literals + terminator.
+  put_varint(out, n - literal_start);
+  out.insert(out.end(), base + literal_start, base + n);
+  put_varint(out, 0);
+}
+
+Bytes lz77_detokenize(ByteSpan tokens, std::size_t expected_size) {
+  Bytes out;
+  out.reserve(expected_size);
+  std::size_t offset = 0;
+  while (true) {
+    const std::uint64_t lit_len = get_varint(tokens, offset);
+    if (offset + lit_len > tokens.size()) {
+      throw std::runtime_error("cqs: lz77 literal overrun");
+    }
+    out.insert(out.end(), tokens.begin() + offset,
+               tokens.begin() + offset + lit_len);
+    offset += lit_len;
+    const std::uint64_t len_code = get_varint(tokens, offset);
+    if (len_code == 0) break;
+    const std::uint64_t match_len = len_code - 1 + kMinMatch;
+    const std::uint64_t match_offset = get_varint(tokens, offset);
+    if (match_offset == 0 || match_offset > out.size()) {
+      throw std::runtime_error("cqs: lz77 bad match offset");
+    }
+    // Byte-by-byte copy: overlapping matches (offset < len) replicate runs.
+    std::size_t src = out.size() - match_offset;
+    for (std::uint64_t i = 0; i < match_len; ++i) {
+      out.push_back(out[src + i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace cqs::lossless

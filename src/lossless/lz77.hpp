@@ -1,0 +1,39 @@
+// Greedy hash-chain LZ77 tokenizer. Output token stream format (all
+// varints little-endian LEB128):
+//
+//   repeat:
+//     lit_len   varint
+//     literals  lit_len raw bytes
+//     match_len varint   (0 terminates the stream; otherwise length-4)
+//     offset    varint   (>= 1, distance back from current position)
+//
+// Long runs (the all-zero early state vector) collapse to a single
+// offset-1 match, which is what gives the lossless stage its high ratio at
+// the start of a simulation.
+#pragma once
+
+#include <cstddef>
+
+#include "common/bytes.hpp"
+
+namespace cqs::lossless {
+
+inline constexpr std::size_t kMinMatch = 4;
+
+struct Lz77Config {
+  int max_chain = 16;        // positions examined per match attempt
+  std::size_t max_match = 1 << 20;  // cap so pathological inputs stay O(n)
+  /// Early exit: a match at least this long is accepted without walking
+  /// the rest of the chain. Keeps highly repetitive inputs (hash buckets
+  /// with thousands of candidates) from degrading to O(n * max_chain).
+  std::size_t good_match = 32;
+};
+
+/// Tokenizes `input`; appends the token stream to `out`.
+void lz77_tokenize(ByteSpan input, Bytes& out, const Lz77Config& config = {});
+
+/// Reverses lz77_tokenize. `expected_size` reserves the output; the stream
+/// is self-terminating. Throws std::runtime_error on malformed input.
+Bytes lz77_detokenize(ByteSpan tokens, std::size_t expected_size);
+
+}  // namespace cqs::lossless

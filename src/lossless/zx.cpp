@@ -1,0 +1,130 @@
+#include "lossless/zx.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "lossless/huffman.hpp"
+
+namespace cqs::lossless {
+namespace {
+
+constexpr std::byte kMagic0{'Z'};
+constexpr std::byte kMagic1{'X'};
+constexpr std::byte kModeRaw{0};
+constexpr std::byte kModeLz{2};
+constexpr std::byte kModeLzHuff{3};
+
+Bytes huffman_bytes(ByteSpan data) {
+  std::array<std::uint64_t, 256> counts{};
+  for (std::byte b : data) ++counts[static_cast<std::uint8_t>(b)];
+  const auto encoder = HuffmanEncoder::from_counts(counts);
+  Bytes out;
+  encoder.write_table(out);
+  put_varint(out, data.size());
+  BitWriter writer(out);
+  for (std::byte b : data) {
+    encoder.encode(writer, static_cast<std::uint8_t>(b));
+  }
+  writer.flush();
+  return out;
+}
+
+Bytes unhuffman_bytes(ByteSpan data) {
+  std::size_t offset = 0;
+  const auto decoder = HuffmanDecoder::read_table(data, offset, 256);
+  const std::uint64_t count = get_varint(data, offset);
+  Bytes out;
+  out.reserve(count);
+  BitReader reader(data.subspan(offset));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(static_cast<std::byte>(decoder.decode(reader)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Bytes zx_compress(ByteSpan input, const ZxConfig& config) {
+  Bytes header;
+  header.push_back(kMagic0);
+  header.push_back(kMagic1);
+
+  Bytes tokens;
+  lz77_tokenize(input, tokens, config.lz);
+
+  Bytes best_payload;
+  std::byte mode = kModeRaw;
+  if (tokens.size() < input.size()) {
+    best_payload = std::move(tokens);
+    mode = kModeLz;
+  } else {
+    best_payload.assign(input.begin(), input.end());
+    tokens.clear();
+  }
+
+  if (config.enable_huffman && mode == kModeLz && !best_payload.empty()) {
+    Bytes huffed = huffman_bytes(best_payload);
+    if (huffed.size() < best_payload.size()) {
+      best_payload = std::move(huffed);
+      mode = kModeLzHuff;
+    }
+  }
+
+  Bytes out = std::move(header);
+  out.push_back(mode);
+  put_varint(out, input.size());
+  out.insert(out.end(), best_payload.begin(), best_payload.end());
+  // Raw fallback guarantee: if the pipeline expanded the data, store raw.
+  if (mode != kModeRaw && out.size() > input.size() + 12) {
+    out.clear();
+    out.push_back(kMagic0);
+    out.push_back(kMagic1);
+    out.push_back(kModeRaw);
+    put_varint(out, input.size());
+    out.insert(out.end(), input.begin(), input.end());
+  }
+  return out;
+}
+
+Bytes zx_decompress(ByteSpan compressed) {
+  if (compressed.size() < 3 || compressed[0] != kMagic0 ||
+      compressed[1] != kMagic1) {
+    throw std::runtime_error("cqs: not a zx container");
+  }
+  const std::byte mode = compressed[2];
+  std::size_t offset = 3;
+  const std::uint64_t original_size = get_varint(compressed, offset);
+  const ByteSpan payload = compressed.subspan(offset);
+
+  if (mode == kModeRaw) {
+    if (payload.size() != original_size) {
+      throw std::runtime_error("cqs: zx raw payload size mismatch");
+    }
+    return Bytes(payload.begin(), payload.end());
+  }
+  Bytes tokens;
+  if (mode == kModeLzHuff) {
+    tokens = unhuffman_bytes(payload);
+  } else if (mode == kModeLz) {
+    tokens.assign(payload.begin(), payload.end());
+  } else {
+    throw std::runtime_error("cqs: zx unknown mode");
+  }
+  Bytes out = lz77_detokenize(tokens, original_size);
+  if (out.size() != original_size) {
+    throw std::runtime_error("cqs: zx decompressed size mismatch");
+  }
+  return out;
+}
+
+std::size_t zx_original_size(ByteSpan compressed) {
+  if (compressed.size() < 3 || compressed[0] != kMagic0 ||
+      compressed[1] != kMagic1) {
+    throw std::runtime_error("cqs: not a zx container");
+  }
+  std::size_t offset = 3;
+  return get_varint(compressed, offset);
+}
+
+}  // namespace cqs::lossless

@@ -1,0 +1,34 @@
+// zx: the repository's Zstandard stand-in. A container that applies
+// hash-chain LZ77 followed by canonical Huffman coding of the token
+// stream, with a raw-store fallback so compression never expands data by
+// more than the small header.
+//
+// Container layout:
+//   magic   2 bytes  'Z' 'X'
+//   mode    1 byte   0 = raw, 2 = lz77, 3 = lz77 + huffman
+//   size    varint   original byte count
+//   [mode 3] table + varint token byte count
+//   payload
+#pragma once
+
+#include "common/bytes.hpp"
+#include "lossless/lz77.hpp"
+
+namespace cqs::lossless {
+
+struct ZxConfig {
+  Lz77Config lz;
+  bool enable_huffman = true;
+};
+
+/// Compresses `input`; never throws on valid input and never expands beyond
+/// input size + header bytes.
+Bytes zx_compress(ByteSpan input, const ZxConfig& config = {});
+
+/// Decompresses a zx container. Throws std::runtime_error on corruption.
+Bytes zx_decompress(ByteSpan compressed);
+
+/// Original (decompressed) size recorded in a zx container header.
+std::size_t zx_original_size(ByteSpan compressed);
+
+}  // namespace cqs::lossless

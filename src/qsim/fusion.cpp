@@ -1,0 +1,62 @@
+#include "qsim/fusion.hpp"
+
+#include <vector>
+
+namespace cqs::qsim {
+namespace {
+
+bool is_fusable(const GateOp& op) {
+  return op.kind != GateKind::kSwap && op.num_controls() == 0;
+}
+
+}  // namespace
+
+Circuit fuse_single_qubit_gates(const Circuit& circuit, FusionStats* stats) {
+  Circuit fused(circuit.num_qubits());
+  // Pending run per qubit: accumulated matrix + run length.
+  struct Pending {
+    Mat2 m{{1, 0}, {0, 0}, {0, 0}, {1, 0}};
+    std::size_t run = 0;
+    GateOp first{};  // re-emitted verbatim when the run stays length 1
+  };
+  std::vector<Pending> pending(circuit.num_qubits());
+  FusionStats local;
+  local.gates_before = circuit.size();
+
+  auto flush = [&](int q) {
+    Pending& p = pending[q];
+    if (p.run == 0) return;
+    if (p.run == 1) {
+      // Keep the original op: it may be diagonal, which the compressed
+      // simulator exploits for cheaper routing.
+      fused.append(p.first);
+    } else {
+      fused.append(decompose_unitary(p.m, q));
+      ++local.fused_runs;
+    }
+    p = Pending{};
+  };
+
+  for (const GateOp& op : circuit.ops()) {
+    if (is_fusable(op)) {
+      Pending& p = pending[op.target];
+      p.m = gate_matrix(op) * p.m;  // later gate multiplies on the left
+      if (p.run == 0) p.first = op;
+      ++p.run;
+      continue;
+    }
+    // Controlled / structural op: flush every qubit it touches.
+    flush(op.target);
+    for (int c : op.controls) {
+      if (c >= 0) flush(c);
+    }
+    fused.append(op);
+  }
+  for (int q = 0; q < circuit.num_qubits(); ++q) flush(q);
+
+  local.gates_after = fused.size();
+  if (stats != nullptr) *stats = local;
+  return fused;
+}
+
+}  // namespace cqs::qsim

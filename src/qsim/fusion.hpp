@@ -1,0 +1,25 @@
+// Single-qubit gate fusion — a standard Intel-QS-style circuit
+// optimization that matters even more under compression: every gate costs
+// a decompress + recompress sweep of the state (Figure 2), so merging
+// runs of single-qubit gates on the same target into one fused unitary
+// directly removes whole compression passes.
+#pragma once
+
+#include "qsim/circuit.hpp"
+
+namespace cqs::qsim {
+
+struct FusionStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t fused_runs = 0;  ///< runs of >= 2 gates merged
+};
+
+/// Fuses maximal runs of uncontrolled single-qubit gates that act on the
+/// same qubit with no intervening op touching that qubit. Each run of
+/// length >= 2 becomes one kU3G op (exact, including global phase);
+/// everything else is passed through unchanged.
+Circuit fuse_single_qubit_gates(const Circuit& circuit,
+                                FusionStats* stats = nullptr);
+
+}  // namespace cqs::qsim

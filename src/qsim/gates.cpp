@@ -1,0 +1,155 @@
+#include "qsim/gates.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cqs::qsim {
+namespace {
+
+constexpr double kInvSqrt2 = 0.7071067811865475244;
+
+Mat2 u3_matrix(double theta, double phi, double lambda) {
+  const double c = std::cos(theta / 2);
+  const double s = std::sin(theta / 2);
+  return {Amplitude(c, 0.0), -std::polar(s, lambda),
+          std::polar(s, phi), std::polar(c, phi + lambda)};
+}
+
+}  // namespace
+
+bool Mat2::approx_unitary(double tol) const {
+  const Mat2 product = *this * adjoint();
+  return std::abs(product.u00 - Amplitude(1, 0)) < tol &&
+         std::abs(product.u01) < tol && std::abs(product.u10) < tol &&
+         std::abs(product.u11 - Amplitude(1, 0)) < tol;
+}
+
+Mat2 gate_matrix(const GateOp& op) {
+  using namespace std::complex_literals;
+  const double theta = op.params[0];
+  switch (op.kind) {
+    case GateKind::kH:
+      return {kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2};
+    case GateKind::kX:
+    case GateKind::kCX:
+    case GateKind::kCCX:
+      return {0, 1, 1, 0};
+    case GateKind::kY:
+      return {0, -1i, 1i, 0};
+    case GateKind::kZ:
+    case GateKind::kCZ:
+      return {1, 0, 0, -1};
+    case GateKind::kS:
+      return {1, 0, 0, 1i};
+    case GateKind::kSdg:
+      return {1, 0, 0, -1i};
+    case GateKind::kT:
+      return {1, 0, 0, std::polar(1.0, std::numbers::pi / 4)};
+    case GateKind::kTdg:
+      return {1, 0, 0, std::polar(1.0, -std::numbers::pi / 4)};
+    case GateKind::kRx:
+      return {std::cos(theta / 2), -1i * std::sin(theta / 2),
+              -1i * std::sin(theta / 2), std::cos(theta / 2)};
+    case GateKind::kRy:
+      return {std::cos(theta / 2), -std::sin(theta / 2), std::sin(theta / 2),
+              std::cos(theta / 2)};
+    case GateKind::kRz:
+      return {std::polar(1.0, -theta / 2), 0, 0, std::polar(1.0, theta / 2)};
+    case GateKind::kPhase:
+    case GateKind::kCPhase:
+      return {1, 0, 0, std::polar(1.0, theta)};
+    case GateKind::kU3:
+      return u3_matrix(op.params[0], op.params[1], op.params[2]);
+    case GateKind::kSqrtX:
+      return {Amplitude(0.5, 0.5), Amplitude(0.5, -0.5), Amplitude(0.5, -0.5),
+              Amplitude(0.5, 0.5)};
+    case GateKind::kSqrtY:
+      return {Amplitude(0.5, 0.5), Amplitude(-0.5, -0.5),
+              Amplitude(0.5, 0.5), Amplitude(0.5, 0.5)};
+    case GateKind::kSqrtW:
+      // sqrt(W) with W = (X + Y)/sqrt(2); Google supremacy gate set.
+      // Derived by diagonalizing W = [[0, e^{-i pi/4}], [e^{i pi/4}, 0]].
+      return {Amplitude(0.5, 0.5), Amplitude(0.0, -kInvSqrt2),
+              Amplitude(kInvSqrt2, 0.0), Amplitude(0.5, 0.5)};
+    case GateKind::kSwap:
+      return {1, 0, 0, 1};  // structural; never applied as a 2x2
+    case GateKind::kU3G: {
+      const Mat2 base =
+          u3_matrix(op.params[0], op.params[1], op.params[2]);
+      const Amplitude phase = std::polar(1.0, op.params[3]);
+      return {phase * base.u00, phase * base.u01, phase * base.u10,
+              phase * base.u11};
+    }
+  }
+  throw std::invalid_argument("gate_matrix: unknown gate kind");
+}
+
+GateOp decompose_unitary(const Mat2& m, int target) {
+  // Write m = e^{i alpha} [[c, -e^{i lambda} s], [e^{i phi} s,
+  // e^{i (phi + lambda)} c]] with c = cos(theta/2), s = sin(theta/2).
+  const double c = std::abs(m.u00);
+  const double s = std::abs(m.u10);
+  const double theta = 2.0 * std::atan2(s, c);
+  double alpha;
+  double phi;
+  double lambda;
+  if (c > 1e-12) {
+    alpha = std::arg(m.u00);
+    phi = s > 1e-12 ? std::arg(m.u10) - alpha : 0.0;
+    lambda = std::arg(m.u11) - alpha - phi;
+  } else {
+    // theta = pi: u00 = u11 = 0; pick lambda = 0.
+    lambda = 0.0;
+    alpha = std::arg(-m.u01);
+    phi = std::arg(m.u10) - alpha;
+  }
+  return {GateKind::kU3G, target, {-1, -1}, {theta, phi, lambda, alpha}};
+}
+
+std::string gate_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kH: return "h";
+    case GateKind::kX: return "x";
+    case GateKind::kY: return "y";
+    case GateKind::kZ: return "z";
+    case GateKind::kS: return "s";
+    case GateKind::kSdg: return "sdg";
+    case GateKind::kT: return "t";
+    case GateKind::kTdg: return "tdg";
+    case GateKind::kRx: return "rx";
+    case GateKind::kRy: return "ry";
+    case GateKind::kRz: return "rz";
+    case GateKind::kPhase: return "p";
+    case GateKind::kU3: return "u3";
+    case GateKind::kU3G: return "u3g";
+    case GateKind::kSqrtX: return "sx";
+    case GateKind::kSqrtY: return "sy";
+    case GateKind::kSqrtW: return "sw";
+    case GateKind::kCX: return "cx";
+    case GateKind::kCZ: return "cz";
+    case GateKind::kCPhase: return "cp";
+    case GateKind::kSwap: return "swap";
+    case GateKind::kCCX: return "ccx";
+  }
+  return "?";
+}
+
+bool is_diagonal(GateKind kind) {
+  switch (kind) {
+    case GateKind::kZ:
+    case GateKind::kS:
+    case GateKind::kSdg:
+    case GateKind::kT:
+    case GateKind::kTdg:
+    case GateKind::kRz:
+    case GateKind::kPhase:
+    case GateKind::kCZ:
+    case GateKind::kCPhase:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace cqs::qsim

@@ -1,0 +1,91 @@
+// Gate kinds, 2x2 unitary materialization, and the gate-operation record
+// that circuits are made of. General single-qubit gates plus two-qubit
+// controlled gates are universal (Section 2.1); Toffoli is kept as a
+// first-class op because Grover oracles are built from X and Toffoli.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cqs::qsim {
+
+using Amplitude = std::complex<double>;
+
+/// Row-major 2x2 complex matrix.
+struct Mat2 {
+  Amplitude u00, u01, u10, u11;
+
+  Mat2 operator*(const Mat2& rhs) const {
+    return {u00 * rhs.u00 + u01 * rhs.u10, u00 * rhs.u01 + u01 * rhs.u11,
+            u10 * rhs.u00 + u11 * rhs.u10, u10 * rhs.u01 + u11 * rhs.u11};
+  }
+
+  Mat2 adjoint() const {
+    return {std::conj(u00), std::conj(u10), std::conj(u01), std::conj(u11)};
+  }
+
+  bool approx_unitary(double tol = 1e-12) const;
+};
+
+enum class GateKind : std::uint8_t {
+  kH,
+  kX,
+  kY,
+  kZ,
+  kS,
+  kSdg,
+  kT,
+  kTdg,
+  kRx,      // exp(-i theta X / 2)
+  kRy,
+  kRz,
+  kPhase,   // diag(1, e^{i theta})
+  kU3,      // general single-qubit gate, params (theta, phi, lambda)
+  kSqrtX,   // sqrt(X), used by supremacy circuits
+  kSqrtY,
+  kSqrtW,   // sqrt(W), W = (X+Y)/sqrt(2), supremacy gate set
+  kCX,
+  kCZ,
+  kCPhase,  // controlled diag(1, e^{i theta})
+  kSwap,
+  kCCX,     // Toffoli
+  kU3G,     // U3 with a global phase: e^{i alpha} U3(theta, phi, lambda);
+            // produced by the gate-fusion pass, params (theta, phi,
+            // lambda, alpha)
+};
+
+/// One circuit operation. `target` is always the qubit the 2x2 unitary acts
+/// on; `controls` holds 0, 1, or 2 control qubits (CCX has 2). SWAP is the
+/// only op without a single target unitary; it stores its qubits in
+/// target/controls[0].
+struct GateOp {
+  GateKind kind;
+  int target = 0;
+  std::array<int, 2> controls = {-1, -1};
+  std::array<double, 4> params = {0.0, 0.0, 0.0, 0.0};
+
+  int num_controls() const {
+    return (controls[0] >= 0 ? 1 : 0) + (controls[1] >= 0 ? 1 : 0);
+  }
+};
+
+/// Decomposes an arbitrary 2x2 unitary into a kU3G op on `target`:
+/// m = e^{i alpha} U3(theta, phi, lambda). Exact (including global phase).
+GateOp decompose_unitary(const Mat2& m, int target);
+
+/// The 2x2 unitary a GateOp applies to its target (identity for SWAP,
+/// which is handled structurally).
+Mat2 gate_matrix(const GateOp& op);
+
+/// Human-readable mnemonic, e.g. "h", "cx", "rz".
+std::string gate_name(GateKind kind);
+
+/// True for gates that are diagonal in the computational basis (their
+/// application never mixes amplitude pairs; used by the simulator for
+/// cheaper routing).
+bool is_diagonal(GateKind kind);
+
+}  // namespace cqs::qsim

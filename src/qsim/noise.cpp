@@ -1,0 +1,47 @@
+#include "qsim/noise.hpp"
+
+namespace cqs::qsim {
+namespace {
+
+GateKind random_pauli(Rng& rng) {
+  switch (rng.next_below(3)) {
+    case 0: return GateKind::kX;
+    case 1: return GateKind::kY;
+    default: return GateKind::kZ;
+  }
+}
+
+}  // namespace
+
+Circuit sample_noisy_trajectory(const Circuit& circuit,
+                                const NoiseModel& model, Rng& rng,
+                                TrajectoryStats& stats) {
+  Circuit noisy(circuit.num_qubits());
+  stats = {};
+  for (const GateOp& op : circuit.ops()) {
+    noisy.append(op);
+    const bool two_qubit = op.num_controls() > 0 ||
+                           op.kind == GateKind::kSwap;
+    if (two_qubit) {
+      if (model.p2 > 0.0 && rng.next_double() < model.p2) {
+        noisy.append({random_pauli(rng), op.target});
+        const int other =
+            op.controls[0] >= 0 ? op.controls[0] : op.target;
+        if (other != op.target) noisy.append({random_pauli(rng), other});
+        ++stats.two_qubit_errors;
+      }
+    } else if (model.p1 > 0.0 && rng.next_double() < model.p1) {
+      noisy.append({random_pauli(rng), op.target});
+      ++stats.single_qubit_errors;
+    }
+  }
+  return noisy;
+}
+
+Circuit sample_noisy_trajectory(const Circuit& circuit,
+                                const NoiseModel& model, Rng& rng) {
+  TrajectoryStats stats;
+  return sample_noisy_trajectory(circuit, model, rng, stats);
+}
+
+}  // namespace cqs::qsim

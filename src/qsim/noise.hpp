@@ -1,0 +1,45 @@
+// Stochastic Pauli noise — the Section 6 future-work direction: "we could
+// further adapt our lossy compression errors to noise models and then
+// build a simulation which models noise naturally". This module provides
+// the conventional side of that comparison: Monte-Carlo trajectory noise,
+// where each gate is followed by a random Pauli error with the channel's
+// probability. The bench_noise_study binary then compares the fidelity
+// decay of (a) gate noise at probability p against (b) lossy compression
+// at error level delta.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "qsim/circuit.hpp"
+
+namespace cqs::qsim {
+
+struct NoiseModel {
+  /// Depolarizing probability after each single-qubit gate: with
+  /// probability p1 one of {X, Y, Z} (uniform) is applied to the target.
+  double p1 = 0.0;
+  /// After each two-qubit gate: with probability p2 a uniform non-identity
+  /// Pauli pair acts on control and target (approximated by independent
+  /// single-qubit Paulis on each).
+  double p2 = 0.0;
+};
+
+/// One noise trajectory: a copy of `circuit` with stochastic Pauli errors
+/// inserted per the model. Different rng states give different
+/// trajectories; averaging observables over trajectories approximates the
+/// noisy channel.
+Circuit sample_noisy_trajectory(const Circuit& circuit,
+                                const NoiseModel& model, Rng& rng);
+
+/// Number of error ops inserted by the last call (diagnostic aid).
+struct TrajectoryStats {
+  std::size_t single_qubit_errors = 0;
+  std::size_t two_qubit_errors = 0;
+};
+
+Circuit sample_noisy_trajectory(const Circuit& circuit,
+                                const NoiseModel& model, Rng& rng,
+                                TrajectoryStats& stats);
+
+}  // namespace cqs::qsim

@@ -1,0 +1,127 @@
+#include "qsim/serialize.hpp"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace cqs::qsim {
+namespace {
+
+/// How many qubit operands and angle parameters each mnemonic takes.
+struct OpShape {
+  GateKind kind;
+  int qubits;  // operands; controls first, target last
+  int params;
+};
+
+const std::map<std::string, OpShape>& shapes() {
+  static const std::map<std::string, OpShape> table = {
+      {"h", {GateKind::kH, 1, 0}},       {"x", {GateKind::kX, 1, 0}},
+      {"y", {GateKind::kY, 1, 0}},       {"z", {GateKind::kZ, 1, 0}},
+      {"s", {GateKind::kS, 1, 0}},       {"sdg", {GateKind::kSdg, 1, 0}},
+      {"t", {GateKind::kT, 1, 0}},       {"tdg", {GateKind::kTdg, 1, 0}},
+      {"sx", {GateKind::kSqrtX, 1, 0}},  {"sy", {GateKind::kSqrtY, 1, 0}},
+      {"sw", {GateKind::kSqrtW, 1, 0}},  {"rx", {GateKind::kRx, 1, 1}},
+      {"ry", {GateKind::kRy, 1, 1}},     {"rz", {GateKind::kRz, 1, 1}},
+      {"p", {GateKind::kPhase, 1, 1}},   {"u3", {GateKind::kU3, 1, 3}},
+      {"u3g", {GateKind::kU3G, 1, 4}},   {"cx", {GateKind::kCX, 2, 0}},
+      {"cz", {GateKind::kCZ, 2, 0}},     {"cp", {GateKind::kCPhase, 2, 1}},
+      {"swap", {GateKind::kSwap, 2, 0}}, {"ccx", {GateKind::kCCX, 3, 0}},
+  };
+  return table;
+}
+
+int param_count(GateKind kind) {
+  for (const auto& [name, shape] : shapes()) {
+    if (shape.kind == kind) return shape.params;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void write_circuit(std::ostream& os, const Circuit& circuit) {
+  os << "qubits " << circuit.num_qubits() << "\n";
+  os.precision(17);
+  for (const GateOp& op : circuit.ops()) {
+    os << gate_name(op.kind);
+    for (int c : op.controls) {
+      if (c >= 0) os << ' ' << c;
+    }
+    os << ' ' << op.target;
+    const int np = param_count(op.kind);
+    for (int i = 0; i < np; ++i) os << ' ' << op.params[i];
+    os << "\n";
+  }
+}
+
+std::string circuit_to_text(const Circuit& circuit) {
+  std::ostringstream os;
+  write_circuit(os, circuit);
+  return os.str();
+}
+
+Circuit parse_circuit(std::istream& is) {
+  std::string line;
+  int line_number = 0;
+  auto fail = [&](const std::string& message) -> void {
+    throw std::runtime_error("parse_circuit: line " +
+                             std::to_string(line_number) + ": " + message);
+  };
+
+  // Header.
+  int num_qubits = -1;
+  while (std::getline(is, line)) {
+    ++line_number;
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word) || word[0] == '#') continue;
+    if (word != "qubits" || !(ls >> num_qubits)) {
+      fail("expected 'qubits <n>' header");
+    }
+    break;
+  }
+  if (num_qubits < 1) {
+    throw std::runtime_error("parse_circuit: missing qubits header");
+  }
+  Circuit circuit(num_qubits);
+
+  while (std::getline(is, line)) {
+    ++line_number;
+    std::istringstream ls(line);
+    std::string mnemonic;
+    if (!(ls >> mnemonic) || mnemonic[0] == '#') continue;
+    const auto it = shapes().find(mnemonic);
+    if (it == shapes().end()) fail("unknown gate '" + mnemonic + "'");
+    const OpShape& shape = it->second;
+    std::vector<int> qubits(shape.qubits);
+    for (int& q : qubits) {
+      if (!(ls >> q)) fail("missing qubit operand");
+    }
+    GateOp op{shape.kind, qubits.back()};
+    for (int i = 0; i < shape.qubits - 1; ++i) op.controls[i] = qubits[i];
+    // SWAP stores its second qubit in controls[0] but has no control
+    // semantics; the builder convention is (target = first, controls[0] =
+    // second), either order works.
+    for (int i = 0; i < shape.params; ++i) {
+      if (!(ls >> op.params[i])) fail("missing parameter");
+    }
+    double extra;
+    if (ls >> extra) fail("trailing tokens");
+    try {
+      circuit.append(op);
+    } catch (const std::exception& e) {
+      fail(e.what());
+    }
+  }
+  return circuit;
+}
+
+Circuit circuit_from_text(const std::string& text) {
+  std::istringstream is(text);
+  return parse_circuit(is);
+}
+
+}  // namespace cqs::qsim

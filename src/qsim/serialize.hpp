@@ -1,0 +1,33 @@
+// Plain-text circuit serialization in an OpenQASM-inspired line format:
+//
+//   qubits 5
+//   h 0
+//   cx 0 1
+//   rz 2 0.785398
+//   ccx 0 1 4
+//   u3g 3 1.0 0.5 -0.5 0.1
+//
+// One op per line: mnemonic, qubit operands (controls first, target
+// last), then any angle parameters. Used for dumping circuits from
+// generators, feeding external circuits into the simulator, and the
+// debugging workflows full-state simulation exists to serve.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "qsim/circuit.hpp"
+
+namespace cqs::qsim {
+
+/// Writes the circuit in the line format above.
+void write_circuit(std::ostream& os, const Circuit& circuit);
+std::string circuit_to_text(const Circuit& circuit);
+
+/// Parses the line format. Throws std::runtime_error with a line number
+/// on malformed input. Blank lines and lines starting with '#' are
+/// ignored.
+Circuit parse_circuit(std::istream& is);
+Circuit circuit_from_text(const std::string& text);
+
+}  // namespace cqs::qsim

@@ -1,0 +1,167 @@
+#include "qsim/state_vector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cqs::qsim {
+
+StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits < 1 || num_qubits > 30) {
+    throw std::invalid_argument(
+        "StateVector: dense reference supports 1..30 qubits");
+  }
+  amplitudes_.assign(std::uint64_t{1} << num_qubits, Amplitude(0, 0));
+  amplitudes_[0] = Amplitude(1, 0);
+}
+
+std::span<const double> StateVector::raw() const {
+  return {reinterpret_cast<const double*>(amplitudes_.data()),
+          amplitudes_.size() * 2};
+}
+
+void StateVector::apply_single(int target, const Mat2& m) {
+  const std::uint64_t stride = std::uint64_t{1} << target;
+  const std::uint64_t n = amplitudes_.size();
+  for (std::uint64_t base = 0; base < n; base += 2 * stride) {
+    for (std::uint64_t i = base; i < base + stride; ++i) {
+      const Amplitude a0 = amplitudes_[i];
+      const Amplitude a1 = amplitudes_[i + stride];
+      amplitudes_[i] = m.u00 * a0 + m.u01 * a1;
+      amplitudes_[i + stride] = m.u10 * a0 + m.u11 * a1;
+    }
+  }
+}
+
+void StateVector::apply_controlled(std::uint64_t control_mask, int target,
+                                   const Mat2& m) {
+  const std::uint64_t stride = std::uint64_t{1} << target;
+  const std::uint64_t n = amplitudes_.size();
+  for (std::uint64_t base = 0; base < n; base += 2 * stride) {
+    for (std::uint64_t i = base; i < base + stride; ++i) {
+      if ((i & control_mask) != control_mask) continue;
+      const Amplitude a0 = amplitudes_[i];
+      const Amplitude a1 = amplitudes_[i + stride];
+      amplitudes_[i] = m.u00 * a0 + m.u01 * a1;
+      amplitudes_[i + stride] = m.u10 * a0 + m.u11 * a1;
+    }
+  }
+}
+
+void StateVector::apply_swap(int a, int b) {
+  if (a == b) return;
+  const std::uint64_t bit_a = std::uint64_t{1} << a;
+  const std::uint64_t bit_b = std::uint64_t{1} << b;
+  const std::uint64_t n = amplitudes_.size();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    // Swap amplitudes between ...a=1,b=0... and ...a=0,b=1... once.
+    if ((i & bit_a) != 0 && (i & bit_b) == 0) {
+      std::swap(amplitudes_[i], amplitudes_[(i ^ bit_a) | bit_b]);
+    }
+  }
+}
+
+void StateVector::apply(const GateOp& op) {
+  if (op.kind == GateKind::kSwap) {
+    apply_swap(op.target, op.controls[0]);
+    return;
+  }
+  std::uint64_t control_mask = 0;
+  for (int c : op.controls) {
+    if (c >= 0) control_mask |= std::uint64_t{1} << c;
+  }
+  const Mat2 m = gate_matrix(op);
+  if (control_mask == 0) {
+    apply_single(op.target, m);
+  } else {
+    apply_controlled(control_mask, op.target, m);
+  }
+}
+
+void StateVector::apply_circuit(const Circuit& circuit) {
+  if (circuit.num_qubits() != num_qubits_) {
+    throw std::invalid_argument("apply_circuit: qubit count mismatch");
+  }
+  for (const GateOp& op : circuit.ops()) apply(op);
+}
+
+double StateVector::probability_one(int qubit) const {
+  const std::uint64_t bit = std::uint64_t{1} << qubit;
+  double p = 0.0;
+  for (std::uint64_t i = 0; i < amplitudes_.size(); ++i) {
+    if ((i & bit) != 0) p += std::norm(amplitudes_[i]);
+  }
+  return p;
+}
+
+std::vector<double> StateVector::probabilities() const {
+  std::vector<double> probs(amplitudes_.size());
+  for (std::uint64_t i = 0; i < amplitudes_.size(); ++i) {
+    probs[i] = std::norm(amplitudes_[i]);
+  }
+  return probs;
+}
+
+int StateVector::measure(int qubit, Rng& rng) {
+  const double p1 = probability_one(qubit);
+  const int outcome = rng.next_double() < p1 ? 1 : 0;
+  const std::uint64_t bit = std::uint64_t{1} << qubit;
+  const double keep_prob = outcome == 1 ? p1 : 1.0 - p1;
+  const double scale = keep_prob > 0.0 ? 1.0 / std::sqrt(keep_prob) : 0.0;
+  for (std::uint64_t i = 0; i < amplitudes_.size(); ++i) {
+    const bool is_one = (i & bit) != 0;
+    if (is_one == (outcome == 1)) {
+      amplitudes_[i] *= scale;
+    } else {
+      amplitudes_[i] = Amplitude(0, 0);
+    }
+  }
+  return outcome;
+}
+
+std::uint64_t StateVector::sample(Rng& rng) const {
+  double r = rng.next_double();
+  for (std::uint64_t i = 0; i < amplitudes_.size(); ++i) {
+    r -= std::norm(amplitudes_[i]);
+    if (r <= 0.0) return i;
+  }
+  return amplitudes_.size() - 1;
+}
+
+double StateVector::norm() const {
+  double n = 0.0;
+  for (const Amplitude& a : amplitudes_) n += std::norm(a);
+  return n;
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  if (other.size() != size()) {
+    throw std::invalid_argument("fidelity: size mismatch");
+  }
+  Amplitude inner(0, 0);
+  for (std::uint64_t i = 0; i < amplitudes_.size(); ++i) {
+    inner += std::conj(amplitudes_[i]) * other.amplitudes_[i];
+  }
+  return std::abs(inner);
+}
+
+void StateVector::normalize() {
+  const double n = std::sqrt(norm());
+  if (n == 0.0) return;
+  for (Amplitude& a : amplitudes_) a /= n;
+}
+
+double state_fidelity(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.size() % 2 != 0) {
+    throw std::invalid_argument("state_fidelity: bad sizes");
+  }
+  double re = 0.0;
+  double im = 0.0;
+  for (std::size_t i = 0; i < a.size(); i += 2) {
+    // conj(a) * b accumulated component-wise.
+    re += a[i] * b[i] + a[i + 1] * b[i + 1];
+    im += a[i] * b[i + 1] - a[i + 1] * b[i];
+  }
+  return std::hypot(re, im);
+}
+
+}  // namespace cqs::qsim

@@ -1,0 +1,79 @@
+// Dense full-state (Schrödinger) simulator: the uncompressed reference the
+// compressed simulator is validated against, and the generator of the
+// qaoa_N / sup_N datasets used throughout Section 4's compression study.
+//
+// Amplitude indexing convention (matches Section 3.1): qubit k corresponds
+// to bit k of the amplitude index; applying a single-qubit gate to qubit k
+// transforms every amplitude pair whose indices differ only in bit k.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "qsim/circuit.hpp"
+#include "qsim/gates.hpp"
+
+namespace cqs::qsim {
+
+class StateVector {
+ public:
+  /// Initializes to |0...0>.
+  explicit StateVector(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  std::size_t size() const { return amplitudes_.size(); }
+
+  std::span<const Amplitude> amplitudes() const { return amplitudes_; }
+  std::span<Amplitude> amplitudes() { return amplitudes_; }
+
+  /// Raw doubles view (re/im interleaved) — the layout blocks are
+  /// compressed in.
+  std::span<const double> raw() const;
+
+  Amplitude amplitude(std::uint64_t basis_state) const {
+    return amplitudes_[basis_state];
+  }
+
+  void apply(const GateOp& op);
+  void apply_circuit(const Circuit& circuit);
+
+  /// Probability that qubit q measures |1>.
+  double probability_one(int qubit) const;
+
+  /// All 2^n basis-state probabilities (use only for small n).
+  std::vector<double> probabilities() const;
+
+  /// Projective measurement of one qubit; collapses and renormalizes.
+  /// Returns the outcome (0 or 1).
+  int measure(int qubit, Rng& rng);
+
+  /// Samples a full basis state without collapsing.
+  std::uint64_t sample(Rng& rng) const;
+
+  /// Sum of squared magnitudes (should stay 1 under unitary evolution).
+  double norm() const;
+
+  /// Pure-state fidelity |<this|other>| (Eq. 9).
+  double fidelity(const StateVector& other) const;
+
+  /// L2 renormalization (used after lossy perturbations in tests).
+  void normalize();
+
+ private:
+  void apply_single(int target, const Mat2& m);
+  void apply_controlled(std::uint64_t control_mask, int target,
+                        const Mat2& m);
+  void apply_swap(int a, int b);
+
+  int num_qubits_;
+  std::vector<Amplitude> amplitudes_;
+};
+
+/// |<a|b>| for raw interleaved re/im arrays of equal length; shared with
+/// the compressed simulator's fidelity measurement.
+double state_fidelity(std::span<const double> a, std::span<const double> b);
+
+}  // namespace cqs::qsim

@@ -1,0 +1,72 @@
+#include "runtime/block_cache.hpp"
+
+namespace cqs::runtime {
+
+BlockCache::BlockCache(std::size_t lines,
+                       std::uint64_t disable_after_misses)
+    : capacity_(lines), disable_after_misses_(disable_after_misses) {}
+
+std::uint64_t BlockCache::make_key(ByteSpan op_descriptor, ByteSpan cb1,
+                                   ByteSpan cb2) {
+  std::uint64_t h = fnv1a(op_descriptor);
+  h = fnv1a(cb1, h);
+  h = fnv1a_u64(cb1.size(), h);
+  h = fnv1a(cb2, h);
+  h = fnv1a_u64(cb2.size(), h);
+  return h;
+}
+
+bool BlockCache::lookup(std::uint64_t key, Bytes& out1, Bytes& out2) {
+  std::lock_guard lock(mutex_);
+  if (stats_.disabled) return false;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    maybe_disable_locked();
+    return false;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  out1 = it->second->out1;
+  if (!it->second->out2.empty()) out2 = it->second->out2;
+  return true;
+}
+
+void BlockCache::insert(std::uint64_t key, const Bytes& out1,
+                        const Bytes& out2) {
+  std::lock_guard lock(mutex_);
+  if (stats_.disabled || capacity_ == 0) return;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->out1 = out1;
+    it->second->out2 = out2;
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  lru_.push_front({key, out1, out2});
+  index_[key] = lru_.begin();
+}
+
+CacheStats BlockCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+bool BlockCache::enabled() const {
+  std::lock_guard lock(mutex_);
+  return !stats_.disabled;
+}
+
+void BlockCache::maybe_disable_locked() {
+  if (stats_.hits == 0 && stats_.misses >= disable_after_misses_) {
+    stats_.disabled = true;
+    lru_.clear();
+    index_.clear();
+  }
+}
+
+}  // namespace cqs::runtime

@@ -1,0 +1,70 @@
+// Compressed block cache (Section 3.4, Figure 4). Each cache line maps
+// (gate op, compressed input block(s)) -> compressed output block(s), so a
+// hit skips decompression, computation, and recompression entirely.
+// Replacement is least-recently-used over a fixed number of lines (the
+// paper uses 64 per rank). The cache disables itself when it has seen many
+// misses and no hit (paper: "disable the compressed block cache if the
+// cache hit rate is always zero").
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace cqs::runtime {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  bool disabled = false;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class BlockCache {
+ public:
+  /// `lines`: cache capacity; `disable_after_misses`: consecutive-miss
+  /// count with zero hits after which lookups short-circuit.
+  explicit BlockCache(std::size_t lines = 64,
+                      std::uint64_t disable_after_misses = 4096);
+
+  /// Key for (OP, CB1, CB2): hash of the op descriptor and input payloads.
+  static std::uint64_t make_key(ByteSpan op_descriptor, ByteSpan cb1,
+                                ByteSpan cb2);
+
+  /// On hit, copies the cached output blocks into `out1` / `out2` (out2
+  /// untouched for single-block entries) and returns true.
+  bool lookup(std::uint64_t key, Bytes& out1, Bytes& out2);
+
+  /// Inserts outputs for `key`, evicting the LRU line if full.
+  void insert(std::uint64_t key, const Bytes& out1, const Bytes& out2);
+
+  CacheStats stats() const;
+  bool enabled() const;
+
+ private:
+  struct Line {
+    std::uint64_t key;
+    Bytes out1;
+    Bytes out2;
+  };
+
+  void maybe_disable_locked();
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::uint64_t disable_after_misses_;
+  std::list<Line> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Line>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace cqs::runtime

@@ -1,0 +1,21 @@
+#include "runtime/block_store.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace cqs::runtime {
+
+void BlockStore::set_block(int index, Bytes payload, BlockMeta meta) {
+  if (index < 0 || index >= num_blocks()) {
+    throw std::out_of_range("BlockStore: block index out of range");
+  }
+  // Distinct blocks are updated concurrently by worker threads; the shared
+  // running total is the only contended word.
+  std::atomic_ref<std::size_t> total(total_bytes_);
+  total.fetch_sub(blocks_[index].size(), std::memory_order_relaxed);
+  blocks_[index] = std::move(payload);
+  total.fetch_add(blocks_[index].size(), std::memory_order_relaxed);
+  meta_[index] = meta;
+}
+
+}  // namespace cqs::runtime

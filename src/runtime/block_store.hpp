@@ -1,0 +1,42 @@
+// BlockStore: the compressed state vector of one logical rank — a vector
+// of independently compressed blocks plus the codec/bound metadata needed
+// to decompress each one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "compression/compressor.hpp"
+
+namespace cqs::runtime {
+
+/// Which codec/bound a block was last compressed with. `level` indexes the
+/// simulator's error ladder: 0 = lossless, k > 0 = ladder[k-1].
+struct BlockMeta {
+  std::uint8_t level = 0;
+};
+
+class BlockStore {
+ public:
+  BlockStore() = default;
+  BlockStore(int num_blocks) : blocks_(num_blocks), meta_(num_blocks) {}
+
+  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+
+  const Bytes& block(int index) const { return blocks_[index]; }
+  const BlockMeta& meta(int index) const { return meta_[index]; }
+
+  /// Replaces a block's payload; keeps total-size accounting current.
+  void set_block(int index, Bytes payload, BlockMeta meta);
+
+  /// Total compressed bytes across all blocks (the sum term of Eq. 8).
+  std::size_t total_bytes() const { return total_bytes_; }
+
+ private:
+  std::vector<Bytes> blocks_;
+  std::vector<BlockMeta> meta_;
+  std::size_t total_bytes_ = 0;
+};
+
+}  // namespace cqs::runtime

@@ -1,0 +1,107 @@
+#include "runtime/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace cqs::runtime {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '1'};
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const CheckpointHeader& header,
+                     const std::vector<BlockStore>& ranks) {
+  Bytes buffer;
+  buffer.insert(buffer.end(),
+                reinterpret_cast<const std::byte*>(kMagic),
+                reinterpret_cast<const std::byte*>(kMagic) + 8);
+  put_varint(buffer, header.num_qubits);
+  put_varint(buffer, header.num_ranks);
+  put_varint(buffer, header.blocks_per_rank);
+  put_varint(buffer, header.ladder_level);
+  put_varint(buffer, header.next_gate_index);
+  put_scalar(buffer, header.fidelity_bound);
+  put_varint(buffer, header.codec_name.size());
+  for (char ch : header.codec_name) {
+    buffer.push_back(static_cast<std::byte>(ch));
+  }
+  put_varint(buffer, ranks.size());
+  for (const BlockStore& store : ranks) {
+    put_varint(buffer, store.num_blocks());
+    for (int b = 0; b < store.num_blocks(); ++b) {
+      buffer.push_back(static_cast<std::byte>(store.meta(b).level));
+      put_varint(buffer, store.block(b).size());
+      buffer.insert(buffer.end(), store.block(b).begin(),
+                    store.block(b).end());
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
+  if (!out) throw std::runtime_error("checkpoint: write failed " + path);
+}
+
+std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  Bytes buffer(size);
+  in.read(reinterpret_cast<char*>(buffer.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("checkpoint: read failed " + path);
+
+  if (size < 8 || std::memcmp(buffer.data(), kMagic, 8) != 0) {
+    throw std::runtime_error("checkpoint: bad magic");
+  }
+  std::size_t offset = 8;
+  CheckpointHeader header;
+  header.num_qubits = static_cast<int>(get_varint(buffer, offset));
+  header.num_ranks = static_cast<int>(get_varint(buffer, offset));
+  header.blocks_per_rank = static_cast<int>(get_varint(buffer, offset));
+  header.ladder_level =
+      static_cast<std::uint32_t>(get_varint(buffer, offset));
+  header.next_gate_index = get_varint(buffer, offset);
+  header.fidelity_bound = get_scalar<double>(buffer, offset);
+  const std::uint64_t name_len = get_varint(buffer, offset);
+  if (offset + name_len > buffer.size()) {
+    throw std::runtime_error("checkpoint: truncated codec name");
+  }
+  header.codec_name.assign(
+      reinterpret_cast<const char*>(buffer.data()) + offset, name_len);
+  offset += name_len;
+
+  const std::uint64_t rank_count = get_varint(buffer, offset);
+  std::vector<BlockStore> ranks;
+  ranks.reserve(rank_count);
+  for (std::uint64_t r = 0; r < rank_count; ++r) {
+    const auto block_count = static_cast<int>(get_varint(buffer, offset));
+    BlockStore store(block_count);
+    for (int b = 0; b < block_count; ++b) {
+      if (offset >= buffer.size()) {
+        throw std::runtime_error("checkpoint: truncated block meta");
+      }
+      BlockMeta meta{static_cast<std::uint8_t>(buffer[offset++])};
+      const std::uint64_t block_size = get_varint(buffer, offset);
+      if (offset + block_size > buffer.size()) {
+        throw std::runtime_error("checkpoint: truncated block payload");
+      }
+      Bytes payload(buffer.begin() + static_cast<std::ptrdiff_t>(offset),
+                    buffer.begin() +
+                        static_cast<std::ptrdiff_t>(offset + block_size));
+      offset += block_size;
+      store.set_block(b, std::move(payload), meta);
+    }
+    ranks.push_back(std::move(store));
+  }
+  return {header, std::move(ranks)};
+}
+
+}  // namespace cqs::runtime

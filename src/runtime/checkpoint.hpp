@@ -1,0 +1,35 @@
+// Simulation checkpointing (Section 3.5): the compressed blocks plus the
+// little state needed to resume (gate index, ladder level, fidelity bound)
+// are written to a file before a wall-time limit and reloaded by the next
+// job. Because blocks are saved in compressed form, checkpoints are the
+// same size as the in-memory footprint, not the raw state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/block_store.hpp"
+
+namespace cqs::runtime {
+
+struct CheckpointHeader {
+  int num_qubits = 0;
+  int num_ranks = 0;
+  int blocks_per_rank = 0;
+  std::uint32_t ladder_level = 0;
+  std::uint64_t next_gate_index = 0;
+  double fidelity_bound = 1.0;
+  std::string codec_name;
+};
+
+/// Writes header + every rank's compressed blocks to `path`.
+/// Throws std::runtime_error on I/O failure.
+void save_checkpoint(const std::string& path, const CheckpointHeader& header,
+                     const std::vector<BlockStore>& ranks);
+
+/// Reads a checkpoint written by save_checkpoint.
+std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
+    const std::string& path);
+
+}  // namespace cqs::runtime

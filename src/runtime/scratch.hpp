@@ -1,0 +1,41 @@
+// ScratchArena: the MCDRAM stand-in (Section 3.2). The paper decompresses
+// at most two blocks per rank into pre-allocated high-bandwidth memory; we
+// pre-allocate two aligned block-sized double buffers per worker thread so
+// the hot loop never allocates.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace cqs::runtime {
+
+class ScratchArena {
+ public:
+  /// `workers` independent slots, each with two buffers of
+  /// `doubles_per_block` doubles (Vector_x and Vector_y of Figure 2).
+  ScratchArena(std::size_t workers, std::size_t doubles_per_block)
+      : doubles_per_block_(doubles_per_block),
+        storage_(workers * 2 * doubles_per_block) {}
+
+  std::span<double> vector_x(std::size_t worker) {
+    return {storage_.data() + worker * 2 * doubles_per_block_,
+            doubles_per_block_};
+  }
+
+  std::span<double> vector_y(std::size_t worker) {
+    return {storage_.data() + (worker * 2 + 1) * doubles_per_block_,
+            doubles_per_block_};
+  }
+
+  /// Bytes held by the arena — the "2 * (2^{n+4} / (r * nb))" term of
+  /// Eq. 8, summed over workers.
+  std::size_t bytes() const { return storage_.size() * sizeof(double); }
+
+ private:
+  std::size_t doubles_per_block_;
+  std::vector<double> storage_;
+};
+
+}  // namespace cqs::runtime

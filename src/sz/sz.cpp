@@ -1,0 +1,265 @@
+#include "sz/sz.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "lossless/huffman.hpp"
+#include "lossless/zx.hpp"
+#include "sz/fast_log.hpp"
+
+namespace cqs::sz {
+namespace {
+
+constexpr std::byte kMagic0{'S'};
+constexpr std::byte kMagic1{'Z'};
+constexpr std::uint8_t kFlagSplit = 1;
+constexpr std::uint8_t kFlagRelative = 2;
+
+/// Quantization code 0 is reserved for unpredictable (outlier) points.
+struct QuantResult {
+  std::vector<std::uint32_t> codes;    // one per element
+  std::vector<double> outliers;        // raw values for code-0 elements
+};
+
+/// Lorenzo prediction + linear-scaling quantization over `values`.
+/// `chains` = 1 (Solution A) or 2 (Solution B: even/odd interleaved).
+/// `quantum` is the bin width (2 * error bound). Reconstruction happens
+/// inline so the predictor sees decompressed values, exactly as the
+/// decompressor will.
+QuantResult quantize(std::span<const double> values, double quantum,
+                     std::uint32_t bins, int chains) {
+  QuantResult result;
+  result.codes.resize(values.size());
+  const auto half_bins = static_cast<std::int64_t>(bins / 2);
+  std::vector<double> prev(chains, 0.0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    double& pred = prev[i % chains];
+    const double diff = values[i] - pred;
+    const double scaled = diff / quantum;
+    bool predictable = std::abs(scaled) < static_cast<double>(half_bins) - 1;
+    if (predictable) {
+      const auto q = static_cast<std::int64_t>(std::llround(scaled));
+      const double recon = pred + static_cast<double>(q) * quantum;
+      // Guard against floating-point rounding at bin edges.
+      if (std::abs(recon - values[i]) <= quantum * 0.5 + 1e-300) {
+        result.codes[i] = static_cast<std::uint32_t>(q + half_bins);
+        pred = recon;
+        continue;
+      }
+    }
+    result.codes[i] = 0;
+    result.outliers.push_back(values[i]);
+    pred = values[i];
+  }
+  return result;
+}
+
+void dequantize(std::span<const std::uint32_t> codes,
+                std::span<const double> outliers, double quantum,
+                std::uint32_t bins, int chains, std::span<double> out) {
+  const auto half_bins = static_cast<std::int64_t>(bins / 2);
+  std::vector<double> prev(chains, 0.0);
+  std::size_t outlier_pos = 0;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    double& pred = prev[i % chains];
+    if (codes[i] == 0) {
+      if (outlier_pos >= outliers.size()) {
+        throw std::runtime_error("sz: outlier stream truncated");
+      }
+      pred = outliers[outlier_pos++];
+    } else {
+      const auto q = static_cast<std::int64_t>(codes[i]) - half_bins;
+      pred += static_cast<double>(q) * quantum;
+    }
+    out[i] = pred;
+  }
+}
+
+/// Encodes the code stream with Huffman and appends sections to `inner`.
+void write_codes(Bytes& inner, const QuantResult& quant, std::uint32_t bins) {
+  std::vector<std::uint64_t> counts(bins, 0);
+  for (auto c : quant.codes) ++counts[c];
+  const auto encoder = lossless::HuffmanEncoder::from_counts(counts);
+  encoder.write_table(inner);
+  put_varint(inner, quant.codes.size());
+  {
+    BitWriter writer(inner);
+    for (auto c : quant.codes) encoder.encode(writer, c);
+  }
+  put_varint(inner, quant.outliers.size());
+  for (double v : quant.outliers) put_scalar(inner, v);
+}
+
+QuantResult read_codes(ByteSpan inner, std::size_t& offset,
+                       std::uint32_t bins) {
+  const auto decoder = lossless::HuffmanDecoder::read_table(inner, offset, bins);
+  const std::uint64_t code_count = get_varint(inner, offset);
+  QuantResult quant;
+  quant.codes.resize(code_count);
+  {
+    BitReader reader(inner.subspan(offset));
+    for (std::uint64_t i = 0; i < code_count; ++i) {
+      quant.codes[i] = decoder.decode(reader);
+    }
+    offset += (reader.position() + 7) / 8;
+  }
+  const std::uint64_t outlier_count = get_varint(inner, offset);
+  quant.outliers.resize(outlier_count);
+  for (std::uint64_t i = 0; i < outlier_count; ++i) {
+    quant.outliers[i] = get_scalar<double>(inner, offset);
+  }
+  return quant;
+}
+
+/// Packs one bit per element (sign / zero masks for the relative mode).
+void write_bitmask(Bytes& inner, const std::vector<bool>& mask) {
+  put_varint(inner, mask.size());
+  BitWriter writer(inner);
+  for (bool b : mask) writer.write_bit(b ? 1 : 0);
+}
+
+std::vector<bool> read_bitmask(ByteSpan inner, std::size_t& offset) {
+  const std::uint64_t n = get_varint(inner, offset);
+  std::vector<bool> mask(n);
+  BitReader reader(inner.subspan(offset));
+  for (std::uint64_t i = 0; i < n; ++i) mask[i] = reader.read_bit() != 0;
+  offset += (reader.position() + 7) / 8;
+  return mask;
+}
+
+}  // namespace
+
+Bytes SzCodec::compress(std::span<const double> data,
+                        const compression::ErrorBound& bound) const {
+  if (!supports(bound.mode) || !(bound.value > 0.0)) {
+    throw std::invalid_argument("sz: unsupported or non-positive bound");
+  }
+  const bool relative =
+      bound.mode == compression::BoundMode::kPointwiseRelative;
+  const int chains = config_.complex_split ? 2 : 1;
+
+  Bytes inner;
+  double quantum;
+  if (!relative) {
+    quantum = 2.0 * bound.value;
+    const QuantResult quant =
+        quantize(data, quantum, config_.max_bins, chains);
+    write_codes(inner, quant, config_.max_bins);
+  } else {
+    // Log-preprocessing: compress log2|d| under an absolute bound chosen so
+    // that 2^|err| <= 1 + eps, with sign and exact-zero side channels.
+    // Nonfinite values and exact zeros bypass the transform via the mask.
+    // With the table-lookup transform the bound shrinks by the lookup's
+    // worst-case error so the end-to-end relative bound still holds.
+    const double log_bound =
+        std::log2(1.0 + bound.value) -
+        (config_.fast_log ? kFastLog2MaxError : 0.0);
+    quantum = 2.0 * log_bound;
+    std::vector<double> logs;
+    logs.reserve(data.size());
+    std::vector<bool> negative(data.size());
+    std::vector<bool> special(data.size());  // zero or nonfinite
+    Bytes special_values;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const double d = data[i];
+      negative[i] = std::signbit(d);
+      if (d == 0.0 || !std::isfinite(d)) {
+        special[i] = true;
+        put_scalar(special_values, d);
+        // Keep prediction chains aligned: substitute a neutral log value.
+        logs.push_back(0.0);
+      } else {
+        logs.push_back(config_.fast_log ? fast_log2_abs(d)
+                                        : std::log2(std::abs(d)));
+      }
+    }
+    const QuantResult quant =
+        quantize(logs, quantum, config_.max_bins, chains);
+    write_codes(inner, quant, config_.max_bins);
+    write_bitmask(inner, negative);
+    write_bitmask(inner, special);
+    put_varint(inner, special_values.size() / sizeof(double));
+    inner.insert(inner.end(), special_values.begin(), special_values.end());
+  }
+
+  const Bytes packed = lossless::zx_compress(inner);
+
+  Bytes out;
+  out.reserve(packed.size() + 32);
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  std::uint8_t flags = 0;
+  if (config_.complex_split) flags |= kFlagSplit;
+  if (relative) flags |= kFlagRelative;
+  out.push_back(static_cast<std::byte>(flags));
+  put_varint(out, data.size());
+  put_varint(out, config_.max_bins);
+  put_scalar(out, quantum);
+  out.insert(out.end(), packed.begin(), packed.end());
+  return out;
+}
+
+void SzCodec::decompress(ByteSpan compressed, std::span<double> out) const {
+  if (compressed.size() < 3 || compressed[0] != kMagic0 ||
+      compressed[1] != kMagic1) {
+    throw std::runtime_error("sz: bad magic");
+  }
+  const auto flags = static_cast<std::uint8_t>(compressed[2]);
+  const bool relative = (flags & kFlagRelative) != 0;
+  const int chains = (flags & kFlagSplit) != 0 ? 2 : 1;
+  std::size_t offset = 3;
+  const std::uint64_t count = get_varint(compressed, offset);
+  const auto bins =
+      static_cast<std::uint32_t>(get_varint(compressed, offset));
+  const auto quantum = get_scalar<double>(compressed, offset);
+  if (out.size() != count) {
+    throw std::runtime_error("sz: output size mismatch");
+  }
+
+  const Bytes inner = lossless::zx_decompress(compressed.subspan(offset));
+  std::size_t pos = 0;
+  const QuantResult quant = read_codes(inner, pos, bins);
+  if (quant.codes.size() != count) {
+    throw std::runtime_error("sz: code count mismatch");
+  }
+
+  if (!relative) {
+    dequantize(quant.codes, quant.outliers, quantum, bins, chains, out);
+    return;
+  }
+  std::vector<double> logs(count);
+  dequantize(quant.codes, quant.outliers, quantum, bins, chains, logs);
+  const std::vector<bool> negative = read_bitmask(inner, pos);
+  const std::vector<bool> special = read_bitmask(inner, pos);
+  const std::uint64_t special_count = get_varint(inner, pos);
+  std::vector<double> special_values(special_count);
+  for (std::uint64_t i = 0; i < special_count; ++i) {
+    special_values[i] = get_scalar<double>(inner, pos);
+  }
+  std::size_t special_pos = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (special[i]) {
+      if (special_pos >= special_values.size()) {
+        throw std::runtime_error("sz: special stream truncated");
+      }
+      out[i] = special_values[special_pos++];
+    } else {
+      const double magnitude = std::exp2(logs[i]);
+      out[i] = negative[i] ? -magnitude : magnitude;
+    }
+  }
+}
+
+std::size_t SzCodec::element_count(ByteSpan compressed) const {
+  if (compressed.size() < 3 || compressed[0] != kMagic0 ||
+      compressed[1] != kMagic1) {
+    throw std::runtime_error("sz: bad magic");
+  }
+  std::size_t offset = 3;
+  return get_varint(compressed, offset);
+}
+
+}  // namespace cqs::sz

@@ -1,0 +1,320 @@
+#include "zfp/zfp.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "lossless/zx.hpp"
+
+namespace cqs::zfp {
+namespace {
+
+constexpr std::byte kMagic0{'Z'};
+constexpr std::byte kMagic1{'F'};
+constexpr std::uint8_t kFlagRelative = 1;
+
+// Fixed-point target: the block maximum is scaled to ~2^kFixedExp, leaving
+// headroom for transform growth inside 62 negabinary planes.
+constexpr int kFixedExp = 58;
+constexpr int kEmaxBias = 1100;  // ilogb(double) in [-1074, 1023]
+constexpr std::uint64_t kNegabinaryMask = 0xaaaaaaaaaaaaaaaaull;
+
+inline std::uint64_t int_to_negabinary(std::int64_t q) {
+  return (static_cast<std::uint64_t>(q) + kNegabinaryMask) ^ kNegabinaryMask;
+}
+
+inline std::int64_t negabinary_to_int(std::uint64_t u) {
+  return static_cast<std::int64_t>((u ^ kNegabinaryMask) - kNegabinaryMask);
+}
+
+/// Exactly invertible two-level integer Haar lifting on 4 coefficients.
+inline void forward_transform(std::array<std::int64_t, 4>& v) {
+  const std::int64_t d1 = v[0] - v[1];
+  const std::int64_t s1 = v[1] + (d1 >> 1);
+  const std::int64_t d2 = v[2] - v[3];
+  const std::int64_t s2 = v[3] + (d2 >> 1);
+  const std::int64_t ds = s1 - s2;
+  const std::int64_t ss = s2 + (ds >> 1);
+  v = {ss, ds, d1, d2};
+}
+
+inline void inverse_transform(std::array<std::int64_t, 4>& v) {
+  const std::int64_t ss = v[0];
+  const std::int64_t ds = v[1];
+  const std::int64_t d1 = v[2];
+  const std::int64_t d2 = v[3];
+  const std::int64_t s2 = ss - (ds >> 1);
+  const std::int64_t s1 = s2 + ds;
+  const std::int64_t q1 = s1 - (d1 >> 1);
+  const std::int64_t q0 = q1 + d1;
+  const std::int64_t q3 = s2 - (d2 >> 1);
+  const std::int64_t q2 = q3 + d2;
+  v = {q0, q1, q2, q3};
+}
+
+/// Planes to keep for an absolute tolerance given the block exponent:
+/// dropped-plane error (incl. transform amplification) must stay <= tol.
+int planes_for_tolerance(double tolerance, int emax) {
+  const double ulp = std::ldexp(1.0, emax - kFixedExp);
+  if (!(tolerance > 0.0)) return kTotalPlanes;
+  const int p =
+      static_cast<int>(std::floor(std::log2(tolerance / ulp))) - 3;
+  return std::clamp(kTotalPlanes - p, 0, kTotalPlanes);
+}
+
+void encode_block(BitWriter& writer, const std::array<std::uint64_t, 4>& u,
+                  int kept) {
+  std::array<bool, 4> significant{};
+  for (int plane = kTotalPlanes - 1; plane >= kTotalPlanes - kept; --plane) {
+    // Refinement bits for already-significant coefficients.
+    for (int i = 0; i < 4; ++i) {
+      if (significant[i]) writer.write_bit((u[i] >> plane) & 1u);
+    }
+    // Group test over the rest: one bit says whether any becomes
+    // significant at this plane; if so, one bit each.
+    std::uint64_t group = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (!significant[i]) group |= (u[i] >> plane) & 1u;
+    }
+    bool any_insignificant = !(significant[0] && significant[1] &&
+                               significant[2] && significant[3]);
+    if (!any_insignificant) continue;
+    writer.write_bit(group);
+    if (group != 0) {
+      for (int i = 0; i < 4; ++i) {
+        if (significant[i]) continue;
+        const std::uint64_t bit = (u[i] >> plane) & 1u;
+        writer.write_bit(bit);
+        if (bit) significant[i] = true;
+      }
+    }
+  }
+}
+
+void decode_block(BitReader& reader, std::array<std::uint64_t, 4>& u,
+                  int kept) {
+  u = {0, 0, 0, 0};
+  std::array<bool, 4> significant{};
+  for (int plane = kTotalPlanes - 1; plane >= kTotalPlanes - kept; --plane) {
+    for (int i = 0; i < 4; ++i) {
+      if (significant[i]) {
+        u[i] |= static_cast<std::uint64_t>(reader.read_bit()) << plane;
+      }
+    }
+    bool any_insignificant = !(significant[0] && significant[1] &&
+                               significant[2] && significant[3]);
+    if (!any_insignificant) continue;
+    if (reader.read_bit() != 0) {
+      for (int i = 0; i < 4; ++i) {
+        if (significant[i]) continue;
+        const std::uint32_t bit = reader.read_bit();
+        if (bit) {
+          u[i] |= 1ull << plane;
+          significant[i] = true;
+        }
+      }
+    }
+  }
+}
+
+void write_bitmask(Bytes& out, const std::vector<bool>& mask) {
+  put_varint(out, mask.size());
+  BitWriter writer(out);
+  for (bool b : mask) writer.write_bit(b ? 1 : 0);
+}
+
+std::vector<bool> read_bitmask(ByteSpan in, std::size_t& offset) {
+  const std::uint64_t n = get_varint(in, offset);
+  std::vector<bool> mask(n);
+  BitReader reader(in.subspan(offset));
+  for (std::uint64_t i = 0; i < n; ++i) mask[i] = reader.read_bit() != 0;
+  offset += (reader.position() + 7) / 8;
+  return mask;
+}
+
+}  // namespace
+
+Bytes ZfpCodec::compress_absolute(std::span<const double> data,
+                                  double tolerance,
+                                  std::uint8_t flags) const {
+  Bytes out;
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(static_cast<std::byte>(flags));
+  put_varint(out, data.size());
+
+  BitWriter writer(out);
+  for (std::size_t base = 0; base < data.size(); base += 4) {
+    std::array<double, 4> block{};
+    const std::size_t have = std::min<std::size_t>(4, data.size() - base);
+    for (std::size_t i = 0; i < have; ++i) block[i] = data[base + i];
+
+    double amax = 0.0;
+    for (double d : block) {
+      if (!std::isfinite(d)) {
+        throw std::invalid_argument("zfp: nonfinite value unsupported");
+      }
+      amax = std::max(amax, std::abs(d));
+    }
+    if (amax == 0.0) {
+      writer.write_bit(1);  // empty block
+      continue;
+    }
+    writer.write_bit(0);
+    const int emax = std::ilogb(amax);
+    const int kept = fixed_precision_ > 0
+                         ? std::min(fixed_precision_, kTotalPlanes)
+                         : planes_for_tolerance(tolerance, emax);
+    writer.write(static_cast<std::uint64_t>(emax + kEmaxBias), 12);
+    writer.write(static_cast<std::uint64_t>(kept), 6);
+
+    std::array<std::int64_t, 4> fixed{};
+    const double scale = std::ldexp(1.0, kFixedExp - emax);
+    for (int i = 0; i < 4; ++i) {
+      fixed[i] = static_cast<std::int64_t>(std::llround(block[i] * scale));
+    }
+    forward_transform(fixed);
+    std::array<std::uint64_t, 4> u{};
+    for (int i = 0; i < 4; ++i) u[i] = int_to_negabinary(fixed[i]);
+    encode_block(writer, u, kept);
+  }
+  writer.flush();
+  return out;
+}
+
+void ZfpCodec::decompress_absolute(ByteSpan in, std::span<double> out) const {
+  std::size_t offset = 3;
+  const std::uint64_t count = get_varint(in, offset);
+  if (out.size() != count) {
+    throw std::runtime_error("zfp: output size mismatch");
+  }
+  BitReader reader(in.subspan(offset));
+  for (std::size_t base = 0; base < count; base += 4) {
+    const std::size_t have = std::min<std::size_t>(4, count - base);
+    if (reader.read_bit() != 0) {
+      for (std::size_t i = 0; i < have; ++i) out[base + i] = 0.0;
+      continue;
+    }
+    const int emax = static_cast<int>(reader.read(12)) - kEmaxBias;
+    const int kept = static_cast<int>(reader.read(6));
+    std::array<std::uint64_t, 4> u{};
+    decode_block(reader, u, kept);
+    std::array<std::int64_t, 4> fixed{};
+    for (int i = 0; i < 4; ++i) fixed[i] = negabinary_to_int(u[i]);
+    inverse_transform(fixed);
+    const double scale = std::ldexp(1.0, emax - kFixedExp);
+    for (std::size_t i = 0; i < have; ++i) {
+      out[base + i] = static_cast<double>(fixed[i]) * scale;
+    }
+  }
+}
+
+Bytes ZfpCodec::compress(std::span<const double> data,
+                         const compression::ErrorBound& bound) const {
+  if (!supports(bound.mode)) {
+    throw std::invalid_argument("zfp: unsupported bound mode");
+  }
+  if (!(bound.value > 0.0) && fixed_precision_ <= 0) {
+    throw std::invalid_argument("zfp: non-positive bound");
+  }
+  if (bound.mode == compression::BoundMode::kAbsolute) {
+    return compress_absolute(data, bound.value, 0);
+  }
+
+  // Pointwise-relative via log preprocessing (the paper's methodology for
+  // ZFP): compress log2|d| under the equivalent absolute bound.
+  const double log_bound = std::log2(1.0 + bound.value);
+  std::vector<double> logs;
+  logs.reserve(data.size());
+  std::vector<bool> negative(data.size());
+  std::vector<bool> special(data.size());
+  Bytes special_values;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double d = data[i];
+    negative[i] = std::signbit(d);
+    if (d == 0.0 || !std::isfinite(d)) {
+      special[i] = true;
+      put_scalar(special_values, d);
+      logs.push_back(0.0);
+    } else {
+      logs.push_back(std::log2(std::abs(d)));
+    }
+  }
+  const Bytes inner = compress_absolute(logs, log_bound, kFlagRelative);
+
+  Bytes sides;
+  write_bitmask(sides, negative);
+  write_bitmask(sides, special);
+  put_varint(sides, special_values.size() / sizeof(double));
+  sides.insert(sides.end(), special_values.begin(), special_values.end());
+  const Bytes packed_sides = lossless::zx_compress(sides);
+
+  Bytes out;
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(static_cast<std::byte>(kFlagRelative));
+  put_varint(out, data.size());
+  put_varint(out, inner.size());
+  out.insert(out.end(), inner.begin(), inner.end());
+  out.insert(out.end(), packed_sides.begin(), packed_sides.end());
+  return out;
+}
+
+void ZfpCodec::decompress(ByteSpan compressed, std::span<double> out) const {
+  if (compressed.size() < 3 || compressed[0] != kMagic0 ||
+      compressed[1] != kMagic1) {
+    throw std::runtime_error("zfp: bad magic");
+  }
+  const auto flags = static_cast<std::uint8_t>(compressed[2]);
+  if ((flags & kFlagRelative) == 0) {
+    decompress_absolute(compressed, out);
+    return;
+  }
+  std::size_t offset = 3;
+  const std::uint64_t count = get_varint(compressed, offset);
+  if (out.size() != count) {
+    throw std::runtime_error("zfp: output size mismatch");
+  }
+  const std::uint64_t inner_size = get_varint(compressed, offset);
+  if (offset + inner_size > compressed.size()) {
+    throw std::runtime_error("zfp: inner blob truncated");
+  }
+  std::vector<double> logs(count);
+  decompress_absolute(compressed.subspan(offset, inner_size), logs);
+  const Bytes sides =
+      lossless::zx_decompress(compressed.subspan(offset + inner_size));
+  std::size_t pos = 0;
+  const std::vector<bool> negative = read_bitmask(sides, pos);
+  const std::vector<bool> special = read_bitmask(sides, pos);
+  const std::uint64_t special_count = get_varint(sides, pos);
+  std::vector<double> special_values(special_count);
+  for (std::uint64_t i = 0; i < special_count; ++i) {
+    special_values[i] = get_scalar<double>(sides, pos);
+  }
+  std::size_t special_pos = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (special[i]) {
+      if (special_pos >= special_values.size()) {
+        throw std::runtime_error("zfp: special stream truncated");
+      }
+      out[i] = special_values[special_pos++];
+    } else {
+      const double magnitude = std::exp2(logs[i]);
+      out[i] = negative[i] ? -magnitude : magnitude;
+    }
+  }
+}
+
+std::size_t ZfpCodec::element_count(ByteSpan compressed) const {
+  if (compressed.size() < 3 || compressed[0] != kMagic0 ||
+      compressed[1] != kMagic1) {
+    throw std::runtime_error("zfp: bad magic");
+  }
+  std::size_t offset = 3;
+  return get_varint(compressed, offset);
+}
+
+}  // namespace cqs::zfp

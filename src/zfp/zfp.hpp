@@ -1,0 +1,49 @@
+// ZFP-like domain-transform lossy compressor (the paper's transform-based
+// baseline). Operates on 1D blocks of 4 doubles:
+//
+//   1. Common-exponent alignment: each block is converted to 62-bit fixed
+//      point relative to the block's maximum exponent.
+//   2. Orthogonal decorrelating block transform: an exactly invertible
+//      two-level integer Haar lifting.
+//   3. Negabinary mapping + embedded bit-plane coding with per-plane group
+//      testing; planes below the precision cutoff are dropped — the only
+//      lossy step, exactly as in ZFP.
+//
+// Modes: fixed-accuracy (absolute bound) and, via the standard
+// log-preprocessing wrapper the paper applies for fairness, pointwise
+// relative bounds.
+#pragma once
+
+#include "compression/compressor.hpp"
+
+namespace cqs::zfp {
+
+/// Total bit planes carried by the fixed-point representation.
+inline constexpr int kTotalPlanes = 62;
+
+class ZfpCodec final : public compression::Compressor {
+ public:
+  /// `fixed_precision`: if > 0, encode exactly this many bit planes per
+  /// block regardless of the bound (ZFP's fixed-precision mode).
+  explicit ZfpCodec(int fixed_precision = 0)
+      : fixed_precision_(fixed_precision) {}
+
+  std::string name() const override { return "zfp"; }
+  bool supports(compression::BoundMode mode) const override {
+    return mode == compression::BoundMode::kAbsolute ||
+           mode == compression::BoundMode::kPointwiseRelative;
+  }
+  Bytes compress(std::span<const double> data,
+                 const compression::ErrorBound& bound) const override;
+  void decompress(ByteSpan compressed, std::span<double> out) const override;
+  std::size_t element_count(ByteSpan compressed) const override;
+
+ private:
+  Bytes compress_absolute(std::span<const double> data, double tolerance,
+                          std::uint8_t flags) const;
+  void decompress_absolute(ByteSpan inner, std::span<double> out) const;
+
+  int fixed_precision_;
+};
+
+}  // namespace cqs::zfp

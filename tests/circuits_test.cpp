@@ -1,0 +1,235 @@
+// Tests for the benchmark circuit generators: Grover amplification, QAOA
+// structure, supremacy rules, QFT correctness, and dataset generation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "circuits/datasets.hpp"
+#include "circuits/grover.hpp"
+#include "circuits/qaoa.hpp"
+#include "circuits/qft.hpp"
+#include "circuits/supremacy.hpp"
+#include "common/rng.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace cqs::circuits {
+namespace {
+
+TEST(GroverTest, OracleUsesOnlyXToffoliZCz) {
+  const auto c = grover_circuit({.data_qubits = 6, .marked_state = 0b101011});
+  for (const auto& [name, count] : c.gate_histogram()) {
+    EXPECT_TRUE(name == "x" || name == "ccx" || name == "z" || name == "cz" ||
+                name == "h")
+        << "unexpected gate " << name;
+  }
+}
+
+TEST(GroverTest, SingleIterationAmplifiesMarkedState) {
+  const int d = 5;
+  const std::uint64_t marked = 0b10110;
+  const auto c = grover_circuit({.data_qubits = d, .marked_state = marked});
+  qsim::StateVector sv(c.num_qubits());
+  sv.apply_circuit(c);
+  // Probability of the marked data-register value (ancillas are |0>).
+  const double uniform = 1.0 / 32.0;
+  const double p_marked = std::norm(sv.amplitude(marked));
+  EXPECT_GT(p_marked, 5.0 * uniform);
+  // Ancillas must be returned to |0>: no amplitude outside the data range.
+  double outside = 0.0;
+  for (std::uint64_t i = (1u << d); i < sv.size(); ++i) {
+    outside += std::norm(sv.amplitude(i));
+  }
+  EXPECT_NEAR(outside, 0.0, 1e-10);
+}
+
+TEST(GroverTest, OptimalIterationsNearCertainty) {
+  const int d = 6;
+  const std::uint64_t marked = 17;
+  const int optimal = static_cast<int>(
+      std::round(std::numbers::pi / 4.0 * std::sqrt(64.0)));
+  const auto c = grover_circuit(
+      {.data_qubits = d, .marked_state = marked, .iterations = optimal});
+  qsim::StateVector sv(c.num_qubits());
+  sv.apply_circuit(c);
+  EXPECT_GT(std::norm(sv.amplitude(marked)), 0.9);
+}
+
+TEST(GroverTest, QubitAccounting) {
+  EXPECT_EQ(grover_total_qubits(31), 60);
+  EXPECT_EQ(grover_data_qubits(60), 31);
+  EXPECT_EQ(grover_total_qubits(2), 2);
+  // Round trip for representative sizes.
+  for (int d : {3, 8, 16, 24, 31}) {
+    EXPECT_EQ(grover_data_qubits(grover_total_qubits(d)), d);
+  }
+}
+
+TEST(GroverTest, GateCountScaleMatchesPaper) {
+  // Paper Table 2: 61-qubit Grover has 314 gates (d = 31). Ours should be
+  // the same order of magnitude for one iteration.
+  const auto c = grover_circuit({.data_qubits = 31, .marked_state = 12345});
+  EXPECT_GT(c.size(), 200u);
+  EXPECT_LT(c.size(), 600u);
+}
+
+TEST(QaoaTest, RegularGraphHasRightDegree) {
+  const auto edges = random_regular_graph(16, 4, 3);
+  EXPECT_EQ(edges.size(), 32u);  // 16 * 4 / 2
+  std::vector<int> degree(16, 0);
+  std::set<std::pair<int, int>> unique(edges.begin(), edges.end());
+  EXPECT_EQ(unique.size(), edges.size());
+  for (const auto& [u, v] : edges) {
+    EXPECT_NE(u, v);
+    ++degree[u];
+    ++degree[v];
+  }
+  for (int deg : degree) EXPECT_EQ(deg, 4);
+}
+
+TEST(QaoaTest, CircuitShape) {
+  const auto c = qaoa_maxcut_circuit({.num_qubits = 10, .layers = 2});
+  qsim::StateVector sv(10);
+  sv.apply_circuit(c);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-10);
+  // 10 H + 2 layers * (20 edges * 3 + 10 RX).
+  EXPECT_EQ(c.size(), 10u + 2u * (20u * 3u + 10u));
+}
+
+TEST(QaoaTest, BeatsRandomCutOnAverage) {
+  const QaoaSpec spec{.num_qubits = 12, .layers = 1};
+  const auto edges = random_regular_graph(spec.num_qubits, 4, spec.seed);
+  const auto c = qaoa_maxcut_circuit(spec);
+  qsim::StateVector sv(spec.num_qubits);
+  sv.apply_circuit(c);
+  // Expected cut under the QAOA distribution.
+  const auto probs = sv.probabilities();
+  double expected_cut = 0.0;
+  for (std::uint64_t s = 0; s < probs.size(); ++s) {
+    expected_cut += probs[s] * cut_value(edges, s);
+  }
+  // Random assignment cuts half the edges on average.
+  EXPECT_GT(expected_cut, static_cast<double>(edges.size()) / 2.0);
+}
+
+TEST(QaoaTest, DeterministicForSeed) {
+  const auto a = random_regular_graph(20, 4, 5);
+  const auto b = random_regular_graph(20, 4, 5);
+  EXPECT_EQ(a, b);
+  const auto c2 = random_regular_graph(20, 4, 6);
+  EXPECT_NE(a, c2);
+}
+
+TEST(SupremacyTest, FollowsBoixoRules) {
+  const SupremacySpec spec{.rows = 4, .cols = 4, .depth = 11};
+  const auto c = supremacy_circuit(spec);
+  // Starts with H on every qubit.
+  for (int q = 0; q < 16; ++q) {
+    EXPECT_EQ(c.ops()[q].kind, qsim::GateKind::kH);
+  }
+  // Contains CZ cycles and the single-qubit pool.
+  bool has_cz = false;
+  bool has_t = false;
+  std::set<std::string> singles;
+  for (const auto& op : c.ops()) {
+    if (op.kind == qsim::GateKind::kCZ) has_cz = true;
+    if (op.kind == qsim::GateKind::kT) has_t = true;
+    if (op.kind == qsim::GateKind::kSqrtX ||
+        op.kind == qsim::GateKind::kSqrtY ||
+        op.kind == qsim::GateKind::kSqrtW) {
+      singles.insert(qsim::gate_name(op.kind));
+    }
+  }
+  EXPECT_TRUE(has_cz);
+  EXPECT_TRUE(has_t);
+  EXPECT_GE(singles.size(), 2u);
+}
+
+TEST(SupremacyTest, NoImmediateSingleGateRepetition) {
+  const auto c = supremacy_circuit({.rows = 3, .cols = 3, .depth = 16});
+  std::vector<qsim::GateKind> last(9, qsim::GateKind::kH);
+  for (const auto& op : c.ops()) {
+    if (op.kind == qsim::GateKind::kSqrtX ||
+        op.kind == qsim::GateKind::kSqrtY ||
+        op.kind == qsim::GateKind::kSqrtW) {
+      EXPECT_NE(op.kind, last[op.target]) << "qubit " << op.target;
+      last[op.target] = op.kind;
+    }
+  }
+}
+
+TEST(SupremacyTest, ProducesPorterThomasLikeSpread) {
+  // Deep random circuits spread amplitude widely: participation ratio far
+  // above 1 state and norm preserved.
+  qsim::StateVector sv(12);
+  sv.apply_circuit(supremacy_circuit({.rows = 3, .cols = 4, .depth = 11}));
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-10);
+  const auto probs = sv.probabilities();
+  double sum_p2 = 0.0;
+  for (double p : probs) sum_p2 += p * p;
+  const double participation = 1.0 / sum_p2;
+  // Full Porter-Thomas would give N/2 = 2048; depth-11 circuits at this
+  // reduced size reach several hundred, far above any concentrated state.
+  EXPECT_GT(participation, 300.0);
+}
+
+TEST(QftTest, MatchesDftOfInputState) {
+  // QFT|x> amplitudes: (1/sqrt(N)) exp(2 pi i x k / N).
+  const int n = 6;
+  const std::uint64_t x = 13;
+  qsim::Circuit prep(n);
+  for (int q = 0; q < n; ++q) {
+    if ((x >> q) & 1u) prep.x(q);
+  }
+  qsim::StateVector sv(n);
+  sv.apply_circuit(prep);
+  sv.apply_circuit(
+      qft_circuit({.num_qubits = n, .random_input = false}));
+  const auto N = static_cast<double>(sv.size());
+  for (std::uint64_t k = 0; k < sv.size(); ++k) {
+    const double phase = 2.0 * std::numbers::pi * static_cast<double>(x * k) / N;
+    const qsim::Amplitude expected =
+        std::polar(1.0 / std::sqrt(N), phase);
+    EXPECT_NEAR(std::abs(sv.amplitude(k) - expected), 0.0, 1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(QftTest, HadamardWallShape) {
+  const auto c = hadamard_wall(7, 3);
+  EXPECT_EQ(c.size(), 21u);
+  EXPECT_EQ(c.num_qubits(), 7);
+}
+
+TEST(DatasetsTest, QaoaDatasetIsNormalizedState) {
+  const auto data = qaoa_dataset(10);
+  EXPECT_EQ(data.size(), (1u << 10) * 2);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < data.size(); i += 2) {
+    norm += data[i] * data[i] + data[i + 1] * data[i + 1];
+  }
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(DatasetsTest, SupremacyDatasetDense) {
+  const auto data = supremacy_dataset(3, 3, 11);
+  std::size_t nonzero = 0;
+  for (double d : data) {
+    if (d != 0.0) ++nonzero;
+  }
+  // Random circuits leave essentially no zero amplitudes.
+  EXPECT_GT(nonzero, data.size() * 9 / 10);
+}
+
+TEST(DatasetsTest, SparseDatasetMostlyZero) {
+  const auto data = sparse_dataset(10, 4);
+  std::size_t nonzero = 0;
+  for (double d : data) {
+    if (d != 0.0) ++nonzero;
+  }
+  EXPECT_LT(nonzero, data.size() / 10);
+}
+
+}  // namespace
+}  // namespace cqs::circuits

@@ -1,0 +1,173 @@
+// Wide property grid: every lossy codec x input shape x size, checking
+// round-trip integrity and bound compliance on structured inputs that
+// stress different codec stages (runs for LZ, ramps for prediction,
+// palettes for the cache-ability claim, spiky data for the transform
+// baselines, mixed magnitudes for exponent handling).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compression/compressor.hpp"
+#include "compression/verify.hpp"
+#include "sz/fast_log.hpp"
+#include "sz/sz.hpp"
+
+namespace cqs::compression {
+namespace {
+
+enum class Shape {
+  kConstant,
+  kRamp,
+  kPalette,
+  kSpiky,
+  kMixedMagnitude,
+  kAlternatingSign,
+};
+
+const char* shape_name(Shape s) {
+  switch (s) {
+    case Shape::kConstant: return "constant";
+    case Shape::kRamp: return "ramp";
+    case Shape::kPalette: return "palette";
+    case Shape::kSpiky: return "spiky";
+    case Shape::kMixedMagnitude: return "mixed";
+    case Shape::kAlternatingSign: return "altsign";
+  }
+  return "?";
+}
+
+std::vector<double> make_shape(Shape shape, std::size_t n) {
+  Rng rng(static_cast<std::uint64_t>(shape) * 977 + n);
+  std::vector<double> data(n);
+  switch (shape) {
+    case Shape::kConstant:
+      for (auto& d : data) d = 0.123456789;
+      break;
+    case Shape::kRamp:
+      for (std::size_t i = 0; i < n; ++i) {
+        data[i] = 1.0 + 1e-7 * static_cast<double>(i);
+      }
+      break;
+    case Shape::kPalette: {
+      const double palette[4] = {0.25, -0.25, 0.70710678, 0.0};
+      for (auto& d : data) d = palette[rng.next_below(4)];
+      break;
+    }
+    case Shape::kSpiky:
+      for (auto& d : data) {
+        d = (rng.next_bool() ? 1.0 : -1.0) *
+            std::exp2(-30.0 * rng.next_double());
+      }
+      break;
+    case Shape::kMixedMagnitude:
+      for (std::size_t i = 0; i < n; ++i) {
+        data[i] = (i % 2 ? 1e12 : 1e-12) * (1.0 + rng.next_double());
+      }
+      break;
+    case Shape::kAlternatingSign:
+      for (std::size_t i = 0; i < n; ++i) {
+        data[i] = (i % 2 ? -1.0 : 1.0) * (0.5 + 0.01 * rng.next_double());
+      }
+      break;
+  }
+  return data;
+}
+
+using GridParam = std::tuple<std::string, int /*Shape*/, std::size_t>;
+
+class CodecGridTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(CodecGridTest, RoundTripWithinBound) {
+  const auto& [name, shape_int, size] = GetParam();
+  const auto shape = static_cast<Shape>(shape_int);
+  const auto codec = make_compressor(name);
+  const auto data = make_shape(shape, size);
+  const double eps = 1e-4;
+  const Bytes compressed = codec->compress(data, ErrorBound::relative(eps));
+  ASSERT_EQ(codec->element_count(compressed), data.size());
+  std::vector<double> out(data.size());
+  codec->decompress(compressed, out);
+  const auto report = measure_error(data, out);
+  EXPECT_LE(report.max_pointwise_relative, eps * (1.0 + 1e-12))
+      << name << "/" << shape_name(shape) << "/" << size;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] == 0.0) {
+      ASSERT_EQ(out[i], 0.0) << name << " zero at " << i;
+    }
+  }
+}
+
+std::vector<GridParam> grid() {
+  std::vector<GridParam> params;
+  for (const auto& codec :
+       {"sz", "sz-complex", "qzc", "qzc-shuffle", "zfp", "fpzip"}) {
+    for (int shape = 0; shape <= 5; ++shape) {
+      for (std::size_t size : {std::size_t{1}, std::size_t{7},
+                               std::size_t{64}, std::size_t{4096}}) {
+        params.emplace_back(codec, shape, size);
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Everything, CodecGridTest, ::testing::ValuesIn(grid()),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name + "_" +
+             shape_name(static_cast<Shape>(std::get<1>(info.param))) + "_" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(FastLogTest, MatchesLibmWithinStatedError) {
+  Rng rng(55);
+  for (int i = 0; i < 200000; ++i) {
+    const double d =
+        std::ldexp(1.0 + rng.next_double(),
+                   static_cast<int>(rng.next_below(600)) - 300) *
+        (rng.next_bool() ? 1.0 : -1.0);
+    const double fast = sz::fast_log2_abs(d);
+    const double exact = std::log2(std::abs(d));
+    ASSERT_NEAR(fast, exact, sz::kFastLog2MaxError) << d;
+  }
+}
+
+TEST(FastLogTest, DenormalsFallBack) {
+  for (double d : {5e-324, 1e-310, -3e-315}) {
+    EXPECT_DOUBLE_EQ(sz::fast_log2_abs(d), std::log2(std::abs(d)));
+  }
+}
+
+TEST(FastLogTest, ExactPowersOfTwo) {
+  for (int e = -100; e <= 100; e += 7) {
+    EXPECT_NEAR(sz::fast_log2_abs(std::ldexp(1.0, e)),
+                static_cast<double>(e), sz::kFastLog2MaxError);
+  }
+}
+
+TEST(SzFastLogModeTest, FastAndExactModesBothRespectBound) {
+  Rng rng(66);
+  std::vector<double> data(8192);
+  for (auto& d : data) d = rng.next_normal();
+  for (bool fast : {true, false}) {
+    sz::SzCodec codec({.fast_log = fast});
+    const auto compressed =
+        codec.compress(data, ErrorBound::relative(1e-5));
+    std::vector<double> out(data.size());
+    codec.decompress(compressed, out);
+    EXPECT_LE(measure_error(data, out).max_pointwise_relative,
+              1e-5 * (1 + 1e-12))
+        << "fast_log=" << fast;
+  }
+}
+
+}  // namespace
+}  // namespace cqs::compression

@@ -1,0 +1,153 @@
+// Property tests shared by every lossy codec in the repository, swept over
+// (codec, error bound) with parameterized gtest:
+//   - decompression respects the requested pointwise relative bound,
+//   - magnitudes never grow for truncation-based codecs,
+//   - round trips preserve element counts and exact zeros,
+//   - compressed data is a self-describing container.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "circuits/datasets.hpp"
+#include "common/rng.hpp"
+#include "compression/compressor.hpp"
+#include "compression/verify.hpp"
+
+namespace cqs::compression {
+namespace {
+
+std::vector<double> random_amplitude_like(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> data(n);
+  for (auto& d : data) {
+    // Spiky, wide-dynamic-range values mimicking Figure 9.
+    const double mag = std::exp2(-20.0 * rng.next_double());
+    d = (rng.next_bool() ? mag : -mag) * rng.next_double();
+  }
+  return data;
+}
+
+using Param = std::tuple<std::string, double>;
+
+class LossyBoundTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(LossyBoundTest, RespectsPointwiseRelativeBound) {
+  const auto& [name, bound] = GetParam();
+  const auto codec = make_compressor(name);
+  ASSERT_TRUE(codec->supports(BoundMode::kPointwiseRelative));
+
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto data = random_amplitude_like(4096, seed);
+    const Bytes compressed =
+        codec->compress(data, ErrorBound::relative(bound));
+    ASSERT_EQ(codec->element_count(compressed), data.size());
+    std::vector<double> out(data.size());
+    codec->decompress(compressed, out);
+    const ErrorReport report = measure_error(data, out);
+    EXPECT_LE(report.max_pointwise_relative, bound * (1.0 + 1e-12))
+        << name << " bound " << bound << " seed " << seed;
+  }
+}
+
+TEST_P(LossyBoundTest, PreservesExactZeros) {
+  const auto& [name, bound] = GetParam();
+  const auto codec = make_compressor(name);
+  std::vector<double> data(1024, 0.0);
+  data[100] = 0.5;
+  data[500] = -0.25;
+  const Bytes compressed = codec->compress(data, ErrorBound::relative(bound));
+  std::vector<double> out(data.size());
+  codec->decompress(compressed, out);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] == 0.0) {
+      EXPECT_EQ(out[i], 0.0) << name << " index " << i;
+    }
+  }
+}
+
+TEST_P(LossyBoundTest, QuantumStateDataRespectsBound) {
+  const auto& [name, bound] = GetParam();
+  const auto codec = make_compressor(name);
+  const auto data = circuits::qaoa_dataset(10);
+  const Bytes compressed = codec->compress(data, ErrorBound::relative(bound));
+  std::vector<double> out(data.size());
+  codec->decompress(compressed, out);
+  const ErrorReport report = measure_error(data, out);
+  EXPECT_LE(report.max_pointwise_relative, bound * (1.0 + 1e-12));
+}
+
+TEST_P(LossyBoundTest, TighterBoundNoWorseFidelityOfReconstruction) {
+  const auto& [name, bound] = GetParam();
+  if (bound > 1e-2) GTEST_SKIP() << "only meaningful for tight bounds";
+  const auto codec = make_compressor(name);
+  const auto data = random_amplitude_like(2048, 77);
+  const Bytes loose = codec->compress(data, ErrorBound::relative(1e-1));
+  const Bytes tight = codec->compress(data, ErrorBound::relative(bound));
+  const auto out_loose = codec->decompress_to_vector(loose);
+  const auto out_tight = codec->decompress_to_vector(tight);
+  EXPECT_LE(measure_error(data, out_tight).max_pointwise_relative,
+            measure_error(data, out_loose).max_pointwise_relative +
+                1e-15);
+}
+
+const double kBounds[] = {1e-1, 1e-2, 1e-3, 1e-4, 1e-5};
+
+std::vector<Param> all_params() {
+  std::vector<Param> params;
+  for (const auto& name :
+       {"sz", "sz-complex", "qzc", "qzc-shuffle", "zfp", "fpzip"}) {
+    for (double b : kBounds) params.emplace_back(name, b);
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsAllBounds, LossyBoundTest, ::testing::ValuesIn(all_params()),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      const int exponent = static_cast<int>(
+          std::round(-std::log10(std::get<1>(info.param))));
+      return name + "_1em" + std::to_string(exponent);
+    });
+
+TEST(CompressorRegistryTest, AllNamesConstruct) {
+  for (const auto& name : compressor_names()) {
+    const auto codec = make_compressor(name);
+    EXPECT_EQ(codec->name(), name);
+  }
+  EXPECT_THROW(make_compressor("nope"), std::invalid_argument);
+}
+
+TEST(CompressorRegistryTest, LosslessCodecIsExact) {
+  const auto codec = make_compressor("zstd");
+  const auto data = random_amplitude_like(4096, 9);
+  const Bytes compressed = codec->compress(data, ErrorBound::lossless());
+  std::vector<double> out(data.size());
+  codec->decompress(compressed, out);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(out[i], data[i]);
+  }
+}
+
+TEST(CompressorRegistryTest, EmptyInputRoundTrips) {
+  for (const auto& name : compressor_names()) {
+    const auto codec = make_compressor(name);
+    const ErrorBound bound = codec->supports(BoundMode::kPointwiseRelative)
+                                 ? ErrorBound::relative(1e-3)
+                                 : ErrorBound::lossless();
+    const Bytes compressed = codec->compress({}, bound);
+    EXPECT_EQ(codec->element_count(compressed), 0u) << name;
+    std::vector<double> out;
+    codec->decompress(compressed, out);  // must not throw
+  }
+}
+
+}  // namespace
+}  // namespace cqs::compression

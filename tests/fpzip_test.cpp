@@ -1,0 +1,101 @@
+// Unit tests specific to the FPZIP-like predictive codec.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compression/verify.hpp"
+#include "fpzip/fpzip.hpp"
+
+namespace cqs::fpzip {
+namespace {
+
+using compression::BoundMode;
+using compression::ErrorBound;
+using compression::measure_error;
+
+TEST(FpzipTest, PrecisionMappingMatchesPaperTable) {
+  // Paper (Section 4.1): precisions {16, 18, 22, 24, 28} approximate
+  // pointwise relative bounds {1e-1 .. 1e-5}. Our derivation lands within
+  // +-2 bits of the paper's choices.
+  EXPECT_NEAR(precision_for_bound(1e-1), 16, 2);
+  EXPECT_NEAR(precision_for_bound(1e-2), 18, 2);
+  EXPECT_NEAR(precision_for_bound(1e-3), 22, 2);
+  EXPECT_NEAR(precision_for_bound(1e-4), 24, 2);
+  EXPECT_NEAR(precision_for_bound(1e-5), 28, 2);
+}
+
+TEST(FpzipTest, BoundForPrecisionInverse) {
+  for (int p : {16, 20, 30, 40}) {
+    EXPECT_LE(bound_for_precision(p), bound_for_precision(p - 1));
+  }
+}
+
+TEST(FpzipTest, LosslessModeBitExact) {
+  Rng rng(3);
+  std::vector<double> data(10000);
+  for (auto& d : data) d = rng.next_normal() * std::exp2(rng.next_below(40));
+  FpzipCodec codec;
+  const auto compressed = codec.compress(data, ErrorBound::lossless());
+  std::vector<double> out(data.size());
+  codec.decompress(compressed, out);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(out[i], data[i]);
+  }
+}
+
+TEST(FpzipTest, HigherPrecisionLargerOutput) {
+  Rng rng(13);
+  std::vector<double> data(8192);
+  for (auto& d : data) d = rng.next_normal();
+  FpzipCodec p16(16);
+  FpzipCodec p28(28);
+  const auto bound = ErrorBound::relative(1e-9);  // overridden by precision
+  EXPECT_LT(p16.compress(data, bound).size(),
+            p28.compress(data, bound).size());
+}
+
+TEST(FpzipTest, MagnitudeNeverGrows) {
+  Rng rng(7);
+  std::vector<double> data(4096);
+  for (auto& d : data) d = rng.next_normal();
+  FpzipCodec codec;
+  const auto compressed = codec.compress(data, ErrorBound::relative(1e-3));
+  std::vector<double> out(data.size());
+  codec.decompress(compressed, out);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_LE(std::abs(out[i]), std::abs(data[i]));
+    EXPECT_EQ(std::signbit(out[i]), std::signbit(data[i]));
+  }
+}
+
+TEST(FpzipTest, SmoothDataDeltaCodesWell) {
+  std::vector<double> smooth(65536);
+  for (std::size_t i = 0; i < smooth.size(); ++i) {
+    smooth[i] = 1.0 + 1e-6 * static_cast<double>(i);
+  }
+  FpzipCodec codec;
+  const auto compressed = codec.compress(smooth, ErrorBound::lossless());
+  const double ratio = static_cast<double>(smooth.size() * 8) /
+                       static_cast<double>(compressed.size());
+  EXPECT_GT(ratio, 2.0);
+}
+
+TEST(FpzipTest, InvalidPrecisionRejected) {
+  EXPECT_THROW(FpzipCodec(3), std::invalid_argument);
+  EXPECT_THROW(FpzipCodec(65), std::invalid_argument);
+  EXPECT_NO_THROW(FpzipCodec(4));
+  EXPECT_NO_THROW(FpzipCodec(64));
+}
+
+TEST(FpzipTest, AbsoluteModeUnsupported) {
+  FpzipCodec codec;
+  EXPECT_FALSE(codec.supports(BoundMode::kAbsolute));
+  std::vector<double> data(8, 1.0);
+  EXPECT_THROW(codec.compress(data, ErrorBound::absolute(1e-3)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cqs::fpzip

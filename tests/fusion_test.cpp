@@ -1,0 +1,149 @@
+// Tests for the single-qubit gate fusion pass and the kU3G decomposition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/grover.hpp"
+#include "circuits/supremacy.hpp"
+#include "common/rng.hpp"
+#include "qsim/fusion.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace cqs::qsim {
+namespace {
+
+/// Exact state equality (not just fidelity): kU3G carries global phase.
+void expect_states_equal(const StateVector& a, const StateVector& b,
+                         double tol = 1e-10) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::uint64_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(std::abs(a.amplitude(i) - b.amplitude(i)), 0.0, tol)
+        << "index " << i;
+  }
+}
+
+TEST(DecomposeUnitaryTest, ReconstructsArbitraryUnitaries) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random unitary from random U3G parameters.
+    const GateOp source{GateKind::kU3G,
+                        0,
+                        {-1, -1},
+                        {rng.next_double() * 3.14, rng.next_double() * 6.28,
+                         rng.next_double() * 6.28 - 3.14,
+                         rng.next_double() * 6.28 - 3.14}};
+    const Mat2 m = gate_matrix(source);
+    ASSERT_TRUE(m.approx_unitary());
+    const GateOp decomposed = decompose_unitary(m, 0);
+    const Mat2 m2 = gate_matrix(decomposed);
+    EXPECT_NEAR(std::abs(m.u00 - m2.u00), 0.0, 1e-10);
+    EXPECT_NEAR(std::abs(m.u01 - m2.u01), 0.0, 1e-10);
+    EXPECT_NEAR(std::abs(m.u10 - m2.u10), 0.0, 1e-10);
+    EXPECT_NEAR(std::abs(m.u11 - m2.u11), 0.0, 1e-10);
+  }
+}
+
+TEST(DecomposeUnitaryTest, HandlesThetaPiEdge) {
+  // X-like gates: u00 = 0.
+  for (auto kind : {GateKind::kX, GateKind::kY}) {
+    const Mat2 m = gate_matrix({kind, 0});
+    const Mat2 m2 = gate_matrix(decompose_unitary(m, 0));
+    EXPECT_NEAR(std::abs(m.u01 - m2.u01), 0.0, 1e-12) << gate_name(kind);
+    EXPECT_NEAR(std::abs(m.u10 - m2.u10), 0.0, 1e-12);
+  }
+}
+
+TEST(FusionTest, FusedCircuitGivesIdenticalState) {
+  Rng rng(11);
+  Circuit c(6);
+  for (int i = 0; i < 300; ++i) {
+    const int q = static_cast<int>(rng.next_below(6));
+    switch (rng.next_below(7)) {
+      case 0: c.h(q); break;
+      case 1: c.t(q); break;
+      case 2: c.rx(q, rng.next_double()); break;
+      case 3: c.rz(q, rng.next_double()); break;
+      case 4: c.sx(q); break;
+      case 5: {
+        const int p = static_cast<int>(rng.next_below(6));
+        if (p != q) c.cx(p, q);
+        break;
+      }
+      case 6: {
+        const int p = static_cast<int>(rng.next_below(6));
+        if (p != q) c.swap(p, q);
+        break;
+      }
+    }
+  }
+  FusionStats stats;
+  const Circuit fused = fuse_single_qubit_gates(c, &stats);
+  EXPECT_LT(stats.gates_after, stats.gates_before);
+  EXPECT_GT(stats.fused_runs, 0u);
+
+  StateVector a(6);
+  StateVector b(6);
+  a.apply_circuit(c);
+  b.apply_circuit(fused);
+  expect_states_equal(a, b);
+}
+
+TEST(FusionTest, RunsOfHadamardsCollapseToOne) {
+  Circuit c(2);
+  c.h(0).h(0).h(0).t(0).t(0).h(1);
+  FusionStats stats;
+  const Circuit fused = fuse_single_qubit_gates(c, &stats);
+  // 5 ops on qubit 0 fuse to 1, the single H on qubit 1 stays.
+  EXPECT_EQ(fused.size(), 2u);
+  EXPECT_EQ(stats.fused_runs, 1u);
+}
+
+TEST(FusionTest, ControlledGatesBreakRuns) {
+  Circuit c(2);
+  c.h(0).cx(0, 1).h(0);
+  const Circuit fused = fuse_single_qubit_gates(c);
+  EXPECT_EQ(fused.size(), 3u);  // nothing fusable across the CX
+  StateVector a(2);
+  StateVector b(2);
+  a.apply_circuit(c);
+  b.apply_circuit(fused);
+  expect_states_equal(a, b);
+}
+
+TEST(FusionTest, SingleGateRunsKeepOriginalKind) {
+  Circuit c(2);
+  c.rz(0, 0.5).cx(0, 1);
+  const Circuit fused = fuse_single_qubit_gates(c);
+  ASSERT_EQ(fused.size(), 2u);
+  // Length-1 run keeps its diagonal classification (cheap routing in the
+  // compressed simulator).
+  EXPECT_EQ(fused.ops()[0].kind, GateKind::kRz);
+}
+
+TEST(FusionTest, GroverOracleFramesFuse) {
+  const auto c = circuits::grover_circuit(
+      {.data_qubits = 8, .marked_state = 0x0f});
+  FusionStats stats;
+  const Circuit fused = fuse_single_qubit_gates(c, &stats);
+  // The diffusion operator's H-X runs fuse.
+  EXPECT_LT(stats.gates_after, stats.gates_before);
+  StateVector a(c.num_qubits());
+  StateVector b(c.num_qubits());
+  a.apply_circuit(c);
+  b.apply_circuit(fused);
+  expect_states_equal(a, b);
+}
+
+TEST(FusionTest, SupremacyCircuitEquivalence) {
+  const auto c =
+      circuits::supremacy_circuit({.rows = 3, .cols = 3, .depth = 14});
+  const Circuit fused = fuse_single_qubit_gates(c);
+  StateVector a(9);
+  StateVector b(9);
+  a.apply_circuit(c);
+  b.apply_circuit(fused);
+  expect_states_equal(a, b);
+}
+
+}  // namespace
+}  // namespace cqs::qsim

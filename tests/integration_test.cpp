@@ -1,0 +1,279 @@
+// Whole-stack integration sweeps: the compressed simulator against the
+// dense reference over the cross product of codec x partition shape x
+// workload, randomized-circuit equivalence over seeds, and budget-pressure
+// properties. These are the "does the whole machine agree with physics"
+// tests; the per-module suites cover the parts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "circuits/grover.hpp"
+#include "circuits/qaoa.hpp"
+#include "circuits/qft.hpp"
+#include "circuits/supremacy.hpp"
+#include "common/rng.hpp"
+#include "core/memory_model.hpp"
+#include "core/simulator.hpp"
+#include "qsim/fusion.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace cqs::core {
+namespace {
+
+double fidelity_vs_dense(CompressedStateSimulator& sim,
+                         const qsim::Circuit& circuit) {
+  qsim::StateVector reference(circuit.num_qubits());
+  reference.apply_circuit(circuit);
+  return qsim::state_fidelity(reference.raw(), sim.to_raw());
+}
+
+qsim::Circuit workload(const std::string& kind, int qubits) {
+  if (kind == "grover") {
+    return circuits::grover_circuit(
+        {.data_qubits = circuits::grover_data_qubits(qubits),
+         .marked_state = 5});
+  }
+  if (kind == "qaoa") {
+    return circuits::qaoa_maxcut_circuit({.num_qubits = qubits});
+  }
+  if (kind == "qft") {
+    return circuits::qft_circuit({.num_qubits = qubits});
+  }
+  // supremacy-ish on a 2 x (qubits/2) grid.
+  return circuits::supremacy_circuit(
+      {.rows = 2, .cols = qubits / 2, .depth = 9});
+}
+
+// ---------------------------------------------------------------------
+// Sweep 1: codec x partition, lossless mode -> fidelity 1 vs dense.
+
+using ShapeParam = std::tuple<int, int>;  // (ranks, blocks_per_rank)
+
+class PartitionSweepTest : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(PartitionSweepTest, AllWorkloadsMatchDense) {
+  const auto [ranks, blocks] = GetParam();
+  for (const std::string kind : {"grover", "qaoa", "qft", "sup"}) {
+    const auto circuit = workload(kind, 10);
+    SimConfig config;
+    config.num_qubits = circuit.num_qubits();
+    config.num_ranks = ranks;
+    config.blocks_per_rank = blocks;
+    config.threads = 4;
+    CompressedStateSimulator sim(config);
+    sim.apply_circuit(circuit);
+    EXPECT_NEAR(fidelity_vs_dense(sim, circuit), 1.0, 1e-9)
+        << kind << " " << ranks << "x" << blocks;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PartitionSweepTest,
+    ::testing::Values(ShapeParam{1, 1}, ShapeParam{1, 16}, ShapeParam{2, 2},
+                      ShapeParam{4, 8}, ShapeParam{8, 4}, ShapeParam{16, 1},
+                      ShapeParam{32, 2}),
+    [](const auto& info) {
+      return "r" + std::to_string(std::get<0>(info.param)) + "b" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Sweep 2: random circuits over seeds, every codec at a lossy level;
+// measured fidelity must respect the tracked bound and stay near 1 for a
+// tight bound.
+
+using CodecSeed = std::tuple<std::string, std::uint64_t>;
+
+class RandomCircuitSweepTest : public ::testing::TestWithParam<CodecSeed> {};
+
+qsim::Circuit random_circuit(int qubits, int gates, std::uint64_t seed) {
+  Rng rng(seed);
+  qsim::Circuit c(qubits);
+  for (int i = 0; i < gates; ++i) {
+    const int q = static_cast<int>(rng.next_below(qubits));
+    switch (rng.next_below(8)) {
+      case 0: c.h(q); break;
+      case 1: c.t(q); break;
+      case 2: c.sx(q); break;
+      case 3: c.rz(q, rng.next_double() * 3.0); break;
+      case 4: c.ry(q, rng.next_double() * 2.0); break;
+      case 5: {
+        const int p = static_cast<int>(rng.next_below(qubits));
+        if (p != q) c.cx(p, q);
+        break;
+      }
+      case 6: {
+        const int p = static_cast<int>(rng.next_below(qubits));
+        if (p != q) c.cz(p, q);
+        break;
+      }
+      case 7: {
+        const int p = static_cast<int>(rng.next_below(qubits));
+        const int r = static_cast<int>(rng.next_below(qubits));
+        if (p != q && r != q && p != r) c.ccx(p, r, q);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+TEST_P(RandomCircuitSweepTest, LossyFidelityRespectsBound) {
+  const auto& [codec, seed] = GetParam();
+  const auto circuit = random_circuit(10, 120, seed);
+  SimConfig config;
+  config.num_qubits = 10;
+  config.num_ranks = 4;
+  config.blocks_per_rank = 4;
+  config.threads = 4;
+  config.codec = codec;
+  config.initial_level = 1;  // 1e-5
+  CompressedStateSimulator sim(config);
+  sim.apply_circuit(circuit);
+  const double measured = fidelity_vs_dense(sim, circuit);
+  EXPECT_GE(measured + 1e-12, sim.fidelity_bound());
+  EXPECT_GT(measured, 0.998) << codec << " seed " << seed;
+}
+
+std::vector<CodecSeed> codec_seed_params() {
+  std::vector<CodecSeed> params;
+  for (const auto& codec : {"qzc", "sz", "zfp", "fpzip"}) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) params.emplace_back(codec, seed);
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CodecsSeeds, RandomCircuitSweepTest,
+    ::testing::ValuesIn(codec_seed_params()), [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name + "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Sweep 3: budget pressure. Tighter budgets escalate further, never past
+// the ladder; compressed size obeys the budget unless flagged; fidelity
+// bound decreases monotonically with pressure.
+
+class BudgetSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BudgetSweepTest, BudgetObeyedOrFlagged) {
+  const double fraction = GetParam();
+  const auto circuit =
+      circuits::supremacy_circuit({.rows = 3, .cols = 4, .depth = 8});
+  SimConfig config;
+  config.num_qubits = 12;
+  config.num_ranks = 2;
+  config.blocks_per_rank = 8;
+  config.threads = 4;
+  config.memory_budget_bytes = static_cast<std::size_t>(
+      fraction * static_cast<double>(memory_required_bytes(12)));
+  CompressedStateSimulator sim(config);
+  sim.apply_circuit(circuit);
+  const auto report = sim.report();
+  if (!report.budget_exceeded) {
+    EXPECT_LE(sim.compressed_bytes(), config.memory_budget_bytes);
+  } else {
+    EXPECT_EQ(sim.ladder_level(),
+              static_cast<int>(config.error_ladder.size()));
+  }
+  EXPECT_LE(sim.ladder_level(),
+            static_cast<int>(config.error_ladder.size()));
+  // The run must still be recognizably the right state.
+  EXPECT_GT(fidelity_vs_dense(sim, circuit), 0.2) << fraction;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, BudgetSweepTest,
+                         ::testing::Values(0.5, 0.3, 0.2, 0.1, 0.05),
+                         [](const auto& info) {
+                           return "pct" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 100));
+                         });
+
+TEST(BudgetMonotonicityTest, TighterBudgetNoHigherFidelityBound) {
+  const auto circuit =
+      circuits::supremacy_circuit({.rows = 3, .cols = 4, .depth = 8});
+  double prev_bound = -1.0;
+  for (double fraction : {0.05, 0.2, 0.5}) {
+    SimConfig config;
+    config.num_qubits = 12;
+    config.num_ranks = 2;
+    config.blocks_per_rank = 8;
+    config.threads = 4;
+    config.memory_budget_bytes = static_cast<std::size_t>(
+        fraction * static_cast<double>(memory_required_bytes(12)));
+    CompressedStateSimulator sim(config);
+    sim.apply_circuit(circuit);
+    EXPECT_GE(sim.fidelity_bound() + 1e-12, prev_bound) << fraction;
+    prev_bound = sim.fidelity_bound();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Sweep 4: fusion inside the compressed simulator across workloads.
+
+TEST(FusedCompressedTest, FusedCircuitsMatchDense) {
+  for (const std::string kind : {"grover", "sup", "qft"}) {
+    const auto circuit = workload(kind, 10);
+    const auto fused = qsim::fuse_single_qubit_gates(circuit);
+    SimConfig config;
+    config.num_qubits = circuit.num_qubits();
+    config.num_ranks = 4;
+    config.blocks_per_rank = 4;
+    config.threads = 4;
+    CompressedStateSimulator sim(config);
+    sim.apply_circuit(fused);
+    // Compare against the dense run of the *original* circuit.
+    EXPECT_NEAR(fidelity_vs_dense(sim, circuit), 1.0, 1e-9) << kind;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Sweep 5: end-to-end Grover quality under compression, several sizes.
+
+class GroverSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroverSweepTest, MarkedStateAmplified) {
+  const int data_qubits = GetParam();
+  const std::uint64_t marked = (1ull << data_qubits) - 2;
+  const int iterations = std::max(
+      1, static_cast<int>(std::round(std::numbers::pi / 4.0 *
+                                     std::sqrt(1 << data_qubits))));
+  const auto circuit = circuits::grover_circuit(
+      {.data_qubits = data_qubits, .marked_state = marked,
+       .iterations = iterations});
+  SimConfig config;
+  config.num_qubits = circuit.num_qubits();
+  config.num_ranks = 2;
+  config.blocks_per_rank = 4;
+  config.threads = 4;
+  // Real budget pressure, like the paper's Grover rows — floored so tiny
+  // instances are not forced straight to the loosest error level.
+  config.memory_budget_bytes = std::max<std::size_t>(
+      2048, static_cast<std::size_t>(
+                0.02 * static_cast<double>(
+                           memory_required_bytes(circuit.num_qubits()))));
+  CompressedStateSimulator sim(config);
+  sim.apply_circuit(circuit);
+  double p_marked = 1.0;
+  for (int q = 0; q < data_qubits; ++q) {
+    const double p1 = sim.probability_one(q);
+    p_marked *= ((marked >> q) & 1u) ? p1 : (1.0 - p1);
+  }
+  EXPECT_GT(p_marked, 0.8) << data_qubits << " data qubits";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GroverSweepTest,
+                         ::testing::Values(4, 5, 6, 7),
+                         [](const auto& info) {
+                           return "d" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace cqs::core

@@ -1,0 +1,198 @@
+// Unit tests for the lossless stack: canonical Huffman, LZ77, and the zx
+// container (the Zstd stand-in).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "lossless/huffman.hpp"
+#include "lossless/lz77.hpp"
+#include "lossless/zx.hpp"
+
+namespace cqs::lossless {
+namespace {
+
+Bytes to_bytes(const std::string& s) {
+  Bytes b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+TEST(HuffmanTest, LengthsSatisfyKraft) {
+  std::vector<std::uint64_t> counts(256, 0);
+  counts['a'] = 1000;
+  counts['b'] = 500;
+  counts['c'] = 100;
+  counts['d'] = 1;
+  const auto lengths = build_code_lengths(counts);
+  double kraft = 0.0;
+  for (auto l : lengths) {
+    if (l > 0) kraft += std::pow(2.0, -static_cast<double>(l));
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+  EXPECT_LE(lengths['a'], lengths['d']);
+}
+
+TEST(HuffmanTest, SingleSymbolGetsLengthOne) {
+  std::vector<std::uint64_t> counts(256, 0);
+  counts[42] = 100;
+  const auto lengths = build_code_lengths(counts);
+  EXPECT_EQ(lengths[42], 1);
+}
+
+TEST(HuffmanTest, DepthLimitRespectedOnPathologicalCounts) {
+  // Fibonacci-like counts force deep trees without limiting.
+  std::vector<std::uint64_t> counts(64, 0);
+  std::uint64_t a = 1;
+  std::uint64_t b = 1;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = a;
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto lengths = build_code_lengths(counts);
+  for (auto l : lengths) EXPECT_LE(l, kMaxCodeLength);
+}
+
+TEST(HuffmanTest, EncodeDecodeRoundTrip) {
+  std::vector<std::uint64_t> counts(300, 0);
+  Rng rng(3);
+  std::vector<std::uint32_t> symbols;
+  for (int i = 0; i < 20000; ++i) {
+    // Skewed distribution over a >256 alphabet (like SZ quant codes).
+    const auto s = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(299, rng.next_below(16) * rng.next_below(20)));
+    symbols.push_back(s);
+    ++counts[s];
+  }
+  const auto encoder = HuffmanEncoder::from_counts(counts);
+  Bytes buffer;
+  encoder.write_table(buffer);
+  {
+    BitWriter writer(buffer);
+    for (auto s : symbols) encoder.encode(writer, s);
+  }
+  std::size_t offset = 0;
+  const auto decoder = HuffmanDecoder::read_table(buffer, offset, 300);
+  BitReader reader(ByteSpan(buffer).subspan(offset));
+  for (auto s : symbols) {
+    ASSERT_EQ(decoder.decode(reader), s);
+  }
+}
+
+TEST(Lz77Test, RoundTripText) {
+  const Bytes input = to_bytes(
+      "the quick brown fox jumps over the lazy dog; "
+      "the quick brown fox jumps over the lazy dog again and again");
+  Bytes tokens;
+  lz77_tokenize(input, tokens);
+  EXPECT_LT(tokens.size(), input.size());
+  const Bytes output = lz77_detokenize(tokens, input.size());
+  EXPECT_EQ(output, input);
+}
+
+TEST(Lz77Test, RoundTripAllZeros) {
+  const Bytes input(1 << 16, std::byte{0});
+  Bytes tokens;
+  lz77_tokenize(input, tokens);
+  EXPECT_LT(tokens.size(), 64u);  // one giant overlapping match
+  EXPECT_EQ(lz77_detokenize(tokens, input.size()), input);
+}
+
+TEST(Lz77Test, RoundTripIncompressibleRandom) {
+  Rng rng(11);
+  Bytes input(10000);
+  for (auto& b : input) {
+    b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  }
+  Bytes tokens;
+  lz77_tokenize(input, tokens);
+  EXPECT_EQ(lz77_detokenize(tokens, input.size()), input);
+}
+
+TEST(Lz77Test, EmptyInput) {
+  Bytes tokens;
+  lz77_tokenize({}, tokens);
+  EXPECT_EQ(lz77_detokenize(tokens, 0).size(), 0u);
+}
+
+TEST(Lz77Test, ShortInputsBelowMinMatch) {
+  for (std::size_t n = 1; n < kMinMatch; ++n) {
+    Bytes input(n, std::byte{7});
+    Bytes tokens;
+    lz77_tokenize(input, tokens);
+    EXPECT_EQ(lz77_detokenize(tokens, n), input);
+  }
+}
+
+TEST(Lz77Test, DetokenizeRejectsBadOffset) {
+  Bytes tokens;
+  put_varint(tokens, 0);   // no literals
+  put_varint(tokens, 1);   // match length 4
+  put_varint(tokens, 10);  // offset beyond output
+  EXPECT_THROW(lz77_detokenize(tokens, 4), std::runtime_error);
+}
+
+TEST(ZxTest, RoundTripVariousInputs) {
+  Rng rng(23);
+  std::vector<Bytes> inputs;
+  inputs.push_back({});
+  inputs.push_back(to_bytes("a"));
+  inputs.push_back(to_bytes(std::string(100000, 'z')));
+  Bytes random(50000);
+  for (auto& b : random) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  inputs.push_back(random);
+  Bytes structured;
+  for (int i = 0; i < 10000; ++i) {
+    structured.push_back(static_cast<std::byte>(i % 17));
+  }
+  inputs.push_back(structured);
+
+  for (const auto& input : inputs) {
+    const Bytes compressed = zx_compress(input);
+    EXPECT_EQ(zx_original_size(compressed), input.size());
+    EXPECT_EQ(zx_decompress(compressed), input);
+  }
+}
+
+TEST(ZxTest, ZerosCompressMassively) {
+  const Bytes zeros(1 << 20, std::byte{0});
+  const Bytes compressed = zx_compress(zeros);
+  EXPECT_LT(compressed.size(), zeros.size() / 1000);
+}
+
+TEST(ZxTest, NeverExpandsBeyondHeader) {
+  Rng rng(5);
+  Bytes random(4096);
+  for (auto& b : random) b = static_cast<std::byte>(rng.next_u64() & 0xff);
+  const Bytes compressed = zx_compress(random);
+  EXPECT_LE(compressed.size(), random.size() + 12);
+}
+
+TEST(ZxTest, RejectsCorruptMagic) {
+  Bytes bogus = to_bytes("not a container");
+  EXPECT_THROW(zx_decompress(bogus), std::runtime_error);
+  EXPECT_THROW(zx_original_size(bogus), std::runtime_error);
+}
+
+TEST(ZxTest, StateVectorLikeDataRoundTrip) {
+  // Doubles with repeated values (amplitudes sharing values, Section 3.4).
+  std::vector<double> values(8192);
+  Rng rng(31);
+  const double palette[4] = {0.0, 0.125, -0.125, 0.7071067811865476};
+  for (auto& v : values) v = palette[rng.next_below(4)];
+  ByteSpan input = as_bytes_span<double>(values);
+  const Bytes compressed = zx_compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 4);
+  const Bytes output = zx_decompress(compressed);
+  ASSERT_EQ(output.size(), input.size());
+  EXPECT_EQ(0, std::memcmp(output.data(), input.data(), input.size()));
+}
+
+}  // namespace
+}  // namespace cqs::lossless

@@ -1,0 +1,79 @@
+// Tests for the paper's memory arithmetic (Table 1 and Section 5.5).
+#include <gtest/gtest.h>
+
+#include "core/fidelity.hpp"
+#include "core/memory_model.hpp"
+
+namespace cqs::core {
+namespace {
+
+TEST(MemoryModelTest, RequirementIsTwoToNPlusFour) {
+  EXPECT_EQ(memory_required_bytes(0), 16u);             // one amplitude
+  EXPECT_EQ(memory_required_bytes(10), 1u << 14);
+  EXPECT_EQ(memory_required_bytes(45), 1ull << 49);     // 0.5 PB (paper)
+  EXPECT_EQ(memory_required_bytes(47), 1ull << 51);     // 2 PB (Grover 47)
+  EXPECT_THROW(memory_required_bytes(60), std::invalid_argument);
+}
+
+TEST(MemoryModelTest, Table1MaxQubits) {
+  // The paper's Table 1: Summit 2.8 PB -> 47, Sierra 1.38 PB -> 46,
+  // Sunway 1.31 PB -> 46, Theta 0.8 PB -> 45.
+  const auto rows = table1_machines();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].name, "Summit");
+  EXPECT_EQ(rows[0].max_qubits, 47);
+  EXPECT_EQ(rows[1].max_qubits, 46);
+  EXPECT_EQ(rows[2].max_qubits, 46);
+  EXPECT_EQ(rows[3].name, "Theta");
+  EXPECT_EQ(rows[3].max_qubits, 45);
+}
+
+TEST(MemoryModelTest, CompressionExtendsQubits) {
+  // Section 5.5: ratios of 4.85x..21x add 2..4 qubits; the Grover ratio
+  // of ~7e4 adds 16 qubits (61 on Theta).
+  const std::uint64_t theta = static_cast<std::uint64_t>(0.8e15);
+  EXPECT_EQ(max_qubits_for_memory(theta), 45);
+  EXPECT_EQ(max_qubits_with_compression(theta, 4.85), 47);
+  EXPECT_EQ(max_qubits_with_compression(theta, 21.34), 49);
+  EXPECT_EQ(max_qubits_with_compression(theta, 7.39e4), 61);
+  EXPECT_THROW(max_qubits_with_compression(theta, 0.5),
+               std::invalid_argument);
+}
+
+TEST(MemoryModelTest, SummitProjection) {
+  // Section 5.5: expected maximum simulation size on Summit is 63 qubits
+  // for general circuits (with the Grover-class ratio it would be more;
+  // the paper quotes 63 using the general-circuit ratios).
+  const std::uint64_t summit = static_cast<std::uint64_t>(2.8e15);
+  EXPECT_EQ(max_qubits_for_memory(summit), 47);
+  EXPECT_GE(max_qubits_with_compression(summit, 7.39e4), 63);
+}
+
+TEST(MemoryModelTest, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1ull << 20), "1.00 MB");
+  EXPECT_EQ(format_bytes(768ull << 40), "768 TB");
+}
+
+TEST(FidelityTrackerTest, ProductOfOneMinusDelta) {
+  FidelityTracker tracker;
+  EXPECT_DOUBLE_EQ(tracker.bound(), 1.0);
+  tracker.record_lossy_pass(1e-2);
+  tracker.record_lossy_pass(1e-2);
+  EXPECT_NEAR(tracker.bound(), 0.99 * 0.99, 1e-12);
+  EXPECT_EQ(tracker.lossy_passes(), 2u);
+}
+
+TEST(FidelityTrackerTest, Figure6Points) {
+  // Figure 6: at 5000 gates, 1e-5 stays ~0.95, 1e-3 drops to ~0.007,
+  // 1e-2 and 1e-1 are ~0.
+  EXPECT_NEAR(FidelityTracker::bound_after(5000, 1e-5), 0.951, 0.001);
+  EXPECT_NEAR(FidelityTracker::bound_after(5000, 1e-4), 0.606, 0.001);
+  EXPECT_NEAR(FidelityTracker::bound_after(5000, 1e-3), 0.0067, 0.0005);
+  EXPECT_LT(FidelityTracker::bound_after(5000, 1e-2), 1e-20);
+  // 310 gates at 1e-5 ~ Table 2's Grover fidelity 0.996-0.997.
+  EXPECT_NEAR(FidelityTracker::bound_after(310, 1e-5), 0.9969, 0.0005);
+}
+
+}  // namespace
+}  // namespace cqs::core

@@ -1,0 +1,130 @@
+// Tests for the stochastic Pauli noise trajectories and the circuit text
+// serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "circuits/qaoa.hpp"
+#include "common/rng.hpp"
+#include "qsim/noise.hpp"
+#include "qsim/serialize.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace cqs::qsim {
+namespace {
+
+TEST(NoiseTest, ZeroProbabilityLeavesCircuitUnchanged) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).t(2);
+  Rng rng(1);
+  const Circuit noisy = sample_noisy_trajectory(c, {0.0, 0.0}, rng);
+  EXPECT_EQ(noisy.size(), c.size());
+}
+
+TEST(NoiseTest, ErrorRateMatchesProbability) {
+  Circuit c(4);
+  for (int i = 0; i < 1000; ++i) c.h(i % 4);
+  Rng rng(7);
+  TrajectoryStats stats;
+  sample_noisy_trajectory(c, {.p1 = 0.1, .p2 = 0.0}, rng, stats);
+  EXPECT_NEAR(static_cast<double>(stats.single_qubit_errors), 100.0, 35.0);
+  EXPECT_EQ(stats.two_qubit_errors, 0u);
+}
+
+TEST(NoiseTest, TwoQubitErrorsHitBothQubits) {
+  Circuit c(2);
+  for (int i = 0; i < 200; ++i) c.cx(0, 1);
+  Rng rng(13);
+  TrajectoryStats stats;
+  const Circuit noisy =
+      sample_noisy_trajectory(c, {.p1 = 0.0, .p2 = 0.5}, rng, stats);
+  EXPECT_GT(stats.two_qubit_errors, 50u);
+  // Each two-qubit error adds 2 Pauli ops.
+  EXPECT_EQ(noisy.size(), c.size() + 2 * stats.two_qubit_errors);
+}
+
+TEST(NoiseTest, FidelityDecaysWithNoiseProbability) {
+  const auto c = circuits::qaoa_maxcut_circuit({.num_qubits = 8});
+  StateVector ideal(8);
+  ideal.apply_circuit(c);
+
+  double prev_fidelity = 1.0;
+  for (double p : {0.001, 0.01, 0.05}) {
+    // Average fidelity over trajectories.
+    double sum = 0.0;
+    const int trials = 20;
+    Rng rng(31);
+    for (int t = 0; t < trials; ++t) {
+      StateVector noisy(8);
+      noisy.apply_circuit(sample_noisy_trajectory(c, {p, p}, rng));
+      sum += ideal.fidelity(noisy);
+    }
+    const double mean = sum / trials;
+    EXPECT_LE(mean, prev_fidelity + 0.02) << "p=" << p;
+    prev_fidelity = mean;
+  }
+  EXPECT_LT(prev_fidelity, 0.9);  // 5% noise is destructive
+}
+
+TEST(SerializeTest, RoundTripAllGateKinds) {
+  Circuit c(5);
+  c.h(0).x(1).y(2).z(3).s(4).sdg(0).t(1).tdg(2).sx(3).sy(4).sw(0);
+  c.rx(1, 0.25).ry(2, -1.5).rz(3, 3.14).phase(4, 0.5);
+  c.u3(0, 0.1, 0.2, 0.3);
+  c.cx(0, 1).cz(1, 2).cphase(2, 3, 0.7).swap(3, 4).ccx(0, 1, 4);
+  c.append({GateKind::kU3G, 2, {-1, -1}, {0.1, 0.2, 0.3, 0.4}});
+
+  const std::string text = circuit_to_text(c);
+  const Circuit parsed = circuit_from_text(text);
+  ASSERT_EQ(parsed.size(), c.size());
+  ASSERT_EQ(parsed.num_qubits(), c.num_qubits());
+
+  // Equivalence check: identical states.
+  StateVector a(5);
+  StateVector b(5);
+  a.apply_circuit(c);
+  b.apply_circuit(parsed);
+  for (std::uint64_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(std::abs(a.amplitude(i) - b.amplitude(i)), 0.0, 1e-12);
+  }
+}
+
+TEST(SerializeTest, CommentsAndBlankLines) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      "qubits 2\n"
+      "# another\n"
+      "h 0\n"
+      "\n"
+      "cx 0 1\n";
+  const Circuit c = circuit_from_text(text);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.ops()[1].kind, GateKind::kCX);
+  EXPECT_EQ(c.ops()[1].controls[0], 0);
+  EXPECT_EQ(c.ops()[1].target, 1);
+}
+
+TEST(SerializeTest, RejectsMalformedInput) {
+  EXPECT_THROW(circuit_from_text("h 0\n"), std::runtime_error);  // no header
+  EXPECT_THROW(circuit_from_text("qubits 2\nbogus 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(circuit_from_text("qubits 2\nh\n"), std::runtime_error);
+  EXPECT_THROW(circuit_from_text("qubits 2\nh 5\n"), std::runtime_error);
+  EXPECT_THROW(circuit_from_text("qubits 2\nrz 0\n"), std::runtime_error);
+  EXPECT_THROW(circuit_from_text("qubits 2\nh 0 1\n"), std::runtime_error);
+}
+
+TEST(SerializeTest, GeneratedCircuitsRoundTrip) {
+  const auto c = circuits::qaoa_maxcut_circuit({.num_qubits = 10});
+  const Circuit parsed = circuit_from_text(circuit_to_text(c));
+  StateVector a(10);
+  StateVector b(10);
+  a.apply_circuit(c);
+  b.apply_circuit(parsed);
+  EXPECT_NEAR(a.fidelity(b), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cqs::qsim

@@ -1,0 +1,80 @@
+// Tests for the phase estimation circuit and inverse QFT, on both the
+// dense reference and the compressed simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/phase_estimation.hpp"
+#include "circuits/qft.hpp"
+#include "core/simulator.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace cqs::circuits {
+namespace {
+
+TEST(InverseQftTest, QftThenInverseIsIdentity) {
+  const int n = 6;
+  qsim::Circuit c(n);
+  // Arbitrary input state.
+  c.x(1).h(3).t(3).x(5);
+  qsim::StateVector expected(n);
+  expected.apply_circuit(c);
+
+  const auto qft =
+      qft_circuit({.num_qubits = n, .random_input = false});
+  for (const auto& op : qft.ops()) c.append(op);
+  append_inverse_qft(c, n);
+  qsim::StateVector actual(n);
+  actual.apply_circuit(c);
+  EXPECT_NEAR(expected.fidelity(actual), 1.0, 1e-10);
+}
+
+TEST(PhaseEstimationTest, ExactlyRepresentablePhaseIsRecovered) {
+  // phi = 5/32 with 5 counting qubits: the output register must be
+  // exactly |5> with probability 1.
+  const PhaseEstimationSpec spec{.counting_qubits = 5,
+                                 .phase = 5.0 / 32.0};
+  qsim::StateVector sv(6);
+  sv.apply_circuit(phase_estimation_circuit(spec));
+  // Target qubit stays |1>: basis index = 5 + (1 << 5).
+  EXPECT_NEAR(std::norm(sv.amplitude(5 + 32)), 1.0, 1e-10);
+}
+
+TEST(PhaseEstimationTest, InexactPhasePeaksAtNearestFraction) {
+  const PhaseEstimationSpec spec{.counting_qubits = 6, .phase = 0.3};
+  qsim::StateVector sv(7);
+  sv.apply_circuit(phase_estimation_circuit(spec));
+  // Nearest 6-bit fraction to 0.3 is 19/64 = 0.296875.
+  double best_prob = 0.0;
+  std::uint64_t best_k = 0;
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    const double p = std::norm(sv.amplitude(k + 64));
+    if (p > best_prob) {
+      best_prob = p;
+      best_k = k;
+    }
+  }
+  EXPECT_EQ(best_k, 19u);
+  EXPECT_GT(best_prob, 0.4);  // theory: >= 4/pi^2 ~ 0.405
+}
+
+TEST(PhaseEstimationTest, RunsOnCompressedSimulator) {
+  const PhaseEstimationSpec spec{.counting_qubits = 8,
+                                 .phase = 77.0 / 256.0};
+  const auto circuit = phase_estimation_circuit(spec);
+  core::SimConfig config;
+  config.num_qubits = circuit.num_qubits();
+  config.num_ranks = 2;
+  config.blocks_per_rank = 4;
+  config.threads = 4;
+  core::CompressedStateSimulator sim(config);
+  sim.apply_circuit(circuit);
+  // Read the counting register bit by bit: 77 = 0b01001101.
+  for (int q = 0; q < 8; ++q) {
+    const double expected = (77 >> q) & 1 ? 1.0 : 0.0;
+    EXPECT_NEAR(sim.probability_one(q), expected, 1e-8) << "bit " << q;
+  }
+}
+
+}  // namespace
+}  // namespace cqs::circuits

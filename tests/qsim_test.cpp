@@ -1,0 +1,255 @@
+// Unit tests for the quantum substrate: gate matrices, circuit IR, and the
+// dense reference simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "qsim/circuit.hpp"
+#include "qsim/gates.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace cqs::qsim {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(GatesTest, AllMatricesUnitary) {
+  for (auto kind :
+       {GateKind::kH, GateKind::kX, GateKind::kY, GateKind::kZ, GateKind::kS,
+        GateKind::kSdg, GateKind::kT, GateKind::kTdg, GateKind::kSqrtX,
+        GateKind::kSqrtY, GateKind::kSqrtW, GateKind::kCX, GateKind::kCZ}) {
+    const GateOp op{kind, 0};
+    EXPECT_TRUE(gate_matrix(op).approx_unitary()) << gate_name(kind);
+  }
+  for (double theta : {0.1, 1.0, 2.5, -0.7}) {
+    for (auto kind : {GateKind::kRx, GateKind::kRy, GateKind::kRz,
+                      GateKind::kPhase, GateKind::kCPhase}) {
+      const GateOp op{kind, 0, {-1, -1}, {theta, 0, 0}};
+      EXPECT_TRUE(gate_matrix(op).approx_unitary()) << gate_name(kind);
+    }
+    const GateOp u3{GateKind::kU3, 0, {-1, -1}, {theta, 0.3, -0.8}};
+    EXPECT_TRUE(gate_matrix(u3).approx_unitary());
+  }
+}
+
+TEST(GatesTest, SqrtGatesSquareToTheirBase) {
+  auto square = [](GateKind kind) {
+    const Mat2 m = gate_matrix({kind, 0});
+    return m * m;
+  };
+  const Mat2 x2 = square(GateKind::kSqrtX);
+  EXPECT_NEAR(std::abs(x2.u01 - Amplitude(1, 0)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(x2.u00), 0.0, kTol);
+  const Mat2 y2 = square(GateKind::kSqrtY);
+  EXPECT_NEAR(std::abs(y2.u01 - Amplitude(0, -1)), 0.0, kTol);
+  const Mat2 w2 = square(GateKind::kSqrtW);
+  // W = [[0, e^{-i pi/4}], [e^{i pi/4}, 0]].
+  EXPECT_NEAR(std::abs(w2.u01 - std::polar(1.0, -std::numbers::pi / 4)), 0.0,
+              kTol);
+  EXPECT_NEAR(std::abs(w2.u10 - std::polar(1.0, std::numbers::pi / 4)), 0.0,
+              kTol);
+}
+
+TEST(GatesTest, DiagonalClassification) {
+  EXPECT_TRUE(is_diagonal(GateKind::kZ));
+  EXPECT_TRUE(is_diagonal(GateKind::kCZ));
+  EXPECT_TRUE(is_diagonal(GateKind::kRz));
+  EXPECT_FALSE(is_diagonal(GateKind::kH));
+  EXPECT_FALSE(is_diagonal(GateKind::kCX));
+}
+
+TEST(CircuitTest, BuilderValidatesIndices) {
+  Circuit c(3);
+  EXPECT_THROW(c.h(3), std::out_of_range);
+  EXPECT_THROW(c.cx(1, 1), std::invalid_argument);
+  EXPECT_THROW(c.ccx(0, 0, 1), std::invalid_argument);
+  EXPECT_NO_THROW(c.ccx(0, 1, 2));
+}
+
+TEST(CircuitTest, DepthGreedyPacking) {
+  Circuit c(3);
+  c.h(0).h(1).h(2);  // one layer
+  EXPECT_EQ(c.depth(), 1);
+  c.cx(0, 1);  // second layer
+  EXPECT_EQ(c.depth(), 2);
+  c.h(2);  // fits into layer 2
+  EXPECT_EQ(c.depth(), 2);
+  c.cx(1, 2);  // third layer
+  EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(CircuitTest, HistogramCountsKinds) {
+  Circuit c(2);
+  c.h(0).h(1).cx(0, 1).h(0);
+  const auto hist = c.gate_histogram();
+  for (const auto& [name, count] : hist) {
+    if (name == "h") EXPECT_EQ(count, 3u);
+    if (name == "cx") EXPECT_EQ(count, 1u);
+  }
+}
+
+TEST(StateVectorTest, InitialState) {
+  StateVector sv(3);
+  EXPECT_EQ(sv.size(), 8u);
+  EXPECT_NEAR(std::abs(sv.amplitude(0) - Amplitude(1, 0)), 0.0, kTol);
+  EXPECT_NEAR(sv.norm(), 1.0, kTol);
+}
+
+TEST(StateVectorTest, HadamardCreatesUniformSuperposition) {
+  StateVector sv(4);
+  Circuit c(4);
+  for (int q = 0; q < 4; ++q) c.h(q);
+  sv.apply_circuit(c);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(std::abs(sv.amplitude(i)), 0.25, kTol);
+  }
+}
+
+TEST(StateVectorTest, BellState) {
+  StateVector sv(2);
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  sv.apply_circuit(c);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b00)), std::numbers::sqrt2 / 2, kTol);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b11)), std::numbers::sqrt2 / 2, kTol);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b01)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(sv.amplitude(0b10)), 0.0, kTol);
+}
+
+TEST(StateVectorTest, XFlipsTargetBitOnly) {
+  StateVector sv(5);
+  sv.apply({GateKind::kX, 3});
+  EXPECT_NEAR(std::abs(sv.amplitude(0b01000)), 1.0, kTol);
+}
+
+TEST(StateVectorTest, ToffoliTruthTable) {
+  for (std::uint64_t input = 0; input < 8; ++input) {
+    StateVector sv(3);
+    for (int q = 0; q < 3; ++q) {
+      if ((input >> q) & 1u) sv.apply({GateKind::kX, q});
+    }
+    sv.apply({GateKind::kCCX, 2, {0, 1}});
+    const std::uint64_t expected =
+        (input & 3u) == 3u ? input ^ 4u : input;
+    EXPECT_NEAR(std::abs(sv.amplitude(expected)), 1.0, kTol) << input;
+  }
+}
+
+TEST(StateVectorTest, SwapExchangesQubits) {
+  StateVector sv(3);
+  sv.apply({GateKind::kX, 0});
+  sv.apply({GateKind::kSwap, 0, {2, -1}});
+  EXPECT_NEAR(std::abs(sv.amplitude(0b100)), 1.0, kTol);
+}
+
+TEST(StateVectorTest, NormPreservedUnderRandomCircuit) {
+  Rng rng(77);
+  StateVector sv(8);
+  Circuit c(8);
+  for (int i = 0; i < 200; ++i) {
+    const int q = static_cast<int>(rng.next_below(8));
+    switch (rng.next_below(5)) {
+      case 0: c.h(q); break;
+      case 1: c.t(q); break;
+      case 2: c.rx(q, rng.next_double() * 3.0); break;
+      case 3: {
+        const int p = static_cast<int>(rng.next_below(8));
+        if (p != q) c.cx(p, q);
+        break;
+      }
+      case 4: c.rz(q, rng.next_double()); break;
+    }
+  }
+  sv.apply_circuit(c);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-10);
+}
+
+TEST(StateVectorTest, ControlledGateSkipsControlZero) {
+  StateVector sv(2);
+  sv.apply({GateKind::kCX, 1, {0, -1}});  // control |0>: no-op
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0, kTol);
+}
+
+TEST(StateVectorTest, ProbabilityOne) {
+  StateVector sv(2);
+  Circuit c(2);
+  c.h(0);
+  sv.apply_circuit(c);
+  EXPECT_NEAR(sv.probability_one(0), 0.5, kTol);
+  EXPECT_NEAR(sv.probability_one(1), 0.0, kTol);
+}
+
+TEST(StateVectorTest, MeasurementCollapsesAndRenormalizes) {
+  Rng rng(5);
+  StateVector sv(2);
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  sv.apply_circuit(c);
+  const int outcome = sv.measure(0, rng);
+  // Bell state: qubit 1 must equal qubit 0 after measurement.
+  EXPECT_NEAR(sv.probability_one(1), static_cast<double>(outcome), kTol);
+  EXPECT_NEAR(sv.norm(), 1.0, kTol);
+}
+
+TEST(StateVectorTest, SampleFollowsDistribution) {
+  Rng rng(9);
+  StateVector sv(1);
+  sv.apply({GateKind::kH, 0});
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) {
+    ones += static_cast<int>(sv.sample(rng));
+  }
+  EXPECT_NEAR(ones, 5000, 300);
+}
+
+TEST(StateVectorTest, FidelityOfIdenticalStatesIsOne) {
+  StateVector a(4);
+  StateVector b(4);
+  Circuit c(4);
+  c.h(0).cx(0, 1).t(2).h(3);
+  a.apply_circuit(c);
+  b.apply_circuit(c);
+  EXPECT_NEAR(a.fidelity(b), 1.0, kTol);
+}
+
+TEST(StateVectorTest, FidelityOfOrthogonalStatesIsZero) {
+  StateVector a(1);
+  StateVector b(1);
+  b.apply({GateKind::kX, 0});
+  EXPECT_NEAR(a.fidelity(b), 0.0, kTol);
+}
+
+TEST(StateVectorTest, RawFidelityMatchesComplexFidelity) {
+  StateVector a(5);
+  StateVector b(5);
+  Circuit ca(5);
+  Circuit cb(5);
+  ca.h(0).cx(0, 3).rz(2, 0.7);
+  cb.h(0).cx(0, 3).rz(2, 0.71);
+  a.apply_circuit(ca);
+  b.apply_circuit(cb);
+  EXPECT_NEAR(state_fidelity(a.raw(), b.raw()), a.fidelity(b), kTol);
+}
+
+TEST(StateVectorTest, QftOnBasisStateGivesUniformMagnitudes) {
+  // QFT of a computational basis state: all output amplitudes have
+  // magnitude 2^{-n/2}.
+  StateVector sv(5);
+  sv.apply({GateKind::kX, 1});
+  Circuit qft(5);
+  for (int i = 4; i >= 0; --i) {
+    qft.h(i);
+    for (int j = i - 1; j >= 0; --j) {
+      qft.cphase(j, i, std::numbers::pi / static_cast<double>(1 << (i - j)));
+    }
+  }
+  sv.apply_circuit(qft);
+  for (std::uint64_t i = 0; i < sv.size(); ++i) {
+    EXPECT_NEAR(std::abs(sv.amplitude(i)), 1.0 / std::sqrt(32.0), 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace cqs::qsim

@@ -1,0 +1,171 @@
+// Unit tests specific to qzc, the paper's Solution C/D compressor: the
+// Eq. 12 bit-count rule, truncation direction, discrete error levels
+// (Figure 13), error overpreservation and non-correlation (Figure 14).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "compression/verify.hpp"
+#include "qzc/qzc.hpp"
+
+namespace cqs::qzc {
+namespace {
+
+using compression::ErrorBound;
+using compression::measure_error;
+
+TEST(QzcTest, MantissaBitRuleMatchesEq12) {
+  // EXP(0.01) = -7 (paper's example), so 12 sign/exponent bits + 7
+  // mantissa bits survive.
+  EXPECT_EQ(mantissa_bits_for_bound(1e-2), 7);
+  EXPECT_EQ(mantissa_bits_for_bound(1e-1), 4);
+  EXPECT_EQ(mantissa_bits_for_bound(1e-3), 10);
+  EXPECT_EQ(mantissa_bits_for_bound(1e-4), 14);
+  EXPECT_EQ(mantissa_bits_for_bound(1e-5), 17);
+  EXPECT_EQ(mantissa_bits_for_bound(0.5), 1);
+  EXPECT_EQ(mantissa_bits_for_bound(2.0), 0);
+  EXPECT_THROW(mantissa_bits_for_bound(0.0), std::invalid_argument);
+}
+
+TEST(QzcTest, TruncationShrinksMagnitudeOnly) {
+  // |d'| must lie in (|d|(1 - eps), |d|]: truncation toward zero.
+  Rng rng(3);
+  std::vector<double> data(10000);
+  for (auto& d : data) d = rng.next_normal() * std::exp2(-rng.next_below(30));
+  QzcCodec codec;
+  const double eps = 1e-3;
+  const auto compressed = codec.compress(data, ErrorBound::relative(eps));
+  std::vector<double> out(data.size());
+  codec.decompress(compressed, out);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_LE(std::abs(out[i]), std::abs(data[i]));
+    EXPECT_GE(std::abs(out[i]), std::abs(data[i]) * (1.0 - eps));
+    EXPECT_EQ(std::signbit(out[i]), std::signbit(data[i]));
+  }
+}
+
+TEST(QzcTest, Figure13TruncationLadder) {
+  // The paper's example: truncating 3.9921875 at increasing error bounds
+  // produces the discrete values of Figure 13(b).
+  const double value = 3.9921875;
+  auto truncate_at = [&](double eps) {
+    QzcCodec codec;
+    std::vector<double> data{value};
+    const auto c = codec.compress(data, ErrorBound::relative(eps));
+    std::vector<double> out(1);
+    codec.decompress(c, out);
+    return out[0];
+  };
+  // eps = 0.01 keeps ceil(-log2 0.01) = 7 mantissa bits -> 3.984375 with
+  // relative error 0.00196. (Figure 13's illustration keeps one bit fewer,
+  // 3.96875 at error 0.005871; we keep the extra bit because a 6-bit
+  // mantissa has worst-case error 2^-6 = 1.56% which would violate the 1%
+  // bound. Both land on the same discrete truncation ladder.)
+  const double d = truncate_at(0.01);
+  EXPECT_DOUBLE_EQ(d, 3.984375);
+  EXPECT_NEAR((value - d) / value, 0.00195695, 1e-6);
+  // The figure's 3.96875 is the next rung of the ladder (eps = 0.02).
+  EXPECT_DOUBLE_EQ(truncate_at(0.02), 3.96875);
+}
+
+TEST(QzcTest, ErrorsOverpreserveBound) {
+  // Figure 14: most errors land well below the bound; the normalized error
+  // distribution is roughly uniform in [0, 1) and never exceeds 1.
+  Rng rng(7);
+  std::vector<double> data(1 << 16);
+  for (auto& d : data) d = rng.next_normal();
+  QzcCodec codec;
+  const double eps = 1e-2;
+  const auto compressed = codec.compress(data, ErrorBound::relative(eps));
+  std::vector<double> out(data.size());
+  codec.decompress(compressed, out);
+  const auto normalized =
+      compression::normalized_relative_errors(data, out, eps);
+  double max_norm = 0.0;
+  for (double e : normalized) max_norm = std::max(max_norm, std::abs(e));
+  EXPECT_LE(max_norm, 1.0);
+  // Over half the mass below 0.5x the bound (overpreservation).
+  EXPECT_GT(fraction_below(normalized, 0.5), 0.5);
+}
+
+TEST(QzcTest, ErrorsAreUncorrelated) {
+  // The paper reports lag-1 autocorrelation within [-1e-4, 1e-4] on dense
+  // data; we allow a looser but still tiny envelope.
+  Rng rng(11);
+  std::vector<double> data(1 << 17);
+  for (auto& d : data) d = rng.next_normal();
+  QzcCodec codec;
+  const auto compressed = codec.compress(data, ErrorBound::relative(1e-3));
+  std::vector<double> out(data.size());
+  codec.decompress(compressed, out);
+  const auto errors = compression::signed_errors(data, out);
+  EXPECT_LT(std::abs(autocorrelation(errors, 1)), 5e-3);
+}
+
+TEST(QzcTest, ShuffleVariantRoundTripsIdentically) {
+  // Solution D reshuffles before compressing; reconstruction must land on
+  // exactly the same truncated values as Solution C (Figure 12: the error
+  // curves of C and D overlap).
+  Rng rng(13);
+  std::vector<double> data(4096);
+  for (auto& d : data) d = rng.next_normal();
+  QzcCodec c(false);
+  QzcCodec d_codec(true);
+  const auto bound = ErrorBound::relative(1e-4);
+  const auto cc = c.compress(data, bound);
+  const auto cd = d_codec.compress(data, bound);
+  std::vector<double> out_c(data.size());
+  std::vector<double> out_d(data.size());
+  c.decompress(cc, out_c);
+  d_codec.decompress(cd, out_d);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(out_c[i], out_d[i]) << i;
+  }
+}
+
+TEST(QzcTest, OddElementCountWithShuffle) {
+  std::vector<double> data = {1.0, 2.0, 3.0, 4.0, 5.0};
+  QzcCodec codec(true);
+  const auto compressed = codec.compress(data, ErrorBound::relative(1e-6));
+  std::vector<double> out(data.size());
+  codec.decompress(compressed, out);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(out[i], data[i], data[i] * 1e-6);
+  }
+}
+
+TEST(QzcTest, RepeatedValuesCompressExtremelyWell) {
+  // Identical consecutive values XOR to zero: 2-bit codes + zx collapse.
+  std::vector<double> data(1 << 16, 0.7071067811865476);
+  QzcCodec codec;
+  const auto compressed = codec.compress(data, ErrorBound::relative(1e-5));
+  EXPECT_LT(compressed.size(), data.size() * 8 / 100);
+}
+
+TEST(QzcTest, DenormalsAndTinyValuesStayBounded) {
+  std::vector<double> data = {5e-324, 1e-310, -3e-320, 1e-300, -1e-308};
+  QzcCodec codec;
+  const auto compressed = codec.compress(data, ErrorBound::relative(1e-2));
+  std::vector<double> out(data.size());
+  codec.decompress(compressed, out);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_LE(std::abs(out[i]), std::abs(data[i]));
+    // Denormal truncation can zero low bits but sign must survive.
+    if (out[i] != 0.0) {
+      EXPECT_EQ(std::signbit(out[i]), std::signbit(data[i]));
+    }
+  }
+}
+
+TEST(QzcTest, BadMagicRejected) {
+  QzcCodec codec;
+  std::vector<std::byte> bogus(16, std::byte{0});
+  std::vector<double> out(1);
+  EXPECT_THROW(codec.decompress(bogus, out), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cqs::qzc

@@ -1,0 +1,74 @@
+// Tests for report formatting and phase accounting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+
+namespace cqs::core {
+namespace {
+
+TEST(ReportTest, PhaseFractionsSumToOne) {
+  SimulationReport report;
+  report.phases.add(Phase::kCompression, 2.0);
+  report.phases.add(Phase::kDecompression, 1.0);
+  report.phases.add(Phase::kCommunication, 0.5);
+  report.phases.add(Phase::kComputation, 0.5);
+  double total = 0.0;
+  for (auto p : {Phase::kCompression, Phase::kDecompression,
+                 Phase::kCommunication, Phase::kComputation}) {
+    total += report.phase_fraction(p);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(report.phase_fraction(Phase::kCompression), 0.5, 1e-12);
+}
+
+TEST(ReportTest, EmptyPhasesGiveZeroFractions) {
+  SimulationReport report;
+  EXPECT_EQ(report.phase_fraction(Phase::kCompression), 0.0);
+  EXPECT_EQ(report.seconds_per_gate(), 0.0);
+}
+
+TEST(ReportTest, SecondsPerGate) {
+  SimulationReport report;
+  report.gates = 100;
+  report.total_seconds = 25.0;
+  EXPECT_DOUBLE_EQ(report.seconds_per_gate(), 0.25);
+}
+
+TEST(ReportTest, PrintContainsKeyRows) {
+  SimulationReport report;
+  report.num_qubits = 18;
+  report.num_ranks = 4;
+  report.blocks_per_rank = 16;
+  report.codec = "qzc";
+  report.gates = 314;
+  report.total_seconds = 2.5;
+  report.memory_requirement_bytes = 1ull << 22;
+  report.peak_compressed_bytes = 12345;
+  report.min_compression_ratio = 7.39;
+  report.fidelity_bound = 0.996;
+  report.budget_bytes = 1 << 20;
+  report.budget_exceeded = true;
+  std::ostringstream os;
+  report.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("qubits:"), std::string::npos);
+  EXPECT_NE(text.find("qzc"), std::string::npos);
+  EXPECT_NE(text.find("314"), std::string::npos);
+  EXPECT_NE(text.find("4.00 MB"), std::string::npos);
+  EXPECT_NE(text.find("EXCEEDED"), std::string::npos);
+  EXPECT_NE(text.find("7.39"), std::string::npos);
+  EXPECT_NE(text.find("0.996"), std::string::npos);
+}
+
+TEST(ReportTest, StreamOperator) {
+  SimulationReport report;
+  report.num_qubits = 5;
+  std::ostringstream os;
+  os << report;
+  EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace cqs::core

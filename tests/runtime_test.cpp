@@ -1,0 +1,227 @@
+// Unit tests for the distributed runtime substrate: partitioning math,
+// block store, LRU cache, comm accounting, scratch arena, checkpointing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "runtime/block_cache.hpp"
+#include "runtime/block_store.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/partition.hpp"
+#include "runtime/scratch.hpp"
+
+namespace cqs::runtime {
+namespace {
+
+TEST(PartitionTest, SegmentsMatchFigure3) {
+  // 10 qubits, 4 ranks, 8 blocks/rank -> offset 5 bits, block 3, rank 2.
+  const Partition p = make_partition(10, 4, 8);
+  EXPECT_EQ(p.offset_bits, 5);
+  EXPECT_EQ(p.block_bits, 3);
+  EXPECT_EQ(p.rank_bits, 2);
+  EXPECT_EQ(p.amplitudes_per_block(), 32u);
+  EXPECT_EQ(p.segment_of(0), Partition::Segment::kOffset);
+  EXPECT_EQ(p.segment_of(4), Partition::Segment::kOffset);
+  EXPECT_EQ(p.segment_of(5), Partition::Segment::kBlock);
+  EXPECT_EQ(p.segment_of(7), Partition::Segment::kBlock);
+  EXPECT_EQ(p.segment_of(8), Partition::Segment::kRank);
+  EXPECT_EQ(p.segment_of(9), Partition::Segment::kRank);
+  EXPECT_EQ(p.local_bit(6), 1);
+  EXPECT_EQ(p.local_bit(9), 1);
+}
+
+TEST(PartitionTest, GlobalIndexComposition) {
+  const Partition p = make_partition(10, 4, 8);
+  // rank 2, block 5, offset 9 -> 10 0101 01001.
+  EXPECT_EQ(p.global_index(2, 5, 9), (2u << 8) | (5u << 5) | 9u);
+}
+
+TEST(PartitionTest, RejectsBadShapes) {
+  EXPECT_THROW(make_partition(8, 3, 4), std::invalid_argument);   // not pow2
+  EXPECT_THROW(make_partition(8, 4, 3), std::invalid_argument);   // not pow2
+  EXPECT_THROW(make_partition(4, 16, 16), std::invalid_argument);  // too small
+  EXPECT_NO_THROW(make_partition(8, 4, 8));
+}
+
+TEST(BlockStoreTest, TracksTotalBytes) {
+  BlockStore store(4);
+  EXPECT_EQ(store.total_bytes(), 0u);
+  store.set_block(0, Bytes(100), {1});
+  store.set_block(1, Bytes(50), {0});
+  EXPECT_EQ(store.total_bytes(), 150u);
+  store.set_block(0, Bytes(10), {2});
+  EXPECT_EQ(store.total_bytes(), 60u);
+  EXPECT_EQ(store.meta(0).level, 2);
+  EXPECT_THROW(store.set_block(4, Bytes(1), {}), std::out_of_range);
+}
+
+TEST(BlockCacheTest, HitReturnsInsertedBlocks) {
+  BlockCache cache(4);
+  const Bytes op{std::byte{1}};
+  const Bytes cb1(16, std::byte{2});
+  const Bytes cb2(16, std::byte{3});
+  const auto key = BlockCache::make_key(op, cb1, cb2);
+  Bytes out1;
+  Bytes out2;
+  EXPECT_FALSE(cache.lookup(key, out1, out2));
+  cache.insert(key, Bytes(8, std::byte{9}), Bytes(8, std::byte{8}));
+  ASSERT_TRUE(cache.lookup(key, out1, out2));
+  EXPECT_EQ(out1, Bytes(8, std::byte{9}));
+  EXPECT_EQ(out2, Bytes(8, std::byte{8}));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(BlockCacheTest, DistinctKeysForDistinctInputs) {
+  const Bytes op{std::byte{1}};
+  const Bytes a(4, std::byte{1});
+  const Bytes b(4, std::byte{2});
+  EXPECT_NE(BlockCache::make_key(op, a, b), BlockCache::make_key(op, b, a));
+  EXPECT_NE(BlockCache::make_key(op, a, {}), BlockCache::make_key(op, {}, a));
+}
+
+TEST(BlockCacheTest, LruEviction) {
+  BlockCache cache(2);
+  Bytes out1;
+  Bytes out2;
+  cache.insert(1, Bytes(1, std::byte{1}), {});
+  cache.insert(2, Bytes(1, std::byte{2}), {});
+  ASSERT_TRUE(cache.lookup(1, out1, out2));  // 1 now most recent
+  cache.insert(3, Bytes(1, std::byte{3}), {});  // evicts 2
+  EXPECT_FALSE(cache.lookup(2, out1, out2));
+  EXPECT_TRUE(cache.lookup(1, out1, out2));
+  EXPECT_TRUE(cache.lookup(3, out1, out2));
+}
+
+TEST(BlockCacheTest, AutoDisableAfterFruitlessMisses) {
+  BlockCache cache(4, 10);
+  Bytes out1;
+  Bytes out2;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(cache.lookup(static_cast<std::uint64_t>(i) + 100, out1, out2));
+  }
+  EXPECT_TRUE(cache.stats().disabled);
+  EXPECT_FALSE(cache.enabled());
+  // Disabled cache rejects lookups and inserts silently.
+  cache.insert(1, Bytes(1), {});
+  EXPECT_FALSE(cache.lookup(1, out1, out2));
+}
+
+TEST(BlockCacheTest, HitPreventsDisable) {
+  BlockCache cache(4, 10);
+  Bytes out1;
+  Bytes out2;
+  cache.insert(42, Bytes(1, std::byte{7}), {});
+  for (int i = 0; i < 50; ++i) {
+    cache.lookup(42, out1, out2);
+    cache.lookup(static_cast<std::uint64_t>(i) + 1000, out1, out2);
+  }
+  EXPECT_FALSE(cache.stats().disabled);
+  EXPECT_GT(cache.stats().hit_rate(), 0.4);
+}
+
+TEST(CommTest, ExchangeSwapsPayloadsAndCounts) {
+  Comm comm(4);
+  Bytes a(100, std::byte{1});
+  Bytes b(200, std::byte{2});
+  comm.exchange(0, 2, a, b);
+  EXPECT_EQ(a.size(), 200u);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(a[0], std::byte{2});
+  EXPECT_EQ(comm.stats().bytes_moved, 300u);
+  EXPECT_EQ(comm.stats().messages, 2u);
+}
+
+TEST(CommTest, TransferCountsOneWay) {
+  Comm comm(2);
+  const Bytes payload(64, std::byte{5});
+  comm.transfer(0, 1, payload);
+  comm.transfer(1, 0, payload);
+  EXPECT_EQ(comm.stats().bytes_moved, 128u);
+  EXPECT_EQ(comm.stats().messages, 2u);
+  comm.reset();
+  EXPECT_EQ(comm.stats().bytes_moved, 0u);
+}
+
+TEST(CommTest, RejectsBadRanks) {
+  Comm comm(2);
+  Bytes a;
+  Bytes b;
+  EXPECT_THROW(comm.exchange(0, 0, a, b), std::invalid_argument);
+  EXPECT_THROW(comm.exchange(0, 5, a, b), std::invalid_argument);
+  EXPECT_THROW(comm.transfer(1, 1, a), std::invalid_argument);
+}
+
+TEST(ScratchTest, SlotsAreDisjoint) {
+  ScratchArena arena(3, 64);
+  EXPECT_EQ(arena.bytes(), 3u * 2 * 64 * sizeof(double));
+  for (std::size_t w = 0; w < 3; ++w) {
+    auto x = arena.vector_x(w);
+    auto y = arena.vector_y(w);
+    EXPECT_EQ(x.size(), 64u);
+    EXPECT_EQ(y.size(), 64u);
+    x[0] = static_cast<double>(w) + 1.0;
+    y[0] = -(static_cast<double>(w) + 1.0);
+  }
+  for (std::size_t w = 0; w < 3; ++w) {
+    EXPECT_EQ(arena.vector_x(w)[0], static_cast<double>(w) + 1.0);
+    EXPECT_EQ(arena.vector_y(w)[0], -(static_cast<double>(w) + 1.0));
+  }
+}
+
+TEST(CheckpointTest, RoundTrip) {
+  const std::string path = "/tmp/cqs_checkpoint_test.bin";
+  CheckpointHeader header;
+  header.num_qubits = 12;
+  header.num_ranks = 2;
+  header.blocks_per_rank = 4;
+  header.ladder_level = 3;
+  header.next_gate_index = 42;
+  header.fidelity_bound = 0.987;
+  header.codec_name = "qzc";
+
+  std::vector<BlockStore> ranks(2, BlockStore(4));
+  for (int r = 0; r < 2; ++r) {
+    for (int b = 0; b < 4; ++b) {
+      Bytes payload(static_cast<std::size_t>(10 + r * 4 + b),
+                    static_cast<std::byte>(r * 4 + b));
+      ranks[r].set_block(b, std::move(payload),
+                         {static_cast<std::uint8_t>(b % 3)});
+    }
+  }
+  save_checkpoint(path, header, ranks);
+
+  const auto [loaded_header, loaded_ranks] = load_checkpoint(path);
+  EXPECT_EQ(loaded_header.num_qubits, 12);
+  EXPECT_EQ(loaded_header.num_ranks, 2);
+  EXPECT_EQ(loaded_header.blocks_per_rank, 4);
+  EXPECT_EQ(loaded_header.ladder_level, 3u);
+  EXPECT_EQ(loaded_header.next_gate_index, 42u);
+  EXPECT_DOUBLE_EQ(loaded_header.fidelity_bound, 0.987);
+  EXPECT_EQ(loaded_header.codec_name, "qzc");
+  ASSERT_EQ(loaded_ranks.size(), 2u);
+  for (int r = 0; r < 2; ++r) {
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_EQ(loaded_ranks[r].block(b), ranks[r].block(b));
+      EXPECT_EQ(loaded_ranks[r].meta(b).level, ranks[r].meta(b).level);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointTest, RejectsCorruptFile) {
+  const std::string path = "/tmp/cqs_checkpoint_corrupt.bin";
+  {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("garbage", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+  EXPECT_THROW(load_checkpoint("/nonexistent/nope"), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace cqs::runtime

@@ -1,0 +1,324 @@
+// Integration tests for CompressedStateSimulator: cross-validation against
+// the dense reference simulator across gate placements (offset / block /
+// rank segments), codecs, the adaptive ladder, measurement, and
+// checkpointing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "circuits/grover.hpp"
+#include "circuits/qaoa.hpp"
+#include "circuits/qft.hpp"
+#include "circuits/supremacy.hpp"
+#include "common/rng.hpp"
+#include "core/simulator.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace cqs::core {
+namespace {
+
+using qsim::GateKind;
+
+/// Fidelity between the compressed simulator's state and a dense reference
+/// run of the same circuit.
+double cross_fidelity(CompressedStateSimulator& sim,
+                      const qsim::Circuit& circuit) {
+  qsim::StateVector reference(circuit.num_qubits());
+  reference.apply_circuit(circuit);
+  const auto raw = sim.to_raw();
+  return qsim::state_fidelity(reference.raw(), raw);
+}
+
+SimConfig small_config(int qubits, int ranks = 4, int blocks = 4) {
+  SimConfig config;
+  config.num_qubits = qubits;
+  config.num_ranks = ranks;
+  config.blocks_per_rank = blocks;
+  config.threads = 4;
+  return config;
+}
+
+TEST(SimulatorTest, InitialStateIsZeroKet) {
+  CompressedStateSimulator sim(small_config(10));
+  const auto amps = sim.to_amplitudes();
+  EXPECT_NEAR(std::abs(amps[0]), 1.0, 1e-12);
+  EXPECT_NEAR(sim.norm(), 1.0, 1e-12);
+}
+
+TEST(SimulatorTest, MatchesDenseOnEverySingleQubitPlacement) {
+  // One Hadamard per qubit position: exercises the offset, block, and rank
+  // target segments (10 qubits = 5 offset + 3 block + 2 rank bits).
+  for (int q = 0; q < 10; ++q) {
+    auto config = small_config(10, 4, 8);
+    CompressedStateSimulator sim(config);
+    qsim::Circuit c(10);
+    c.h(q).t(q).h(q);
+    sim.apply_circuit(c);
+    EXPECT_NEAR(cross_fidelity(sim, c), 1.0, 1e-10) << "qubit " << q;
+  }
+}
+
+TEST(SimulatorTest, MatchesDenseOnControlledGateAllPlacements) {
+  // CX over (control, target) pairs spanning all segment combinations.
+  const int pairs[][2] = {{0, 1}, {1, 6}, {6, 1}, {6, 8}, {8, 6},
+                          {0, 9}, {9, 0}, {5, 7}, {8, 9}, {9, 4}};
+  for (const auto& [ctrl, tgt] : pairs) {
+    CompressedStateSimulator sim(small_config(10, 4, 8));
+    qsim::Circuit c(10);
+    c.h(ctrl).cx(ctrl, tgt).rz(tgt, 0.7).cx(ctrl, tgt);
+    sim.apply_circuit(c);
+    EXPECT_NEAR(cross_fidelity(sim, c), 1.0, 1e-10)
+        << "cx " << ctrl << "->" << tgt;
+  }
+}
+
+TEST(SimulatorTest, MatchesDenseOnToffoliAcrossSegments) {
+  const int triples[][3] = {{0, 1, 2}, {0, 6, 9}, {6, 8, 0}, {8, 9, 5}};
+  for (const auto& [c0, c1, t] : triples) {
+    CompressedStateSimulator sim(small_config(10, 4, 8));
+    qsim::Circuit c(10);
+    c.h(c0).h(c1).ccx(c0, c1, t);
+    sim.apply_circuit(c);
+    EXPECT_NEAR(cross_fidelity(sim, c), 1.0, 1e-10)
+        << c0 << "," << c1 << "->" << t;
+  }
+}
+
+TEST(SimulatorTest, SwapDecompositionMatchesDense) {
+  CompressedStateSimulator sim(small_config(10, 4, 8));
+  qsim::Circuit c(10);
+  c.h(0).t(0).swap(0, 9).swap(3, 6);
+  sim.apply_circuit(c);
+  EXPECT_NEAR(cross_fidelity(sim, c), 1.0, 1e-10);
+}
+
+TEST(SimulatorTest, LosslessRunHasExactFidelity) {
+  CompressedStateSimulator sim(small_config(12));
+  const auto c = circuits::qft_circuit({.num_qubits = 12});
+  sim.apply_circuit(c);
+  EXPECT_DOUBLE_EQ(sim.fidelity_bound(), 1.0);
+  EXPECT_EQ(sim.ladder_level(), 0);
+  EXPECT_NEAR(cross_fidelity(sim, c), 1.0, 1e-9);
+}
+
+TEST(SimulatorTest, GroverMatchesDense) {
+  const auto c = circuits::grover_circuit(
+      {.data_qubits = 7, .marked_state = 0b1011001});
+  CompressedStateSimulator sim(small_config(c.num_qubits(), 2, 4));
+  sim.apply_circuit(c);
+  EXPECT_NEAR(cross_fidelity(sim, c), 1.0, 1e-9);
+  EXPECT_GT(sim.report().cache.hits, 0u)
+      << "Grover states repeat blocks; the cache should hit";
+}
+
+TEST(SimulatorTest, SupremacyCircuitMatchesDense) {
+  const auto c =
+      circuits::supremacy_circuit({.rows = 3, .cols = 4, .depth = 11});
+  CompressedStateSimulator sim(small_config(12, 4, 4));
+  sim.apply_circuit(c);
+  EXPECT_NEAR(cross_fidelity(sim, c), 1.0, 1e-9);
+}
+
+class CodecSimulationTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CodecSimulationTest, LossyRunStaysAboveFidelityBound) {
+  // Force the ladder to a lossy level from the start and check the
+  // measured fidelity respects the tracked lower bound (Eq. 11).
+  SimConfig config = small_config(11, 2, 4);
+  config.codec = GetParam();
+  config.initial_level = 2;  // ladder[1] = 1e-4
+  CompressedStateSimulator sim(config);
+  const auto c = circuits::qaoa_maxcut_circuit({.num_qubits = 11});
+  sim.apply_circuit(c);
+
+  const double bound = sim.fidelity_bound();
+  EXPECT_LT(bound, 1.0);
+  EXPECT_GT(bound, 0.9) << "1e-4 over a few hundred gates stays high";
+  const double measured = cross_fidelity(sim, c);
+  EXPECT_GE(measured + 1e-12, bound);
+  EXPECT_GT(measured, 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLossyCodecs, CodecSimulationTest,
+                         ::testing::Values("qzc", "qzc-shuffle", "sz",
+                                           "sz-complex", "zfp", "fpzip"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (auto& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(SimulatorTest, AdaptiveLadderEscalatesUnderBudget) {
+  // A dense random state under a tight budget must leave lossless mode.
+  SimConfig config = small_config(12, 2, 4);
+  config.memory_budget_bytes = 20 << 10;  // 20 KB for a 64 KB raw state
+  CompressedStateSimulator sim(config);
+  const auto c =
+      circuits::supremacy_circuit({.rows = 3, .cols = 4, .depth = 8});
+  sim.apply_circuit(c);
+  EXPECT_GT(sim.ladder_level(), 0) << "budget must force lossy compression";
+  EXPECT_LT(sim.fidelity_bound(), 1.0);
+  EXPECT_GT(sim.fidelity_bound(), 0.5);
+  // The state must actually fit (or the run must say it could not).
+  const auto report = sim.report();
+  if (!report.budget_exceeded) {
+    EXPECT_LE(sim.compressed_bytes(), config.memory_budget_bytes);
+  }
+}
+
+TEST(SimulatorTest, LadderNeverEscalatesWithoutBudgetPressure) {
+  SimConfig config = small_config(12, 2, 4);
+  config.memory_budget_bytes = 0;
+  CompressedStateSimulator sim(config);
+  sim.apply_circuit(
+      circuits::supremacy_circuit({.rows = 3, .cols = 4, .depth = 8}));
+  EXPECT_EQ(sim.ladder_level(), 0);
+  EXPECT_DOUBLE_EQ(sim.fidelity_bound(), 1.0);
+}
+
+TEST(SimulatorTest, ProbabilityMatchesDenseAcrossSegments) {
+  const auto c = circuits::qaoa_maxcut_circuit({.num_qubits = 10});
+  CompressedStateSimulator sim(small_config(10, 4, 8));
+  sim.apply_circuit(c);
+  qsim::StateVector reference(10);
+  reference.apply_circuit(c);
+  for (int q = 0; q < 10; ++q) {
+    EXPECT_NEAR(sim.probability_one(q), reference.probability_one(q), 1e-9)
+        << "qubit " << q;
+  }
+}
+
+TEST(SimulatorTest, IntermediateMeasurementCollapses) {
+  // Bell pair over a rank-segment qubit: measurement of qubit 0 must fix
+  // qubit 9 to the same value.
+  CompressedStateSimulator sim(small_config(10, 4, 8));
+  qsim::Circuit c(10);
+  c.h(0).cx(0, 9);
+  sim.apply_circuit(c);
+  Rng rng(5);
+  const int outcome = sim.measure(0, rng);
+  EXPECT_NEAR(sim.probability_one(9), static_cast<double>(outcome), 1e-9);
+  EXPECT_NEAR(sim.norm(), 1.0, 1e-9);
+}
+
+TEST(SimulatorTest, AssertProbabilityForDebugging) {
+  CompressedStateSimulator sim(small_config(10));
+  qsim::Circuit c(10);
+  c.h(3);
+  sim.apply_circuit(c);
+  EXPECT_TRUE(sim.assert_probability(3, 0.5, 1e-9));
+  EXPECT_TRUE(sim.assert_probability(0, 0.0, 1e-9));
+  EXPECT_FALSE(sim.assert_probability(3, 0.9, 0.1));
+}
+
+TEST(SimulatorTest, CheckpointResumeProducesSameState) {
+  const auto c = circuits::qft_circuit({.num_qubits = 10});
+  const std::string path = "/tmp/cqs_sim_checkpoint.bin";
+
+  // Full run.
+  CompressedStateSimulator full(small_config(10, 2, 4));
+  full.apply_circuit(c);
+
+  // Split run: first half, checkpoint, restore, second half.
+  CompressedStateSimulator first(small_config(10, 2, 4));
+  qsim::Circuit half(10);
+  const auto& ops = c.ops();
+  for (std::size_t i = 0; i < ops.size() / 2; ++i) half.append(ops[i]);
+  first.apply_circuit(half);
+  first.save_checkpoint(path);
+
+  auto resumed =
+      CompressedStateSimulator::load_checkpoint(path, small_config(10, 2, 4));
+  EXPECT_EQ(resumed.gate_cursor(), ops.size() / 2);
+  resumed.apply_circuit(c);  // resumes from the cursor
+
+  const auto a = full.to_raw();
+  const auto b = resumed.to_raw();
+  EXPECT_NEAR(qsim::state_fidelity(a, b), 1.0, 1e-10);
+  std::filesystem::remove(path);
+}
+
+TEST(SimulatorTest, RankConfigurationsAgree) {
+  // The same circuit over different rank/block shapes must give the same
+  // state — the partition is an implementation detail.
+  const auto c = circuits::qaoa_maxcut_circuit({.num_qubits = 10});
+  std::vector<double> reference;
+  for (const auto& [ranks, blocks] : {std::pair{1, 1}, {1, 8}, {4, 4},
+                                      {8, 2}, {16, 2}}) {
+    CompressedStateSimulator sim(small_config(10, ranks, blocks));
+    sim.apply_circuit(c);
+    const auto raw = sim.to_raw();
+    if (reference.empty()) {
+      reference = raw;
+    } else {
+      EXPECT_NEAR(qsim::state_fidelity(reference, raw), 1.0, 1e-10)
+          << ranks << "x" << blocks;
+    }
+  }
+}
+
+TEST(SimulatorTest, CrossRankGatesGenerateTraffic) {
+  CompressedStateSimulator sim(small_config(10, 4, 4));
+  qsim::Circuit c(10);
+  c.h(9);  // rank-segment target
+  sim.apply_circuit(c);
+  const auto report = sim.report();
+  EXPECT_GT(report.comm_bytes, 0u);
+  EXPECT_GT(report.comm_messages, 0u);
+
+  CompressedStateSimulator local(small_config(10, 4, 4));
+  qsim::Circuit c2(10);
+  c2.h(0);  // offset-segment target: no traffic
+  local.apply_circuit(c2);
+  EXPECT_EQ(local.report().comm_bytes, 0u);
+}
+
+TEST(SimulatorTest, ReportAccounting) {
+  CompressedStateSimulator sim(small_config(10, 2, 4));
+  const auto c = circuits::qft_circuit({.num_qubits = 10});
+  sim.apply_circuit(c);
+  const auto report = sim.report();
+  EXPECT_EQ(report.gates, c.size());
+  EXPECT_GT(report.total_seconds, 0.0);
+  EXPECT_GT(report.phases.total(), 0.0);
+  EXPECT_GT(report.min_compression_ratio, 0.0);
+  EXPECT_GT(report.peak_compressed_bytes, 0u);
+  EXPECT_EQ(report.memory_requirement_bytes, 1u << 14);  // 2^{10+4}
+  EXPECT_EQ(report.num_qubits, 10);
+}
+
+TEST(SimulatorTest, RejectsBadConfigs) {
+  SimConfig config;
+  config.num_qubits = 8;
+  config.num_ranks = 3;  // not a power of two
+  EXPECT_THROW(CompressedStateSimulator{config}, std::invalid_argument);
+
+  config = SimConfig{};
+  config.num_qubits = 8;
+  config.codec = "zstd";
+  config.initial_level = 1;  // lossless codec cannot be lossy
+  EXPECT_THROW(CompressedStateSimulator{config}, std::invalid_argument);
+
+  config = SimConfig{};
+  config.num_qubits = 8;
+  config.error_ladder = {1e-2, 1e-4};  // not ascending
+  EXPECT_THROW(CompressedStateSimulator{config}, std::invalid_argument);
+}
+
+TEST(SimulatorTest, ZstdOnlySimulationStaysLossless) {
+  SimConfig config = small_config(10, 2, 4);
+  config.codec = "zstd";
+  config.memory_budget_bytes = 1;  // impossible budget
+  CompressedStateSimulator sim(config);
+  qsim::Circuit c(10);
+  for (int q = 0; q < 10; ++q) c.h(q);
+  sim.apply_circuit(c);
+  EXPECT_DOUBLE_EQ(sim.fidelity_bound(), 1.0);
+  EXPECT_TRUE(sim.report().budget_exceeded);
+}
+
+}  // namespace
+}  // namespace cqs::core

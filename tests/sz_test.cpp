@@ -1,0 +1,143 @@
+// Unit tests specific to the SZ-like codec (Solutions A/B): absolute-bound
+// mode, outlier handling, complex-split prediction, and bin configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compression/verify.hpp"
+#include "sz/sz.hpp"
+
+namespace cqs::sz {
+namespace {
+
+using compression::BoundMode;
+using compression::ErrorBound;
+using compression::measure_error;
+
+std::vector<double> smooth_signal(std::size_t n) {
+  std::vector<double> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = std::sin(0.01 * static_cast<double>(i)) +
+              0.2 * std::cos(0.05 * static_cast<double>(i));
+  }
+  return data;
+}
+
+TEST(SzTest, AbsoluteBoundRespected) {
+  SzCodec codec;
+  const auto data = smooth_signal(10000);
+  for (double bound : {1e-2, 1e-4, 1e-6}) {
+    const auto compressed = codec.compress(data, ErrorBound::absolute(bound));
+    std::vector<double> out(data.size());
+    codec.decompress(compressed, out);
+    EXPECT_LE(measure_error(data, out).max_absolute, bound * (1 + 1e-12));
+  }
+}
+
+TEST(SzTest, SmoothDataCompressesWell) {
+  SzCodec codec;
+  const auto data = smooth_signal(100000);
+  const auto compressed = codec.compress(data, ErrorBound::absolute(1e-4));
+  const double ratio =
+      static_cast<double>(data.size() * sizeof(double)) /
+      static_cast<double>(compressed.size());
+  // Lorenzo prediction on smooth data: expect strong compression.
+  EXPECT_GT(ratio, 10.0);
+}
+
+TEST(SzTest, SpikyDataStillRoundTripsWithinBound) {
+  Rng rng(41);
+  std::vector<double> data(20000);
+  for (auto& d : data) {
+    d = (rng.next_bool() ? 1.0 : -1.0) * std::exp2(-30.0 * rng.next_double());
+  }
+  SzCodec codec;
+  const auto compressed = codec.compress(data, ErrorBound::relative(1e-3));
+  std::vector<double> out(data.size());
+  codec.decompress(compressed, out);
+  EXPECT_LE(measure_error(data, out).max_pointwise_relative, 1e-3 * (1 + 1e-12));
+}
+
+TEST(SzTest, OutliersStoredVerbatimUnderAbsoluteBound) {
+  // Huge jumps defeat the predictor; those points must come back exactly.
+  std::vector<double> data(1000, 0.0);
+  data[10] = 1e30;
+  data[500] = -1e30;
+  data[999] = 1e-30;
+  SzCodec codec;
+  const auto compressed = codec.compress(data, ErrorBound::absolute(1e-6));
+  std::vector<double> out(data.size());
+  codec.decompress(compressed, out);
+  EXPECT_EQ(out[10], 1e30);
+  EXPECT_EQ(out[500], -1e30);
+}
+
+TEST(SzTest, ComplexSplitPredictsInterleavedStreams) {
+  // Real parts follow one smooth trajectory, imaginary parts another with a
+  // very different offset: split prediction should beat joint prediction.
+  std::vector<double> data(40000);
+  for (std::size_t i = 0; i < data.size(); i += 2) {
+    const double t = 0.001 * static_cast<double>(i);
+    data[i] = std::sin(t);
+    data[i + 1] = 100.0 + std::cos(t);
+  }
+  SzCodec solution_a;
+  SzCodec solution_b({.complex_split = true, .max_bins = 16384});
+  const auto bound = ErrorBound::absolute(1e-6);
+  const auto a = solution_a.compress(data, bound);
+  const auto b = solution_b.compress(data, bound);
+  EXPECT_LT(b.size(), a.size());
+  std::vector<double> out(data.size());
+  solution_b.decompress(b, out);
+  EXPECT_LE(measure_error(data, out).max_absolute, 1e-6 * (1 + 1e-12));
+}
+
+TEST(SzTest, SolutionBUsesSmallerBinCount) {
+  SzCodec b({.complex_split = true, .max_bins = 16384});
+  EXPECT_EQ(b.config().max_bins, 16384u);
+  EXPECT_EQ(b.name(), "sz-complex");
+}
+
+TEST(SzTest, NonPositiveBoundRejected) {
+  SzCodec codec;
+  std::vector<double> data(8, 1.0);
+  EXPECT_THROW(codec.compress(data, ErrorBound::absolute(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(codec.compress(data, ErrorBound::lossless()),
+               std::invalid_argument);
+}
+
+TEST(SzTest, WrongOutputSizeRejected) {
+  SzCodec codec;
+  std::vector<double> data(128, 0.5);
+  const auto compressed = codec.compress(data, ErrorBound::absolute(1e-3));
+  std::vector<double> too_small(64);
+  EXPECT_THROW(codec.decompress(compressed, too_small), std::runtime_error);
+}
+
+TEST(SzTest, SingleElementAndTinyInputs) {
+  SzCodec codec;
+  for (std::size_t n : {1u, 2u, 3u, 5u}) {
+    std::vector<double> data(n, 0.75);
+    const auto compressed = codec.compress(data, ErrorBound::relative(1e-4));
+    std::vector<double> out(n);
+    codec.decompress(compressed, out);
+    for (double v : out) EXPECT_NEAR(v, 0.75, 0.75 * 1e-4);
+  }
+}
+
+TEST(SzTest, NegativeValuesKeepSign) {
+  std::vector<double> data = {-1.0, -0.5, -0.25, 0.25, 0.5, 1.0};
+  SzCodec codec;
+  const auto compressed = codec.compress(data, ErrorBound::relative(1e-4));
+  std::vector<double> out(data.size());
+  codec.decompress(compressed, out);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(std::signbit(out[i]), std::signbit(data[i]));
+  }
+}
+
+}  // namespace
+}  // namespace cqs::sz

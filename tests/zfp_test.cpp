@@ -1,0 +1,127 @@
+// Unit tests specific to the ZFP-like transform codec.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "compression/verify.hpp"
+#include "zfp/zfp.hpp"
+
+namespace cqs::zfp {
+namespace {
+
+using compression::ErrorBound;
+using compression::measure_error;
+
+TEST(ZfpTest, AbsoluteBoundRespectedOnSmoothData) {
+  std::vector<double> data(8192);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::sin(0.02 * static_cast<double>(i));
+  }
+  ZfpCodec codec;
+  for (double bound : {1e-2, 1e-4, 1e-8}) {
+    const auto compressed = codec.compress(data, ErrorBound::absolute(bound));
+    std::vector<double> out(data.size());
+    codec.decompress(compressed, out);
+    EXPECT_LE(measure_error(data, out).max_absolute, bound)
+        << "bound " << bound;
+  }
+}
+
+TEST(ZfpTest, AbsoluteBoundRespectedOnRandomData) {
+  Rng rng(19);
+  std::vector<double> data(4096);
+  for (auto& d : data) d = rng.next_normal();
+  ZfpCodec codec;
+  for (double bound : {1e-3, 1e-6}) {
+    const auto compressed = codec.compress(data, ErrorBound::absolute(bound));
+    std::vector<double> out(data.size());
+    codec.decompress(compressed, out);
+    EXPECT_LE(measure_error(data, out).max_absolute, bound);
+  }
+}
+
+TEST(ZfpTest, AllZeroBlocksAreOneBit) {
+  std::vector<double> data(4096, 0.0);
+  ZfpCodec codec;
+  const auto compressed = codec.compress(data, ErrorBound::absolute(1e-6));
+  // 1024 blocks x 1 bit + header: far below one byte per block.
+  EXPECT_LT(compressed.size(), 200u);
+  std::vector<double> out(data.size());
+  codec.decompress(compressed, out);
+  for (double v : out) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ZfpTest, SmoothBeatsSpikyInRatio) {
+  std::vector<double> smooth(16384);
+  for (std::size_t i = 0; i < smooth.size(); ++i) {
+    smooth[i] = std::sin(0.01 * static_cast<double>(i));
+  }
+  Rng rng(5);
+  std::vector<double> spiky(16384);
+  for (auto& d : spiky) {
+    d = (rng.next_bool() ? 1.0 : -1.0) * std::exp2(-25.0 * rng.next_double());
+  }
+  ZfpCodec codec;
+  const auto bound = ErrorBound::relative(1e-3);
+  const auto cs = codec.compress(smooth, bound);
+  const auto cp = codec.compress(spiky, bound);
+  // The domain-transform model relies on smoothness (Section 4.1's
+  // explanation of why ZFP struggles on quantum state data).
+  EXPECT_LT(cs.size(), cp.size());
+}
+
+TEST(ZfpTest, FixedPrecisionModeBoundsBitsPerBlock) {
+  Rng rng(29);
+  std::vector<double> data(4096);
+  for (auto& d : data) d = rng.next_normal();
+  ZfpCodec low_precision(8);
+  ZfpCodec high_precision(40);
+  const auto bound = ErrorBound::absolute(1e-12);  // ignored in fixed mode
+  const auto lo = low_precision.compress(data, bound);
+  const auto hi = high_precision.compress(data, bound);
+  EXPECT_LT(lo.size(), hi.size());
+  // 8 planes of 4 coefficients + headers: < 8 bytes per 4-value block.
+  EXPECT_LT(lo.size(), data.size() * 2);
+}
+
+TEST(ZfpTest, PartialTailBlockRoundTrips) {
+  for (std::size_t n : {1u, 2u, 3u, 5u, 6u, 7u}) {
+    std::vector<double> data(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      data[i] = 0.1 * static_cast<double>(i + 1);
+    }
+    ZfpCodec codec;
+    const auto compressed = codec.compress(data, ErrorBound::absolute(1e-9));
+    std::vector<double> out(n);
+    codec.decompress(compressed, out);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(out[i], data[i], 1e-9);
+    }
+  }
+}
+
+TEST(ZfpTest, NonfiniteRejected) {
+  std::vector<double> data = {1.0, std::nan(""), 2.0, 3.0};
+  ZfpCodec codec;
+  EXPECT_THROW(codec.compress(data, ErrorBound::absolute(1e-3)),
+               std::invalid_argument);
+}
+
+TEST(ZfpTest, WideDynamicRangePerBlockExponent) {
+  // Each block has its own exponent; tiny and huge blocks coexist.
+  std::vector<double> data;
+  for (int i = 0; i < 4; ++i) data.push_back(1e-20 * (i + 1));
+  for (int i = 0; i < 4; ++i) data.push_back(1e+20 * (i + 1));
+  ZfpCodec codec;
+  const auto compressed = codec.compress(data, ErrorBound::relative(1e-6));
+  std::vector<double> out(data.size());
+  codec.decompress(compressed, out);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(out[i], data[i], std::abs(data[i]) * 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace cqs::zfp
