@@ -755,6 +755,12 @@ CompressedStateSimulator CompressedStateSimulator::load_checkpoint(
   config.num_ranks = header.num_ranks;
   config.blocks_per_rank = header.blocks_per_rank;
   config.codec = header.codec_name;
+  if (header.ladder_level > config.error_ladder.size()) {
+    // Restoring a deeper level than the resume ladder has entries would
+    // index past the end of error_ladder on the next compression.
+    throw std::invalid_argument(
+        "load_checkpoint: saved ladder level exceeds configured ladder");
+  }
   CompressedStateSimulator sim(config);
   sim.ranks_ = std::move(stores);
   sim.level_ = static_cast<int>(header.ladder_level);

@@ -18,7 +18,12 @@ std::uint64_t BlockCache::make_key(ByteSpan op_descriptor, ByteSpan cb1,
 
 bool BlockCache::lookup(std::uint64_t key, Bytes& out1, Bytes& out2) {
   std::lock_guard lock(mutex_);
-  if (stats_.disabled) return false;
+  if (stats_.disabled) {
+    // Disabled lookups short-circuit but still count: stats must account
+    // for every lookup so hits + misses equals the number of calls.
+    ++stats_.misses;
+    return false;
+  }
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;

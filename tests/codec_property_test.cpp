@@ -16,19 +16,14 @@
 #include "common/rng.hpp"
 #include "compression/compressor.hpp"
 #include "compression/verify.hpp"
+#include "test_util.hpp"
 
 namespace cqs::compression {
 namespace {
 
 std::vector<double> random_amplitude_like(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<double> data(n);
-  for (auto& d : data) {
-    // Spiky, wide-dynamic-range values mimicking Figure 9.
-    const double mag = std::exp2(-20.0 * rng.next_double());
-    d = (rng.next_bool() ? mag : -mag) * rng.next_double();
-  }
-  return data;
+  // Spiky, wide-dynamic-range values mimicking Figure 9.
+  return test::spiky_qaoa_like(n, seed);
 }
 
 using Param = std::tuple<std::string, double>;
@@ -115,6 +110,113 @@ INSTANTIATE_TEST_SUITE_P(
       const int exponent = static_cast<int>(
           std::round(-std::log10(std::get<1>(info.param))));
       return name + "_1em" + std::to_string(exponent);
+    });
+
+// ---------------------------------------------------------------------------
+// Registry-wide randomized round-trip property suite: every registered codec
+// is swept over every bound mode it supports ({lossless, absolute,
+// pointwise-relative}) on three data regimes (spiky QAOA-like, dense
+// supremacy-like, sparse early-simulation), with several seeds per
+// combination. The suite asserts the reconstruction respects the requested
+// bound semantics exactly.
+// ---------------------------------------------------------------------------
+
+struct RoundTripParam {
+  std::string codec;
+  BoundMode mode;
+  double value;  // ignored for kLossless
+  std::string label;
+};
+
+class RoundTripPropertyTest
+    : public ::testing::TestWithParam<RoundTripParam> {};
+
+void check_bound(const std::string& codec_name, const ErrorBound& bound,
+                 std::span<const double> data,
+                 std::span<const double> out) {
+  switch (bound.mode) {
+    case BoundMode::kLossless:
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        ASSERT_EQ(out[i], data[i]) << codec_name << " index " << i;
+      }
+      break;
+    case BoundMode::kAbsolute: {
+      const ErrorReport report = measure_error(data, out);
+      EXPECT_LE(report.max_absolute, bound.value * (1.0 + 1e-12))
+          << codec_name << " abs bound " << bound.value;
+      break;
+    }
+    case BoundMode::kPointwiseRelative: {
+      const ErrorReport report = measure_error(data, out);
+      EXPECT_LE(report.max_pointwise_relative, bound.value * (1.0 + 1e-12))
+          << codec_name << " rel bound " << bound.value;
+      // Pointwise relative bounds must preserve exact zeros.
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        if (data[i] == 0.0) {
+          ASSERT_EQ(out[i], 0.0) << codec_name << " zero at " << i;
+        }
+      }
+      break;
+    }
+  }
+}
+
+TEST_P(RoundTripPropertyTest, BoundHoldsOnSpikyAndDenseData) {
+  const auto& param = GetParam();
+  const auto codec = make_compressor(param.codec);
+  ASSERT_TRUE(codec->supports(param.mode));
+  const ErrorBound bound{param.mode, param.value};
+
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    for (int regime = 0; regime < 3; ++regime) {
+      const std::vector<double> data =
+          regime == 0   ? test::spiky_qaoa_like(4096, seed)
+          : regime == 1 ? test::dense_supremacy_like(4096, seed)
+                        : test::sparse_like(4096, seed);
+      const Bytes compressed = codec->compress(data, bound);
+      ASSERT_EQ(codec->element_count(compressed), data.size());
+      std::vector<double> out(data.size());
+      codec->decompress(compressed, out);
+      SCOPED_TRACE(::testing::Message()
+                   << param.codec << " seed " << seed << " regime "
+                   << regime);
+      check_bound(param.codec, bound, data, out);
+    }
+  }
+}
+
+std::vector<RoundTripParam> round_trip_params() {
+  std::vector<RoundTripParam> params;
+  for (const auto& name : compressor_names()) {
+    const auto codec = make_compressor(name);
+    std::string safe = name;
+    for (auto& ch : safe) {
+      if (ch == '-') ch = '_';
+    }
+    if (codec->supports(BoundMode::kLossless)) {
+      params.push_back({name, BoundMode::kLossless, 0.0, safe + "_lossless"});
+    }
+    for (double value : {1e-2, 1e-4, 1e-6}) {
+      const int exponent =
+          static_cast<int>(std::round(-std::log10(value)));
+      if (codec->supports(BoundMode::kAbsolute)) {
+        params.push_back({name, BoundMode::kAbsolute, value,
+                          safe + "_abs_1em" + std::to_string(exponent)});
+      }
+      if (codec->supports(BoundMode::kPointwiseRelative)) {
+        params.push_back({name, BoundMode::kPointwiseRelative, value,
+                          safe + "_rel_1em" + std::to_string(exponent)});
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RegistrySweep, RoundTripPropertyTest,
+    ::testing::ValuesIn(round_trip_params()),
+    [](const ::testing::TestParamInfo<RoundTripParam>& info) {
+      return info.param.label;
     });
 
 TEST(CompressorRegistryTest, AllNamesConstruct) {

@@ -12,6 +12,7 @@
 #include "compression/compressor.hpp"
 #include "lossless/zx.hpp"
 #include "runtime/checkpoint.hpp"
+#include "test_util.hpp"
 
 namespace cqs {
 namespace {
@@ -115,9 +116,11 @@ TEST(ZxCorruptionTest, RawModeSizeMismatch) {
   EXPECT_THROW(lossless::zx_decompress(container), std::runtime_error);
 }
 
-TEST(CheckpointCorruptionTest, TruncatedFilesThrow) {
+using CheckpointCorruptionTest = test::TempDirFixture;
+
+TEST_F(CheckpointCorruptionTest, TruncatedFilesThrow) {
   // Build a valid checkpoint in memory via the API, then truncate on disk.
-  const std::string path = "/tmp/cqs_corrupt_ckpt.bin";
+  const std::string path = this->path("corrupt_ckpt.bin");
   runtime::CheckpointHeader header;
   header.num_qubits = 8;
   header.num_ranks = 1;
@@ -135,7 +138,6 @@ TEST(CheckpointCorruptionTest, TruncatedFilesThrow) {
     EXPECT_THROW(runtime::load_checkpoint(path), std::exception)
         << "keep=" << keep;
   }
-  std::filesystem::remove(path);
 }
 
 }  // namespace

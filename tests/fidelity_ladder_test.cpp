@@ -1,0 +1,145 @@
+// Dedicated coverage of the error-bound ladder's fidelity bookkeeping
+// (Sections 3.7/3.8): the tracked lower bound must equal the product of
+// (1 - delta_i) over every recorded lossy pass (Eq. 11), must never
+// overstate the measured fidelity — including through budget-forced
+// escalation — and must survive checkpoint/resume intact.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "circuits/qaoa.hpp"
+#include "circuits/supremacy.hpp"
+#include "core/fidelity.hpp"
+#include "core/simulator.hpp"
+#include "qsim/state_vector.hpp"
+#include "test_util.hpp"
+
+namespace cqs::core {
+namespace {
+
+double cross_fidelity(CompressedStateSimulator& sim,
+                      const qsim::Circuit& circuit) {
+  qsim::StateVector reference(circuit.num_qubits());
+  reference.apply_circuit(circuit);
+  const auto raw = sim.to_raw();
+  return qsim::state_fidelity(reference.raw(), raw);
+}
+
+SimConfig base_config(int qubits, int ranks, int blocks) {
+  SimConfig config;
+  config.num_qubits = qubits;
+  config.num_ranks = ranks;
+  config.blocks_per_rank = blocks;
+  config.threads = 4;
+  return config;
+}
+
+TEST(FidelityTrackerTest, BoundIsExactlyTheProductOfPasses) {
+  FidelityTracker tracker;
+  EXPECT_DOUBLE_EQ(tracker.bound(), 1.0);
+  const std::vector<double> deltas = {1e-5, 1e-5, 1e-4, 1e-3, 1e-3};
+  double expected = 1.0;
+  for (double d : deltas) {
+    tracker.record_lossy_pass(d);
+    expected *= (1.0 - d);
+  }
+  EXPECT_DOUBLE_EQ(tracker.bound(), expected);
+  EXPECT_EQ(tracker.lossy_passes(), deltas.size());
+  EXPECT_DOUBLE_EQ(FidelityTracker::bound_after(3, 1e-2),
+                   (1 - 1e-2) * (1 - 1e-2) * (1 - 1e-2));
+}
+
+TEST(FidelityLadderTest, FixedLevelBoundMatchesPerPassProduct) {
+  // At a pinned lossy level with no budget pressure, the simulator records
+  // at most one pass (all at the same delta) per gate application, so the
+  // bound must equal (1 - delta)^lossy_passes with passes <= gates.
+  SimConfig config = base_config(10, 2, 4);
+  config.initial_level = 3;  // ladder[2] = 1e-3
+  CompressedStateSimulator sim(config);
+  const auto circuit = circuits::qaoa_maxcut_circuit({.num_qubits = 10});
+  sim.apply_circuit(circuit);
+
+  const auto report = sim.report();
+  const double delta = config.error_ladder[2];
+  EXPECT_EQ(sim.ladder_level(), 3);
+  EXPECT_GT(report.lossy_passes, 0u);
+  EXPECT_DOUBLE_EQ(sim.fidelity_bound(),
+                   FidelityTracker::bound_after(report.lossy_passes, delta));
+  // SWAPs expand to three CX applications; everything else records at most
+  // one lossy pass per gate.
+  std::uint64_t max_passes = 0;
+  for (const auto& op : circuit.ops()) {
+    max_passes += op.kind == qsim::GateKind::kSwap ? 3 : 1;
+  }
+  EXPECT_LE(report.lossy_passes, max_passes);
+}
+
+TEST(FidelityLadderTest, MeasuredFidelityRespectsBoundThroughEscalation) {
+  // The paper's invariant F >= prod(1 - delta_i), exercised specifically
+  // through the budget-forced escalation path: the ladder must climb, the
+  // bound must shrink accordingly, and the measured fidelity against a
+  // dense lossless reference must stay at or above the bound.
+  SimConfig config = base_config(12, 2, 4);
+  config.memory_budget_bytes = 20 << 10;  // forces lossy mode
+  CompressedStateSimulator sim(config);
+  const auto circuit =
+      circuits::supremacy_circuit({.rows = 3, .cols = 4, .depth = 8});
+  sim.apply_circuit(circuit);
+
+  ASSERT_GT(sim.ladder_level(), 0) << "budget must force escalation";
+  const double bound = sim.fidelity_bound();
+  EXPECT_LT(bound, 1.0);
+  EXPECT_GT(bound, 0.0);
+
+  const auto report = sim.report();
+  // Every recorded pass used a delta no looser than the final level's, so
+  // the bound can never be below the all-passes-at-the-loosest-delta floor.
+  const double loosest = config.error_ladder[sim.ladder_level() - 1];
+  EXPECT_GE(bound,
+            FidelityTracker::bound_after(report.lossy_passes, loosest) -
+                1e-15);
+
+  const double measured = cross_fidelity(sim, circuit);
+  EXPECT_GE(measured, bound - 1e-12)
+      << "fidelity bound overstates the measured fidelity";
+}
+
+using FidelityCheckpointTest = test::TempDirFixture;
+
+TEST_F(FidelityCheckpointTest, BoundSurvivesCheckpointResume) {
+  SimConfig config = base_config(10, 2, 4);
+  config.initial_level = 2;
+  CompressedStateSimulator sim(config);
+  sim.apply_circuit(circuits::qaoa_maxcut_circuit({.num_qubits = 10}));
+  const double bound_before = sim.fidelity_bound();
+  ASSERT_LT(bound_before, 1.0);
+
+  const std::string file = path("ladder.ckpt");
+  sim.save_checkpoint(file);
+  auto resumed = CompressedStateSimulator::load_checkpoint(file, config);
+  EXPECT_EQ(resumed.ladder_level(), sim.ladder_level());
+  EXPECT_NEAR(resumed.fidelity_bound(), bound_before, 1e-15);
+}
+
+TEST_F(FidelityCheckpointTest, RejectsResumeWithShorterLadder) {
+  // A checkpoint saved at ladder level 3 cannot be resumed with a config
+  // whose ladder has fewer than 3 entries: the level would index past the
+  // end of error_ladder on the next compression.
+  SimConfig config = base_config(10, 2, 4);
+  config.initial_level = 3;
+  CompressedStateSimulator sim(config);
+  sim.apply_circuit(circuits::qaoa_maxcut_circuit({.num_qubits = 10}));
+  const std::string file = path("deep.ckpt");
+  sim.save_checkpoint(file);
+
+  SimConfig short_ladder = config;
+  short_ladder.initial_level = 0;
+  short_ladder.error_ladder = {1e-5, 1e-4};
+  EXPECT_THROW(
+      CompressedStateSimulator::load_checkpoint(file, short_ladder),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cqs::core

@@ -11,6 +11,7 @@
 #include "runtime/comm.hpp"
 #include "runtime/partition.hpp"
 #include "runtime/scratch.hpp"
+#include "test_util.hpp"
 
 namespace cqs::runtime {
 namespace {
@@ -55,6 +56,41 @@ TEST(BlockStoreTest, TracksTotalBytes) {
   EXPECT_EQ(store.total_bytes(), 60u);
   EXPECT_EQ(store.meta(0).level, 2);
   EXPECT_THROW(store.set_block(4, Bytes(1), {}), std::out_of_range);
+}
+
+TEST(BlockStoreTest, TotalBytesAccountingAcrossReplacements) {
+  // Regression coverage for set_block's running total: replace-smaller,
+  // replace-larger, and empty payloads must all keep total_bytes exact.
+  BlockStore store(3);
+  store.set_block(0, Bytes(100), {0});
+  store.set_block(1, Bytes(200), {0});
+  store.set_block(2, Bytes(300), {0});
+  ASSERT_EQ(store.total_bytes(), 600u);
+
+  store.set_block(1, Bytes(50), {1});  // replace with smaller
+  EXPECT_EQ(store.total_bytes(), 450u);
+
+  store.set_block(1, Bytes(500), {2});  // replace with larger
+  EXPECT_EQ(store.total_bytes(), 900u);
+
+  store.set_block(0, Bytes{}, {3});  // replace with empty payload
+  EXPECT_EQ(store.total_bytes(), 800u);
+  EXPECT_TRUE(store.block(0).empty());
+
+  store.set_block(0, Bytes{}, {3});  // empty -> empty is a no-op in bytes
+  EXPECT_EQ(store.total_bytes(), 800u);
+
+  store.set_block(0, Bytes(1), {0});  // and back from empty
+  EXPECT_EQ(store.total_bytes(), 801u);
+}
+
+TEST(BlockStoreTest, MetaLevelTracksEveryReplacement) {
+  BlockStore store(2);
+  store.set_block(0, Bytes(10), {5});
+  EXPECT_EQ(store.meta(0).level, 5);
+  store.set_block(0, Bytes{}, {7});  // empty payloads still carry meta
+  EXPECT_EQ(store.meta(0).level, 7);
+  EXPECT_EQ(store.meta(1).level, 0);  // untouched block keeps default
 }
 
 TEST(BlockCacheTest, HitReturnsInsertedBlocks) {
@@ -104,9 +140,12 @@ TEST(BlockCacheTest, AutoDisableAfterFruitlessMisses) {
   }
   EXPECT_TRUE(cache.stats().disabled);
   EXPECT_FALSE(cache.enabled());
-  // Disabled cache rejects lookups and inserts silently.
+  // Disabled cache rejects lookups and inserts silently...
   cache.insert(1, Bytes(1), {});
   EXPECT_FALSE(cache.lookup(1, out1, out2));
+  // ...but every lookup still counts as a miss, so stats always satisfy
+  // hits + misses == number of lookups.
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 11u);
 }
 
 TEST(BlockCacheTest, HitPreventsDisable) {
@@ -171,8 +210,10 @@ TEST(ScratchTest, SlotsAreDisjoint) {
   }
 }
 
-TEST(CheckpointTest, RoundTrip) {
-  const std::string path = "/tmp/cqs_checkpoint_test.bin";
+using CheckpointTest = test::TempDirFixture;
+
+TEST_F(CheckpointTest, RoundTrip) {
+  const std::string path = this->path("checkpoint.bin");
   CheckpointHeader header;
   header.num_qubits = 12;
   header.num_ranks = 2;
@@ -208,11 +249,40 @@ TEST(CheckpointTest, RoundTrip) {
       EXPECT_EQ(loaded_ranks[r].meta(b).level, ranks[r].meta(b).level);
     }
   }
-  std::filesystem::remove(path);
 }
 
-TEST(CheckpointTest, RejectsCorruptFile) {
-  const std::string path = "/tmp/cqs_checkpoint_corrupt.bin";
+TEST_F(CheckpointTest, BlockMetaLevelSurvivesRoundTrip) {
+  // Every distinct ladder level — including the full uint8 range ends and
+  // empty payloads — must survive save/load unchanged; a block's level is
+  // what tells the loader which codec path decompresses it.
+  const std::string path = this->path("levels.bin");
+  CheckpointHeader header;
+  header.num_qubits = 8;
+  header.num_ranks = 1;
+  header.blocks_per_rank = 6;
+  header.codec_name = "qzc";
+
+  const std::uint8_t levels[] = {0, 1, 2, 5, 254, 255};
+  std::vector<BlockStore> ranks(1, BlockStore(6));
+  for (int b = 0; b < 6; ++b) {
+    // Block 3 is deliberately empty: meta must survive payload-free blocks.
+    Bytes payload(b == 3 ? 0 : 4 + b, static_cast<std::byte>(b));
+    ranks[0].set_block(b, std::move(payload), {levels[b]});
+  }
+  save_checkpoint(path, header, ranks);
+
+  const auto [loaded_header, loaded_ranks] = load_checkpoint(path);
+  ASSERT_EQ(loaded_ranks.size(), 1u);
+  ASSERT_EQ(loaded_ranks[0].num_blocks(), 6);
+  for (int b = 0; b < 6; ++b) {
+    EXPECT_EQ(loaded_ranks[0].meta(b).level, levels[b]) << "block " << b;
+    EXPECT_EQ(loaded_ranks[0].block(b), ranks[0].block(b)) << "block " << b;
+  }
+  EXPECT_EQ(loaded_ranks[0].total_bytes(), ranks[0].total_bytes());
+}
+
+TEST_F(CheckpointTest, RejectsCorruptFile) {
+  const std::string path = this->path("corrupt.bin");
   {
     FILE* f = std::fopen(path.c_str(), "wb");
     std::fputs("garbage", f);
@@ -220,7 +290,6 @@ TEST(CheckpointTest, RejectsCorruptFile) {
   }
   EXPECT_THROW(load_checkpoint(path), std::runtime_error);
   EXPECT_THROW(load_checkpoint("/nonexistent/nope"), std::runtime_error);
-  std::filesystem::remove(path);
 }
 
 }  // namespace

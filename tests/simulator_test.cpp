@@ -14,6 +14,7 @@
 #include "common/rng.hpp"
 #include "core/simulator.hpp"
 #include "qsim/state_vector.hpp"
+#include "test_util.hpp"
 
 namespace cqs::core {
 namespace {
@@ -214,9 +215,11 @@ TEST(SimulatorTest, AssertProbabilityForDebugging) {
   EXPECT_FALSE(sim.assert_probability(3, 0.9, 0.1));
 }
 
-TEST(SimulatorTest, CheckpointResumeProducesSameState) {
+using SimulatorCheckpointTest = test::TempDirFixture;
+
+TEST_F(SimulatorCheckpointTest, CheckpointResumeProducesSameState) {
   const auto c = circuits::qft_circuit({.num_qubits = 10});
-  const std::string path = "/tmp/cqs_sim_checkpoint.bin";
+  const std::string path = this->path("sim_checkpoint.bin");
 
   // Full run.
   CompressedStateSimulator full(small_config(10, 2, 4));
@@ -238,7 +241,7 @@ TEST(SimulatorTest, CheckpointResumeProducesSameState) {
   const auto a = full.to_raw();
   const auto b = resumed.to_raw();
   EXPECT_NEAR(qsim::state_fidelity(a, b), 1.0, 1e-10);
-  std::filesystem::remove(path);
+  CQS_EXPECT_STATES_CLOSE(a, b, 1e-12);
 }
 
 TEST(SimulatorTest, RankConfigurationsAgree) {

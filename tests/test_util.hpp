@@ -1,0 +1,121 @@
+// Shared test harness for the cqs suite:
+//   - tolerance-aware state-vector comparison helpers,
+//   - a temp-dir fixture so checkpoint/file tests are safe under `ctest -j`,
+//   - seeded data generators for three dataset regimes (spiky QAOA-like,
+//     dense supremacy-like, sparse early-simulation) so property tests are
+//     deterministic.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace cqs::test {
+
+/// Tolerance-aware comparison of two raw states. Use tol = 0 for
+/// bit-identical (lossless / determinism tests).
+inline ::testing::AssertionResult states_close(std::span<const double> a,
+                                               std::span<const double> b,
+                                               double tol) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << a.size() << " vs " << b.size();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = std::abs(a[i] - b[i]);
+    if (!(diff <= tol)) {
+      return ::testing::AssertionFailure()
+             << "index " << i << ": " << a[i] << " vs " << b[i]
+             << " (|diff| = " << diff << " > " << tol << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+#define CQS_EXPECT_STATES_CLOSE(a, b, tol) \
+  EXPECT_TRUE(::cqs::test::states_close((a), (b), (tol)))
+
+/// Creates a unique directory under the system temp dir for the lifetime of
+/// each test, so file-writing tests (checkpoints) never collide when the
+/// suite runs with `ctest -j`.
+class TempDirFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string leaf = std::string("cqs_") + info->test_suite_name() + "_" +
+                       info->name();
+    for (auto& ch : leaf) {
+      if (ch == '/' || ch == '\\') ch = '_';
+    }
+    dir_ = std::filesystem::temp_directory_path() / leaf;
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;  // best-effort cleanup; never fail the test
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  /// Absolute path for a file inside the per-test directory.
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+/// Spiky, wide-dynamic-range values mimicking the paper's QAOA datasets
+/// (Figure 9's high-spikiness regime). Deterministic in `seed`.
+inline std::vector<double> spiky_qaoa_like(std::size_t n,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> data(n);
+  for (auto& d : data) {
+    const double mag = std::exp2(-20.0 * rng.next_double());
+    d = (rng.next_bool() ? mag : -mag) * rng.next_double();
+  }
+  return data;
+}
+
+/// Dense, Porter-Thomas-like amplitudes mimicking the paper's supremacy
+/// datasets: every component Gaussian at the same scale, normalized so the
+/// values look like a legitimate 2^k-amplitude state.
+inline std::vector<double> dense_supremacy_like(std::size_t n,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> data(n);
+  double norm2 = 0.0;
+  for (auto& d : data) {
+    d = rng.next_normal();
+    norm2 += d * d;
+  }
+  if (norm2 > 0.0) {
+    const double scale = 1.0 / std::sqrt(norm2);
+    for (auto& d : data) d *= scale;
+  }
+  return data;
+}
+
+/// Mostly-zero early-simulation data: exercises the lossless fast path and
+/// exact-zero preservation of every codec.
+inline std::vector<double> sparse_like(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> data(n, 0.0);
+  const std::size_t nonzero = std::max<std::size_t>(1, n / 64);
+  for (std::size_t i = 0; i < nonzero; ++i) {
+    data[rng.next_below(n)] = rng.next_normal();
+  }
+  return data;
+}
+
+}  // namespace cqs::test
