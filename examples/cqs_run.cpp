@@ -7,7 +7,10 @@
 //     --codec NAME       lossy codec (default qzc)
 //     --budget-frac F    memory budget as a fraction of 2^{n+4} (default 0:
 //                        unlimited, stays lossless)
-//     --fuse             apply single-qubit gate fusion first
+//     --fuse             apply single-qubit gate fusion first (the run
+//                        scheduler also fuses internally by default)
+//     --no-batching      disable the block-local gate-run scheduler
+//     --max-run N        cap scheduled ops per gate run (0 = unlimited)
 //     --checkpoint PATH  save a checkpoint at the end
 //     --samples N        print N sampled basis states
 //
@@ -34,8 +37,8 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <circuit-file> [--ranks N] [--blocks N] "
-               "[--codec NAME] [--budget-frac F] [--fuse] "
-               "[--checkpoint PATH] [--samples N]\n",
+               "[--codec NAME] [--budget-frac F] [--fuse] [--no-batching] "
+               "[--max-run N] [--checkpoint PATH] [--samples N]\n",
                argv0);
   std::exit(2);
 }
@@ -71,6 +74,11 @@ int main(int argc, char** argv) try {
       budget_fraction = std::atof(next());
     } else if (arg == "--fuse") {
       fuse = true;
+    } else if (arg == "--no-batching") {
+      config.enable_run_batching = false;
+    } else if (arg == "--max-run") {
+      config.max_run_length =
+          static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--checkpoint") {
       checkpoint_path = next();
     } else if (arg == "--samples") {

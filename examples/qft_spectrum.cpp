@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   auto resumed = core::CompressedStateSimulator::load_checkpoint(ckpt, config);
   std::printf("checkpointed after %llu gates; resuming\n",
               static_cast<unsigned long long>(resumed.gate_cursor()));
-  resumed.apply_circuit(circuit);
+  resumed.resume_circuit(circuit);
 
   // Spectrum peaks: |QFT psi|^2 concentrates on multiples of 2^n/period.
   const auto amps = resumed.to_amplitudes();

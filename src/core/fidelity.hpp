@@ -19,6 +19,14 @@ class FidelityTracker {
   double bound() const { return bound_; }
   std::uint64_t lossy_passes() const { return lossy_passes_; }
 
+  /// Reinstates a persisted bound and pass count (checkpoint resume): the
+  /// restored history must report exactly what the saved run accumulated,
+  /// not a synthetic single pass.
+  void restore(double bound, std::uint64_t lossy_passes) {
+    bound_ = bound;
+    lossy_passes_ = lossy_passes;
+  }
+
   /// Analytic helper for Figure 6: the bound after `gates` gates all at
   /// error level `delta`.
   static double bound_after(std::uint64_t gates, double delta) {

@@ -37,6 +37,11 @@ void SimulationReport::print(std::ostream& os) const {
      << "  computation:       " << pct(Phase::kComputation) << " %\n"
      << "time per gate:       " << std::setprecision(6)
      << seconds_per_gate() << " s\n"
+     << std::setprecision(2) << "gate runs:           " << batched_runs
+     << " batched (" << batched_gates << " gates, avg " << gates_per_run()
+     << " gates/run)\n"
+     << "codec invocations:   " << compress_invocations << " compress / "
+     << decompress_invocations << " decompress\n"
      << std::setprecision(4) << "fidelity bound:      " << fidelity_bound
      << " (" << lossy_passes << " lossy passes, final level "
      << final_ladder_level << ")\n"

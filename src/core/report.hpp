@@ -37,6 +37,12 @@ struct SimulationReport {
   double min_compression_ratio = 0.0;  ///< min over gates (Table 2 last row)
   int final_ladder_level = 0;          ///< 0 = still lossless
 
+  // Gate-run scheduler (block-local batching).
+  std::uint64_t batched_runs = 0;   ///< block-local runs (one codec pass each)
+  std::uint64_t batched_gates = 0;  ///< scheduled ops applied inside runs
+  std::uint64_t compress_invocations = 0;    ///< codec compress calls
+  std::uint64_t decompress_invocations = 0;  ///< codec decompress calls
+
   // Fidelity.
   double fidelity_bound = 1.0;
   std::uint64_t lossy_passes = 0;
@@ -49,6 +55,14 @@ struct SimulationReport {
 
   double seconds_per_gate() const {
     return gates == 0 ? 0.0 : total_seconds / static_cast<double>(gates);
+  }
+
+  /// Mean scheduled ops per block-local run — the codec amortization
+  /// factor the batching scheduler achieved.
+  double gates_per_run() const {
+    return batched_runs == 0 ? 0.0
+                             : static_cast<double>(batched_gates) /
+                                   static_cast<double>(batched_runs);
   }
 
   /// Fraction of summed phase time spent in `p` (the percentage rows of

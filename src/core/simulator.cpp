@@ -27,6 +27,44 @@ inline std::complex<double>* as_complex(std::span<double> raw) {
   return reinterpret_cast<std::complex<double>*>(raw.data());
 }
 
+/// Applies one offset-segment kernel to a decompressed block: the
+/// diagonal multiply or the classic strided pairs (Figure 1), restricted
+/// to amplitudes whose offset-segment control bits are all set. Shared by
+/// the single-gate path and the run executor so the hot loops exist once.
+void apply_offset_kernel(Amplitude* amps, std::uint64_t count,
+                         const Mat2& m, bool diagonal,
+                         std::uint64_t target_bit, std::uint64_t ctrl) {
+  if (diagonal) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if ((i & ctrl) != ctrl) continue;
+      amps[i] *= (i & target_bit) ? m.u11 : m.u00;
+    }
+    return;
+  }
+  const std::uint64_t stride = target_bit;
+  for (std::uint64_t base = 0; base < count; base += 2 * stride) {
+    for (std::uint64_t i = base; i < base + stride; ++i) {
+      if ((i & ctrl) != ctrl) continue;
+      const Amplitude a0 = amps[i];
+      const Amplitude a1 = amps[i + stride];
+      amps[i] = m.u00 * a0 + m.u01 * a1;
+      amps[i + stride] = m.u10 * a0 + m.u11 * a1;
+    }
+  }
+}
+
+/// Cache-key descriptor of one gate: identity + placement + compression
+/// level. Shared by the single-gate routing and the run planner so a
+/// length-one run and a single gate describe the op identically.
+void append_gate_descriptor(Bytes& out, const GateOp& op, int level) {
+  out.push_back(static_cast<std::byte>(op.kind));
+  put_varint(out, static_cast<std::uint64_t>(op.target));
+  put_varint(out, static_cast<std::uint64_t>(op.controls[0] + 1));
+  put_varint(out, static_cast<std::uint64_t>(op.controls[1] + 1));
+  for (double p : op.params) put_scalar(out, p);
+  out.push_back(static_cast<std::byte>(level));
+}
+
 }  // namespace
 
 /// Resolved routing of one gate against the partition: where the target
@@ -45,6 +83,24 @@ struct CompressedStateSimulator::GateRouting {
   Bytes descriptor;
   /// Count of blocks recompressed during this gate (shared across workers).
   mutable std::atomic<std::uint64_t> blocks_compressed{0};
+};
+
+/// Resolved execution plan of one block-local gate run: every kernel acts
+/// purely on offset-segment bits, so the same plan sweeps every block and
+/// each block pays a single decompress/recompress round for the whole run.
+struct CompressedStateSimulator::RunPlan {
+  struct Kernel {
+    Mat2 m{};
+    bool diagonal = false;
+    std::uint64_t target_bit = 0;  ///< 1 << offset-local target bit
+    std::uint64_t ctrl_mask = 0;   ///< offset-segment control bits
+  };
+  std::vector<Kernel> kernels;
+  /// Per-gate cache descriptors (kind/placement/params/level) — the run's
+  /// cache identity via BlockCache::make_run_key.
+  std::vector<Bytes> descriptors;
+  int level = 0;
+  InvocationCounter blocks_compressed;  ///< blocks recompressed by this run
 };
 
 CompressedStateSimulator::CompressedStateSimulator(SimConfig config)
@@ -115,6 +171,7 @@ Bytes CompressedStateSimulator::compress_block(std::span<const double> data,
                                                int level,
                                                PhaseTimers& timers) const {
   ScopedPhase phase(timers, Phase::kCompression);
+  compress_calls_.bump();
   if (level == 0) {
     return lossless_->compress(data, ErrorBound::lossless());
   }
@@ -125,16 +182,31 @@ Bytes CompressedStateSimulator::compress_block(std::span<const double> data,
 void CompressedStateSimulator::decompress_block(int rank, int block,
                                                 std::span<double> out,
                                                 PhaseTimers& timers) const {
-  ScopedPhase phase(timers, Phase::kDecompression);
   const auto& store = ranks_[rank];
-  if (store.meta(block).level == 0) {
-    lossless_->decompress(store.block(block), out);
+  decompress_payload(store.block(block), store.meta(block).level, out,
+                     timers);
+}
+
+void CompressedStateSimulator::decompress_payload(ByteSpan payload, int level,
+                                                  std::span<double> out,
+                                                  PhaseTimers& timers) const {
+  ScopedPhase phase(timers, Phase::kDecompression);
+  decompress_calls_.bump();
+  if (level == 0) {
+    lossless_->decompress(payload, out);
   } else {
-    lossy_->decompress(store.block(block), out);
+    lossy_->decompress(payload, out);
   }
 }
 
 void CompressedStateSimulator::apply(const GateOp& op) {
+  apply_single_counted(op);
+  // An ad-hoc gate diverges the state from whatever circuit the cursor
+  // described, so the recorded resume position is void.
+  gate_cursor_ = 0;
+}
+
+void CompressedStateSimulator::apply_single_counted(const GateOp& op) {
   WallTimer timer;
   apply_impl(op);
   ++gates_;
@@ -145,10 +217,68 @@ void CompressedStateSimulator::apply_circuit(const qsim::Circuit& circuit) {
   if (circuit.num_qubits() != config_.num_qubits) {
     throw std::invalid_argument("apply_circuit: qubit count mismatch");
   }
+  gate_cursor_ = 0;  // a new circuit always starts from its first gate
+  run_from_cursor(circuit);
+}
+
+void CompressedStateSimulator::resume_circuit(const qsim::Circuit& circuit) {
+  if (circuit.num_qubits() != config_.num_qubits) {
+    throw std::invalid_argument("resume_circuit: qubit count mismatch");
+  }
+  if (gate_cursor_ > circuit.size()) {
+    throw std::invalid_argument(
+        "resume_circuit: cursor lies beyond the circuit");
+  }
+  run_from_cursor(circuit);
+}
+
+void CompressedStateSimulator::run_from_cursor(const qsim::Circuit& circuit) {
   const auto& ops = circuit.ops();
-  for (std::uint64_t i = gate_cursor_; i < ops.size(); ++i) {
-    apply(ops[i]);
-    gate_cursor_ = i + 1;
+  if (gate_cursor_ >= ops.size()) return;
+
+  if (!config_.enable_run_batching) {
+    for (std::uint64_t i = gate_cursor_; i < ops.size(); ++i) {
+      apply_single_counted(ops[i]);
+      gate_cursor_ = i + 1;
+    }
+    return;
+  }
+
+  // Schedule only the unapplied suffix so fused ops and runs never span
+  // the resume point, keeping the cursor exact in source-gate units.
+  qsim::Circuit suffix(circuit.num_qubits());
+  for (std::size_t i = gate_cursor_; i < ops.size(); ++i) {
+    suffix.append(ops[i]);
+  }
+  qsim::SchedulerOptions options;
+  options.intra_qubits = partition_.offset_bits;
+  options.max_run_length = config_.max_run_length;
+  // Budget enforcement (and peak accounting) happens between runs, so an
+  // unlimited run would defer Section 3.7's ladder escalation for a whole
+  // block-local stretch; under a budget, bound the deferral unless the
+  // caller pinned a cap themselves.
+  constexpr std::size_t kBudgetedRunCap = 16;
+  if (config_.memory_budget_bytes > 0 && options.max_run_length == 0) {
+    options.max_run_length = kBudgetedRunCap;
+  }
+  options.fuse = config_.enable_fusion_prepass;
+  const qsim::Schedule schedule = qsim::build_schedule(suffix, options);
+
+  for (const qsim::GateRun& run : schedule.runs()) {
+    WallTimer timer;
+    if (run.block_local) {
+      apply_run(schedule.circuit(), run);
+      ++batched_runs_;
+      batched_gates_ += run.count;
+      gates_ += run.source_gates;
+    } else {
+      for (std::size_t i = 0; i < run.count; ++i) {
+        apply_impl(schedule.circuit().ops()[run.first + i]);
+      }
+      gates_ += run.source_gates;
+    }
+    gate_cursor_ += run.source_gates;
+    note_gate_finished(timer.seconds());
   }
 }
 
@@ -184,15 +314,7 @@ void CompressedStateSimulator::apply_impl(const GateOp& op) {
         break;
     }
   }
-  // Cache-key descriptor: gate identity + placement + compression level.
-  routing.descriptor.push_back(static_cast<std::byte>(op.kind));
-  put_varint(routing.descriptor, static_cast<std::uint64_t>(op.target));
-  put_varint(routing.descriptor,
-             static_cast<std::uint64_t>(op.controls[0] + 1));
-  put_varint(routing.descriptor,
-             static_cast<std::uint64_t>(op.controls[1] + 1));
-  for (double p : op.params) put_scalar(routing.descriptor, p);
-  routing.descriptor.push_back(static_cast<std::byte>(routing.level));
+  append_gate_descriptor(routing.descriptor, op, routing.level);
 
   if (routing.diagonal) {
     run_diagonal(routing);
@@ -326,40 +448,24 @@ void CompressedStateSimulator::process_single(const GateRouting& routing,
     auto* amps = as_complex(vx);
     const std::uint64_t count = partition_.amplitudes_per_block();
     const std::uint64_t ctrl = routing.offset_ctrl_mask;
-    if (routing.diagonal) {
-      if (routing.target_segment == Partition::Segment::kOffset) {
-        const std::uint64_t bit = std::uint64_t{1}
-                                  << routing.target_local_bit;
-        for (std::uint64_t i = 0; i < count; ++i) {
-          if ((i & ctrl) != ctrl) continue;
-          amps[i] *= (i & bit) ? routing.m.u11 : routing.m.u00;
-        }
-      } else {
-        const int index = routing.target_segment == Partition::Segment::kBlock
-                              ? block
-                              : rank;
-        const Amplitude factor =
-            ((index >> routing.target_local_bit) & 1) ? routing.m.u11
-                                                      : routing.m.u00;
-        for (std::uint64_t i = 0; i < count; ++i) {
-          if ((i & ctrl) != ctrl) continue;
-          amps[i] *= factor;
-        }
+    if (routing.diagonal &&
+        routing.target_segment != Partition::Segment::kOffset) {
+      // The diagonal factor is constant across the block, selected by the
+      // unit's block/rank index bit.
+      const int index = routing.target_segment == Partition::Segment::kBlock
+                            ? block
+                            : rank;
+      const Amplitude factor =
+          ((index >> routing.target_local_bit) & 1) ? routing.m.u11
+                                                    : routing.m.u00;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        if ((i & ctrl) != ctrl) continue;
+        amps[i] *= factor;
       }
     } else {
-      // Non-diagonal with target in the offset segment: classic strided
-      // pairs within the block (Figure 1).
-      const std::uint64_t stride = std::uint64_t{1}
-                                   << routing.target_local_bit;
-      for (std::uint64_t base = 0; base < count; base += 2 * stride) {
-        for (std::uint64_t i = base; i < base + stride; ++i) {
-          if ((i & ctrl) != ctrl) continue;
-          const Amplitude a0 = amps[i];
-          const Amplitude a1 = amps[i + stride];
-          amps[i] = routing.m.u00 * a0 + routing.m.u01 * a1;
-          amps[i + stride] = routing.m.u10 * a0 + routing.m.u11 * a1;
-        }
-      }
+      apply_offset_kernel(amps, count, routing.m, routing.diagonal,
+                          std::uint64_t{1} << routing.target_local_bit,
+                          ctrl);
     }
   }
   Bytes compressed = compress_block(vx, routing.level, timers);
@@ -371,6 +477,106 @@ void CompressedStateSimulator::process_single(const GateRouting& routing,
   routing.blocks_compressed.fetch_add(1, std::memory_order_relaxed);
 }
 
+CompressedStateSimulator::RunPlan CompressedStateSimulator::build_run_plan(
+    const qsim::Circuit& circuit, const qsim::GateRun& run) const {
+  RunPlan plan;
+  plan.level = level_;
+  plan.kernels.reserve(run.count);
+  plan.descriptors.reserve(run.count);
+  const auto& ops = circuit.ops();
+  for (std::size_t i = 0; i < run.count; ++i) {
+    const GateOp& op = ops[run.first + i];
+    Bytes descriptor;
+    append_gate_descriptor(descriptor, op, plan.level);
+    plan.descriptors.push_back(std::move(descriptor));
+
+    auto offset_bit = [](int qubit) {
+      // Block-local gates live entirely in the offset segment, where the
+      // local bit position equals the qubit index.
+      return std::uint64_t{1} << qubit;
+    };
+    if (op.kind == GateKind::kSwap) {
+      // SWAP = CX(a,b) CX(b,a) CX(a,b), all intra-block here.
+      const int a = op.target;
+      const int b = op.controls[0];
+      const Mat2 x = qsim::gate_matrix({GateKind::kX, 0});
+      plan.kernels.push_back({x, false, offset_bit(b), offset_bit(a)});
+      plan.kernels.push_back({x, false, offset_bit(a), offset_bit(b)});
+      plan.kernels.push_back({x, false, offset_bit(b), offset_bit(a)});
+      continue;
+    }
+    RunPlan::Kernel kernel;
+    kernel.m = qsim::gate_matrix(op);
+    kernel.diagonal = qsim::is_diagonal(op.kind);
+    kernel.target_bit = offset_bit(op.target);
+    for (int c : op.controls) {
+      if (c >= 0) kernel.ctrl_mask |= offset_bit(c);
+    }
+    plan.kernels.push_back(kernel);
+  }
+  return plan;
+}
+
+void CompressedStateSimulator::apply_run(const qsim::Circuit& circuit,
+                                         const qsim::GateRun& run) {
+  const RunPlan plan = build_run_plan(circuit, run);
+  const std::size_t total_blocks =
+      static_cast<std::size_t>(partition_.num_ranks()) *
+      partition_.blocks_per_rank();
+  pool_->parallel_for(total_blocks, [&](std::size_t i, std::size_t worker) {
+    const int rank = static_cast<int>(i) / partition_.blocks_per_rank();
+    const int block = static_cast<int>(i) % partition_.blocks_per_rank();
+    process_run_single(plan, rank, block, worker);
+  });
+  // The whole run cost each block one recompression, so the fidelity
+  // ledger records one lossy pass — not one per gate (Eq. 11 tightens to
+  // F >= (1 - delta)^runs).
+  if (plan.blocks_compressed.get() > 0 && level_ > 0) {
+    fidelity_.record_lossy_pass(config_.error_ladder[level_ - 1]);
+  }
+}
+
+void CompressedStateSimulator::process_run_single(const RunPlan& plan,
+                                                  int rank, int block,
+                                                  std::size_t worker) {
+  auto& store = ranks_[rank];
+  auto& timers = worker_timers_[worker];
+  runtime::BlockCache* cache =
+      config_.enable_cache ? caches_[rank].get() : nullptr;
+  std::uint64_t key = 0;
+  if (cache != nullptr && cache->enabled()) {
+    key = runtime::BlockCache::make_run_key(plan.descriptors,
+                                            store.block(block));
+    Bytes out1;
+    Bytes out2;
+    if (cache->lookup(key, out1, out2)) {
+      store.set_block(block, std::move(out1),
+                      {static_cast<std::uint8_t>(plan.level)});
+      plan.blocks_compressed.bump();
+      return;
+    }
+  }
+
+  auto vx = scratch_->vector_x(worker);
+  decompress_block(rank, block, vx, timers);
+  {
+    ScopedPhase phase(timers, Phase::kComputation);
+    auto* amps = as_complex(vx);
+    const std::uint64_t count = partition_.amplitudes_per_block();
+    for (const RunPlan::Kernel& kernel : plan.kernels) {
+      apply_offset_kernel(amps, count, kernel.m, kernel.diagonal,
+                          kernel.target_bit, kernel.ctrl_mask);
+    }
+  }
+  Bytes compressed = compress_block(vx, plan.level, timers);
+  if (cache != nullptr && cache->enabled()) {
+    cache->insert(key, compressed, {});
+  }
+  store.set_block(block, std::move(compressed),
+                  {static_cast<std::uint8_t>(plan.level)});
+  plan.blocks_compressed.bump();
+}
+
 void CompressedStateSimulator::process_pair(const GateRouting& routing,
                                             int rank_a, int block_a,
                                             int rank_b, int block_b,
@@ -380,10 +586,17 @@ void CompressedStateSimulator::process_pair(const GateRouting& routing,
   auto& timers = worker_timers_[worker];
   const bool cross_rank = rank_a != rank_b;
 
+  // One buffered sendrecv per pair (Section 3.3): each rank ships its
+  // compressed block to the partner in a single paired exchange. Both
+  // sides then hold both inputs and compute their own updated block from
+  // the exchanged payloads, so no second round trip is needed.
+  Bytes received_b;
   if (cross_rank) {
-    // Pull the partner's compressed block over the wire (Section 3.3).
     ScopedPhase phase(timers, Phase::kCommunication);
-    comm_->transfer(rank_b, rank_a, store_b.block(block_b));
+    Bytes from_a = store_a.block(block_a);
+    Bytes from_b = store_b.block(block_b);
+    comm_->exchange(rank_a, rank_b, from_a, from_b);
+    received_b = std::move(from_a);  // exchange left b's payload here
   }
 
   runtime::BlockCache* cache =
@@ -409,7 +622,14 @@ void CompressedStateSimulator::process_pair(const GateRouting& routing,
     auto vx = scratch_->vector_x(worker);
     auto vy = scratch_->vector_y(worker);
     decompress_block(rank_a, block_a, vx, timers);
-    decompress_block(rank_b, block_b, vy, timers);
+    if (cross_rank) {
+      // Decompress the partner's block from the bytes that came over the
+      // wire — the exchanged payload is the data this rank computes on.
+      decompress_payload(received_b, store_b.meta(block_b).level, vy,
+                         timers);
+    } else {
+      decompress_block(rank_b, block_b, vy, timers);
+    }
     {
       ScopedPhase phase(timers, Phase::kComputation);
       auto* a0 = as_complex(vx);
@@ -432,12 +652,6 @@ void CompressedStateSimulator::process_pair(const GateRouting& routing,
     store_b.set_block(block_b, std::move(cb),
                       {static_cast<std::uint8_t>(routing.level)});
     routing.blocks_compressed.fetch_add(2, std::memory_order_relaxed);
-  }
-
-  if (cross_rank) {
-    // Push the partner's updated block back.
-    ScopedPhase phase(timers, Phase::kCommunication);
-    comm_->transfer(rank_a, rank_b, store_b.block(block_b));
   }
 }
 
@@ -720,6 +934,9 @@ int CompressedStateSimulator::measure(int qubit, Rng& rng) {
     fidelity_.record_lossy_pass(config_.error_ladder[level_ - 1]);
   }
   enforce_budget();
+  // Collapse diverges the state from any recorded circuit position, so
+  // the resume cursor is void (same invariant as ad-hoc apply()).
+  gate_cursor_ = 0;
   return outcome;
 }
 
@@ -744,6 +961,7 @@ void CompressedStateSimulator::save_checkpoint(
   header.ladder_level = static_cast<std::uint32_t>(level_);
   header.next_gate_index = gate_cursor_;
   header.fidelity_bound = fidelity_.bound();
+  header.lossy_passes = fidelity_.lossy_passes();
   header.codec_name = config_.codec;
   runtime::save_checkpoint(path, header, ranks_);
 }
@@ -765,11 +983,10 @@ CompressedStateSimulator CompressedStateSimulator::load_checkpoint(
   sim.ranks_ = std::move(stores);
   sim.level_ = static_cast<int>(header.ladder_level);
   sim.gate_cursor_ = header.next_gate_index;
-  // The saved bound is restored; subsequent lossy passes multiply onto it.
+  // Both the bound and the pass count resume exactly where the saved run
+  // stopped; subsequent lossy passes multiply/count onto them.
   sim.fidelity_ = FidelityTracker();
-  if (header.fidelity_bound < 1.0) {
-    sim.fidelity_.record_lossy_pass(1.0 - header.fidelity_bound);
-  }
+  sim.fidelity_.restore(header.fidelity_bound, header.lossy_passes);
   return sim;
 }
 
@@ -790,6 +1007,10 @@ SimulationReport CompressedStateSimulator::report() const {
   rep.budget_exceeded = budget_exceeded_;
   rep.min_compression_ratio = min_ratio_;
   rep.final_ladder_level = level_;
+  rep.batched_runs = batched_runs_;
+  rep.batched_gates = batched_gates_;
+  rep.compress_invocations = compress_calls_.get();
+  rep.decompress_invocations = decompress_calls_.get();
   rep.fidelity_bound = fidelity_.bound();
   rep.lossy_passes = fidelity_.lossy_passes();
   const auto comm_stats = comm_->stats();

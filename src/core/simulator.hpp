@@ -5,13 +5,18 @@
 // Per gate, at most two blocks per worker are decompressed into
 // pre-allocated scratch (the MCDRAM discipline of Figure 2), the 2x2
 // unitary is applied to the amplitude pairs selected by the target qubit's
-// index segment (Figure 3), and the blocks are recompressed. A hybrid
+// index segment (Figure 3), and the blocks are recompressed. Runs of
+// consecutive block-local gates (targets and controls all in the offset
+// segment) are batched by the gate-run scheduler (qsim/scheduler.hpp) so
+// each block pays one codec round — and one lossy fidelity pass — per run
+// instead of per gate. A hybrid
 // compression policy starts lossless (Zstd stand-in) and escalates through
 // a pointwise-relative error-bound ladder whenever the configured memory
 // budget is exceeded (Section 3.7), while a fidelity lower bound
 // F >= prod (1 - delta_i) is maintained (Section 3.8).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,6 +30,7 @@
 #include "core/report.hpp"
 #include "qsim/circuit.hpp"
 #include "qsim/gates.hpp"
+#include "qsim/scheduler.hpp"
 #include "runtime/block_cache.hpp"
 #include "runtime/block_store.hpp"
 #include "runtime/comm.hpp"
@@ -40,12 +46,22 @@ class CompressedStateSimulator {
   const SimConfig& config() const { return config_; }
   const runtime::Partition& partition() const { return partition_; }
 
-  /// Applies one gate (counts toward the per-gate statistics).
+  /// Applies one ad-hoc gate (counts toward the per-gate statistics).
+  /// Ad-hoc gates invalidate any recorded circuit position: the gate
+  /// cursor resets to 0, so a later checkpoint never claims a resume
+  /// point inside a circuit the state has since diverged from.
   void apply(const qsim::GateOp& op);
 
-  /// Applies a circuit from the current gate cursor to the end — after a
-  /// checkpoint restore this resumes exactly where the saved run stopped.
+  /// Applies `circuit` from its first gate. Always starts fresh — applying
+  /// a second circuit after a completed one runs all of its gates (the
+  /// cursor is scoped to resume semantics; see resume_circuit).
   void apply_circuit(const qsim::Circuit& circuit);
+
+  /// Applies `circuit` from the current gate cursor to the end — after a
+  /// checkpoint restore this resumes exactly where the saved run stopped.
+  /// The cursor counts gates of the caller's circuit (pre-fusion), so the
+  /// same circuit object drives the full run and the resumed half.
+  void resume_circuit(const qsim::Circuit& circuit);
 
   std::uint64_t gate_cursor() const { return gate_cursor_; }
 
@@ -78,7 +94,8 @@ class CompressedStateSimulator {
 
   // --- Intermediate measurement (Section 2.2's motivating capability) ---
 
-  /// Projective measurement; collapses, renormalizes, recompresses.
+  /// Projective measurement; collapses, renormalizes, recompresses. Like
+  /// an ad-hoc apply(), collapse voids the recorded resume cursor.
   int measure(int qubit, Rng& rng);
 
   // --- Compression state ---
@@ -98,14 +115,47 @@ class CompressedStateSimulator {
 
  private:
   struct GateRouting;  // resolved target/control segmentation
+  struct RunPlan;      // resolved kernels + cache identity of one gate run
+
+  /// Copyable relaxed counter so the simulator stays movable (checkpoint
+  /// load returns by value) while workers bump it concurrently.
+  struct InvocationCounter {
+    mutable std::atomic<std::uint64_t> value{0};
+    InvocationCounter() = default;
+    InvocationCounter(const InvocationCounter& other)
+        : value(other.get()) {}
+    InvocationCounter& operator=(const InvocationCounter& other) {
+      value.store(other.get(), std::memory_order_relaxed);
+      return *this;
+    }
+    void bump() const { value.fetch_add(1, std::memory_order_relaxed); }
+    std::uint64_t get() const {
+      return value.load(std::memory_order_relaxed);
+    }
+  };
 
   void init_blocks();
   Bytes compress_block(std::span<const double> data, int level,
                        PhaseTimers& timers) const;
   void decompress_block(int rank, int block, std::span<double> out,
                         PhaseTimers& timers) const;
+  void decompress_payload(ByteSpan payload, int level, std::span<double> out,
+                          PhaseTimers& timers) const;
+
+  /// Shared tail of apply_circuit / resume_circuit: applies the ops of
+  /// `circuit` from gate_cursor_ to the end, batched through the gate-run
+  /// scheduler when enabled, advancing the cursor in source-gate units.
+  void run_from_cursor(const qsim::Circuit& circuit);
+  void apply_single_counted(const qsim::GateOp& op);
 
   void apply_impl(const qsim::GateOp& op);
+  /// One codec pass per block for a block-local gate run: decompress once,
+  /// apply every kernel in scratch, recompress once.
+  void apply_run(const qsim::Circuit& circuit, const qsim::GateRun& run);
+  RunPlan build_run_plan(const qsim::Circuit& circuit,
+                         const qsim::GateRun& run) const;
+  void process_run_single(const RunPlan& plan, int rank, int block,
+                          std::size_t worker);
   /// `unit_salt` disambiguates cache entries for units whose kernel depends
   /// on more than the block contents (diagonal gates with the target in
   /// the block or rank segment select u00 vs u11 by the unit's index bit).
@@ -144,6 +194,10 @@ class CompressedStateSimulator {
 
   // Statistics.
   std::uint64_t gates_ = 0;
+  std::uint64_t batched_runs_ = 0;
+  std::uint64_t batched_gates_ = 0;  ///< scheduled ops applied inside runs
+  InvocationCounter compress_calls_;
+  InvocationCounter decompress_calls_;
   double wall_seconds_ = 0.0;
   std::size_t peak_bytes_ = 0;
   double min_ratio_ = 0.0;  ///< 0 until first gate

@@ -11,8 +11,10 @@ bool is_fusable(const GateOp& op) {
 
 }  // namespace
 
-Circuit fuse_single_qubit_gates(const Circuit& circuit, FusionStats* stats) {
+Circuit fuse_single_qubit_gates(const Circuit& circuit, FusionStats* stats,
+                                std::vector<std::size_t>* origin_counts) {
   Circuit fused(circuit.num_qubits());
+  if (origin_counts != nullptr) origin_counts->clear();
   // Pending run per qubit: accumulated matrix + run length.
   struct Pending {
     Mat2 m{{1, 0}, {0, 0}, {0, 0}, {1, 0}};
@@ -23,15 +25,19 @@ Circuit fuse_single_qubit_gates(const Circuit& circuit, FusionStats* stats) {
   FusionStats local;
   local.gates_before = circuit.size();
 
+  auto emit = [&](const GateOp& op, std::size_t origins) {
+    fused.append(op);
+    if (origin_counts != nullptr) origin_counts->push_back(origins);
+  };
   auto flush = [&](int q) {
     Pending& p = pending[q];
     if (p.run == 0) return;
     if (p.run == 1) {
       // Keep the original op: it may be diagonal, which the compressed
       // simulator exploits for cheaper routing.
-      fused.append(p.first);
+      emit(p.first, 1);
     } else {
-      fused.append(decompose_unitary(p.m, q));
+      emit(decompose_unitary(p.m, q), p.run);
       ++local.fused_runs;
     }
     p = Pending{};
@@ -50,7 +56,7 @@ Circuit fuse_single_qubit_gates(const Circuit& circuit, FusionStats* stats) {
     for (int c : op.controls) {
       if (c >= 0) flush(c);
     }
-    fused.append(op);
+    emit(op, 1);
   }
   for (int q = 0; q < circuit.num_qubits(); ++q) flush(q);
 

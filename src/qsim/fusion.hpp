@@ -19,7 +19,15 @@ struct FusionStats {
 /// same qubit with no intervening op touching that qubit. Each run of
 /// length >= 2 becomes one kU3G op (exact, including global phase);
 /// everything else is passed through unchanged.
+///
+/// When `origin_counts` is non-null it receives one entry per op of the
+/// returned circuit: how many ops of the input circuit that op stands for
+/// (1 for passthrough, run length for a fused kU3G). The gate-run
+/// scheduler uses this to keep the simulator's gate cursor counting in
+/// original-circuit units across the fusion pre-pass.
 Circuit fuse_single_qubit_gates(const Circuit& circuit,
-                                FusionStats* stats = nullptr);
+                                FusionStats* stats = nullptr,
+                                std::vector<std::size_t>* origin_counts =
+                                    nullptr);
 
 }  // namespace cqs::qsim

@@ -1,0 +1,73 @@
+#include "qsim/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace cqs::qsim {
+
+bool is_block_local(const GateOp& op, int intra_qubits) {
+  if (op.kind == GateKind::kSwap) {
+    // SWAP stores its two qubits in target/controls[0] and expands into
+    // three CX applications; it is block-local iff both qubits are.
+    return op.target < intra_qubits && op.controls[0] < intra_qubits;
+  }
+  if (op.target >= intra_qubits) return false;
+  for (int c : op.controls) {
+    if (c >= intra_qubits) return false;
+  }
+  return true;
+}
+
+Schedule build_schedule(const Circuit& circuit,
+                        const SchedulerOptions& options) {
+  if (options.intra_qubits < 0) {
+    throw std::invalid_argument("build_schedule: negative intra_qubits");
+  }
+  FusionStats fusion;
+  std::vector<std::size_t> origins;
+  Schedule schedule(options.fuse
+                        ? fuse_single_qubit_gates(circuit, &fusion, &origins)
+                        : circuit);
+  if (!options.fuse) {
+    origins.assign(circuit.size(), 1);
+  }
+  schedule.stats_.fusion = fusion;
+
+  const auto& ops = schedule.circuit_.ops();
+  GateRun current;  // open block-local run (count == 0 when closed)
+  auto close = [&] {
+    if (current.count == 0) return;
+    schedule.runs_.push_back(current);
+    ++schedule.stats_.block_local_runs;
+    schedule.stats_.batched_ops += current.count;
+    schedule.stats_.longest_run =
+        std::max(schedule.stats_.longest_run, current.count);
+    current = GateRun{};
+  };
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (is_block_local(ops[i], options.intra_qubits)) {
+      if (current.count == 0) {
+        current = GateRun{.first = i, .count = 0, .source_gates = 0,
+                          .block_local = true};
+      }
+      ++current.count;
+      current.source_gates += origins[i];
+      if (options.max_run_length > 0 &&
+          current.count >= options.max_run_length) {
+        close();
+      }
+      continue;
+    }
+    close();
+    schedule.runs_.push_back(GateRun{.first = i, .count = 1,
+                                     .source_gates = origins[i],
+                                     .block_local = false});
+    ++schedule.stats_.single_items;
+  }
+  close();
+  return schedule;
+}
+
+}  // namespace cqs::qsim

@@ -1,0 +1,83 @@
+// Block-local gate-run scheduler. The compressed simulator pays one
+// decompress -> apply -> recompress round per touched block per gate; when
+// consecutive gates all route to the offset segment of the amplitude index
+// (Figure 3's intra-block case), every block can instead be decompressed
+// once, have the whole run applied in scratch, and be recompressed once —
+// one codec pass (and one lossy fidelity pass) per run instead of per
+// gate. This pass partitions a circuit into maximal such runs,
+// interleaved with single-gate items for gates that touch the block or
+// rank segments, and composes single-qubit gate fusion as a pre-pass.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qsim/circuit.hpp"
+#include "qsim/fusion.hpp"
+
+namespace cqs::qsim {
+
+struct SchedulerOptions {
+  /// Qubits with index < intra_qubits address amplitudes within one block
+  /// (the partition's offset segment). A gate is block-local when its
+  /// target and every control fall below this line.
+  int intra_qubits = 0;
+
+  /// Cap on scheduled ops per run (0 = unlimited). Shorter runs trade
+  /// batching for more frequent memory-budget checks between codec passes.
+  std::size_t max_run_length = 0;
+
+  /// Run fuse_single_qubit_gates before forming runs.
+  bool fuse = true;
+};
+
+/// One schedule item: `count` consecutive ops of the scheduled circuit
+/// starting at `first`. Block-local items may hold many ops; items that
+/// touch the block or rank segments always hold exactly one.
+struct GateRun {
+  std::size_t first = 0;
+  std::size_t count = 0;
+  /// Ops of the *source* circuit this item stands for (fusion can fold
+  /// several source gates into one scheduled op). Summed over all items
+  /// this equals the source circuit's size, which is what keeps the
+  /// simulator's resume cursor counting in source-circuit units.
+  std::size_t source_gates = 0;
+  bool block_local = false;
+};
+
+struct ScheduleStats {
+  std::size_t block_local_runs = 0;  ///< items applied as one codec pass
+  std::size_t batched_ops = 0;       ///< scheduled ops inside those items
+  std::size_t single_items = 0;      ///< block/rank-segment items
+  std::size_t longest_run = 0;
+  FusionStats fusion;                ///< zeroed when options.fuse is false
+};
+
+/// True when every qubit `op` touches lies in the offset segment, so the
+/// gate can join a block-local run. SWAP qualifies when both of its qubits
+/// do (the simulator expands it into three intra-block CX applications).
+bool is_block_local(const GateOp& op, int intra_qubits);
+
+class Schedule {
+ public:
+  /// The scheduled (post-fusion) circuit the run indices refer to.
+  const Circuit& circuit() const { return circuit_; }
+  const std::vector<GateRun>& runs() const { return runs_; }
+  const ScheduleStats& stats() const { return stats_; }
+
+ private:
+  friend Schedule build_schedule(const Circuit&, const SchedulerOptions&);
+  explicit Schedule(Circuit circuit) : circuit_(std::move(circuit)) {}
+
+  Circuit circuit_;
+  std::vector<GateRun> runs_;
+  ScheduleStats stats_;
+};
+
+/// Builds the run partition of `circuit`. Every op of the (post-fusion)
+/// circuit belongs to exactly one GateRun, runs preserve program order,
+/// and block-local runs are maximal under options.max_run_length.
+Schedule build_schedule(const Circuit& circuit,
+                        const SchedulerOptions& options);
+
+}  // namespace cqs::qsim

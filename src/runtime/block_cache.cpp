@@ -16,6 +16,18 @@ std::uint64_t BlockCache::make_key(ByteSpan op_descriptor, ByteSpan cb1,
   return h;
 }
 
+std::uint64_t BlockCache::make_run_key(
+    std::span<const Bytes> op_descriptors, ByteSpan cb1) {
+  std::uint64_t h = fnv1a_u64(op_descriptors.size(), 0xcbf29ce484222325ull);
+  for (const Bytes& d : op_descriptors) {
+    h = fnv1a(d, h);
+    h = fnv1a_u64(d.size(), h);
+  }
+  h = fnv1a(cb1, h);
+  h = fnv1a_u64(cb1.size(), h);
+  return h;
+}
+
 bool BlockCache::lookup(std::uint64_t key, Bytes& out1, Bytes& out2) {
   std::lock_guard lock(mutex_);
   if (stats_.disabled) {

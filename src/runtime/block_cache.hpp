@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <list>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -39,6 +40,13 @@ class BlockCache {
   /// Key for (OP, CB1, CB2): hash of the op descriptor and input payloads.
   static std::uint64_t make_key(ByteSpan op_descriptor, ByteSpan cb1,
                                 ByteSpan cb2);
+
+  /// Key for (RUN, CB1): a gate run is a first-class cache identity — the
+  /// hash covers the descriptor count and each per-gate descriptor with
+  /// its length, so ({"ab","c"}, ...) and ({"a","bc"}, ...) never collide,
+  /// plus the single input block a block-local run reads.
+  static std::uint64_t make_run_key(std::span<const Bytes> op_descriptors,
+                                    ByteSpan cb1);
 
   /// On hit, copies the cached output blocks into `out1` / `out2` (out2
   /// untouched for single-block entries) and returns true.

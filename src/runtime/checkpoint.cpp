@@ -9,7 +9,10 @@
 namespace cqs::runtime {
 namespace {
 
-constexpr char kMagic[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '1'};
+// Format v2 appends the lossy-pass count after the fidelity bound; the
+// trailing magic byte is the version and the reader accepts both.
+constexpr char kMagicV1[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagicV2[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '2'};
 
 }  // namespace
 
@@ -17,14 +20,15 @@ void save_checkpoint(const std::string& path, const CheckpointHeader& header,
                      const std::vector<BlockStore>& ranks) {
   Bytes buffer;
   buffer.insert(buffer.end(),
-                reinterpret_cast<const std::byte*>(kMagic),
-                reinterpret_cast<const std::byte*>(kMagic) + 8);
+                reinterpret_cast<const std::byte*>(kMagicV2),
+                reinterpret_cast<const std::byte*>(kMagicV2) + 8);
   put_varint(buffer, header.num_qubits);
   put_varint(buffer, header.num_ranks);
   put_varint(buffer, header.blocks_per_rank);
   put_varint(buffer, header.ladder_level);
   put_varint(buffer, header.next_gate_index);
   put_scalar(buffer, header.fidelity_bound);
+  put_varint(buffer, header.lossy_passes);
   put_varint(buffer, header.codec_name.size());
   for (char ch : header.codec_name) {
     buffer.push_back(static_cast<std::byte>(ch));
@@ -58,7 +62,9 @@ std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
           static_cast<std::streamsize>(size));
   if (!in) throw std::runtime_error("checkpoint: read failed " + path);
 
-  if (size < 8 || std::memcmp(buffer.data(), kMagic, 8) != 0) {
+  const bool v1 = size >= 8 && std::memcmp(buffer.data(), kMagicV1, 8) == 0;
+  const bool v2 = size >= 8 && std::memcmp(buffer.data(), kMagicV2, 8) == 0;
+  if (!v1 && !v2) {
     throw std::runtime_error("checkpoint: bad magic");
   }
   std::size_t offset = 8;
@@ -70,6 +76,10 @@ std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
       static_cast<std::uint32_t>(get_varint(buffer, offset));
   header.next_gate_index = get_varint(buffer, offset);
   header.fidelity_bound = get_scalar<double>(buffer, offset);
+  // v1 never persisted the pass count; the closest reconstruction is one
+  // synthetic pass whenever any lossy history exists.
+  header.lossy_passes = v2 ? get_varint(buffer, offset)
+                           : (header.fidelity_bound < 1.0 ? 1u : 0u);
   const std::uint64_t name_len = get_varint(buffer, offset);
   if (offset + name_len > buffer.size()) {
     throw std::runtime_error("checkpoint: truncated codec name");

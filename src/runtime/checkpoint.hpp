@@ -20,6 +20,10 @@ struct CheckpointHeader {
   std::uint32_t ladder_level = 0;
   std::uint64_t next_gate_index = 0;
   double fidelity_bound = 1.0;
+  /// Lossy passes accumulated before the save (format v2). Version-1
+  /// checkpoints did not persist this; the loader reconstructs the only
+  /// thing it can — one synthetic pass when the bound is below 1.
+  std::uint64_t lossy_passes = 0;
   std::string codec_name;
 };
 

@@ -120,6 +120,19 @@ TEST_F(FidelityCheckpointTest, BoundSurvivesCheckpointResume) {
   auto resumed = CompressedStateSimulator::load_checkpoint(file, config);
   EXPECT_EQ(resumed.ladder_level(), sim.ladder_level());
   EXPECT_NEAR(resumed.fidelity_bound(), bound_before, 1e-15);
+  // Regression: the load path used to collapse the whole saved history
+  // into one synthetic pass; the resumed report must carry the real count.
+  const auto passes_before = sim.report().lossy_passes;
+  ASSERT_GT(passes_before, 1u);
+  EXPECT_EQ(resumed.report().lossy_passes, passes_before);
+
+  // Passes recorded after the resume count on top of the restored total.
+  qsim::Circuit extra(10);
+  extra.h(0);
+  resumed.apply(extra.ops()[0]);
+  EXPECT_EQ(resumed.report().lossy_passes, passes_before + 1);
+  EXPECT_NEAR(resumed.fidelity_bound(),
+              bound_before * (1.0 - config.error_ladder[1]), 1e-15);
 }
 
 TEST_F(FidelityCheckpointTest, RejectsResumeWithShorterLadder) {

@@ -4,6 +4,9 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "runtime/block_cache.hpp"
 #include "runtime/block_store.hpp"
@@ -118,6 +121,30 @@ TEST(BlockCacheTest, DistinctKeysForDistinctInputs) {
   EXPECT_NE(BlockCache::make_key(op, a, {}), BlockCache::make_key(op, {}, a));
 }
 
+TEST(BlockCacheTest, RunKeyIsDeterministicAndBoundaryAware) {
+  const Bytes ab{std::byte{'a'}, std::byte{'b'}};
+  const Bytes a{std::byte{'a'}};
+  const Bytes b{std::byte{'b'}};
+  const Bytes c{std::byte{'c'}};
+  const Bytes block(16, std::byte{7});
+
+  const std::vector<Bytes> split{a, b, c};
+  const std::vector<Bytes> merged{ab, c};
+  EXPECT_EQ(BlockCache::make_run_key(split, block),
+            BlockCache::make_run_key(split, block));
+  // Descriptor boundaries are part of the identity: {"a","b"} != {"ab"}.
+  EXPECT_NE(BlockCache::make_run_key(split, block),
+            BlockCache::make_run_key(merged, block));
+  // Gate order within the run matters.
+  const std::vector<Bytes> reversed{c, b, a};
+  EXPECT_NE(BlockCache::make_run_key(split, block),
+            BlockCache::make_run_key(reversed, block));
+  // And so does the input block the run reads.
+  const Bytes other_block(16, std::byte{8});
+  EXPECT_NE(BlockCache::make_run_key(split, block),
+            BlockCache::make_run_key(split, other_block));
+}
+
 TEST(BlockCacheTest, LruEviction) {
   BlockCache cache(2);
   Bytes out1;
@@ -171,6 +198,21 @@ TEST(CommTest, ExchangeSwapsPayloadsAndCounts) {
   EXPECT_EQ(a[0], std::byte{2});
   EXPECT_EQ(comm.stats().bytes_moved, 300u);
   EXPECT_EQ(comm.stats().messages, 2u);
+}
+
+TEST(CommTest, ExchangeModelsOneBufferedSendrecvPerPair) {
+  // The simulator routes every cross-rank block pair through exactly one
+  // exchange: 2 messages (one each way) and the sum of both compressed
+  // inputs on the wire. N pairs therefore cost exactly 2N messages.
+  Comm comm(4);
+  const std::size_t pairs = 5;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    Bytes from_a(40 + i, std::byte{1});
+    Bytes from_b(60 + i, std::byte{2});
+    comm.exchange(1, 3, from_a, from_b);
+  }
+  EXPECT_EQ(comm.stats().messages, 2 * pairs);
+  EXPECT_EQ(comm.stats().bytes_moved, 5u * (40 + 60) + 2u * (0 + 1 + 2 + 3 + 4));
 }
 
 TEST(CommTest, TransferCountsOneWay) {
@@ -279,6 +321,73 @@ TEST_F(CheckpointTest, BlockMetaLevelSurvivesRoundTrip) {
     EXPECT_EQ(loaded_ranks[0].block(b), ranks[0].block(b)) << "block " << b;
   }
   EXPECT_EQ(loaded_ranks[0].total_bytes(), ranks[0].total_bytes());
+}
+
+TEST_F(CheckpointTest, LossyPassCountRoundTrips) {
+  // Regression: the pass count used to be collapsed into one synthetic
+  // pass on load, so report().lossy_passes lied after a resume.
+  const std::string path = this->path("passes.bin");
+  CheckpointHeader header;
+  header.num_qubits = 8;
+  header.num_ranks = 1;
+  header.blocks_per_rank = 1;
+  header.fidelity_bound = 0.9991;
+  header.lossy_passes = 37;
+  header.codec_name = "qzc";
+  std::vector<BlockStore> ranks(1, BlockStore(1));
+  ranks[0].set_block(0, Bytes(4, std::byte{1}), {1});
+  save_checkpoint(path, header, ranks);
+
+  const auto [loaded, stores] = load_checkpoint(path);
+  EXPECT_EQ(loaded.lossy_passes, 37u);
+  EXPECT_DOUBLE_EQ(loaded.fidelity_bound, 0.9991);
+}
+
+/// Replicates the version-1 on-disk layout (no lossy-pass field) so the
+/// version-tolerant reader stays covered without a fixture file.
+void write_v1_checkpoint(const std::string& path, double fidelity_bound) {
+  Bytes buffer;
+  const char magic[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '1'};
+  buffer.insert(buffer.end(), reinterpret_cast<const std::byte*>(magic),
+                reinterpret_cast<const std::byte*>(magic) + 8);
+  put_varint(buffer, 8);   // num_qubits
+  put_varint(buffer, 1);   // num_ranks
+  put_varint(buffer, 1);   // blocks_per_rank
+  put_varint(buffer, 2);   // ladder_level
+  put_varint(buffer, 42);  // next_gate_index
+  put_scalar(buffer, fidelity_bound);
+  const std::string name = "qzc";
+  put_varint(buffer, name.size());
+  for (char ch : name) buffer.push_back(static_cast<std::byte>(ch));
+  put_varint(buffer, 1);  // rank count
+  put_varint(buffer, 1);  // blocks in rank
+  buffer.push_back(std::byte{1});  // block meta level
+  put_varint(buffer, 3);           // payload size
+  for (int i = 0; i < 3; ++i) buffer.push_back(std::byte{9});
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
+}
+
+TEST_F(CheckpointTest, ReadsVersion1CheckpointsWithoutPassCount) {
+  // A lossy v1 checkpoint reconstructs the only defensible history: one
+  // synthetic pass carrying the whole saved bound.
+  const std::string lossy = this->path("v1_lossy.bin");
+  write_v1_checkpoint(lossy, 0.98);
+  const auto [lossy_header, lossy_stores] = load_checkpoint(lossy);
+  EXPECT_DOUBLE_EQ(lossy_header.fidelity_bound, 0.98);
+  EXPECT_EQ(lossy_header.lossy_passes, 1u);
+  EXPECT_EQ(lossy_header.next_gate_index, 42u);
+  EXPECT_EQ(lossy_header.codec_name, "qzc");
+  ASSERT_EQ(lossy_stores.size(), 1u);
+  EXPECT_EQ(lossy_stores[0].block(0).size(), 3u);
+
+  // A lossless v1 checkpoint has no lossy history at all.
+  const std::string lossless = this->path("v1_lossless.bin");
+  write_v1_checkpoint(lossless, 1.0);
+  const auto [lossless_header, lossless_stores] = load_checkpoint(lossless);
+  EXPECT_EQ(lossless_header.lossy_passes, 0u);
 }
 
 TEST_F(CheckpointTest, RejectsCorruptFile) {

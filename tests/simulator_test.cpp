@@ -236,7 +236,7 @@ TEST_F(SimulatorCheckpointTest, CheckpointResumeProducesSameState) {
   auto resumed =
       CompressedStateSimulator::load_checkpoint(path, small_config(10, 2, 4));
   EXPECT_EQ(resumed.gate_cursor(), ops.size() / 2);
-  resumed.apply_circuit(c);  // resumes from the cursor
+  resumed.resume_circuit(c);  // resumes from the cursor
 
   const auto a = full.to_raw();
   const auto b = resumed.to_raw();
@@ -277,6 +277,30 @@ TEST(SimulatorTest, CrossRankGatesGenerateTraffic) {
   c2.h(0);  // offset-segment target: no traffic
   local.apply_circuit(c2);
   EXPECT_EQ(local.report().comm_bytes, 0u);
+}
+
+TEST(SimulatorTest, CrossRankTrafficIsOneExchangeOfBothInputsPerPair) {
+  // 8 qubits over 2 ranks x 1 block: a rank-segment gate touches exactly
+  // one block pair, and the wire must carry exactly one buffered sendrecv
+  // — both compressed *input* blocks, 2 messages — with no push-back leg.
+  SimConfig config = small_config(8, 2, 1);
+  config.codec = "zstd";  // lossless: payload sizes are reproducible
+  CompressedStateSimulator sim(config);
+  qsim::Circuit c(8);
+  c.h(7);
+  sim.apply_circuit(c);
+
+  const auto codec = compression::make_compressor("zstd");
+  std::vector<double> zeros(1 << 8, 0.0);  // 2^7 amplitudes, re/im pairs
+  const auto zero_block =
+      codec->compress(zeros, compression::ErrorBound::lossless());
+  zeros[0] = 1.0;
+  const auto one_block =
+      codec->compress(zeros, compression::ErrorBound::lossless());
+
+  const auto report = sim.report();
+  EXPECT_EQ(report.comm_messages, 2u);
+  EXPECT_EQ(report.comm_bytes, zero_block.size() + one_block.size());
 }
 
 TEST(SimulatorTest, ReportAccounting) {
