@@ -5,6 +5,8 @@
 //     --ranks N          logical ranks (power of two, default 4)
 //     --blocks N         blocks per rank (power of two, default 8)
 //     --codec NAME       lossy codec (default qzc)
+//     --policy NAME      codec policy: fixed | adaptive (default fixed;
+//                        adaptive keeps sparse/spiky blocks lossless)
 //     --budget-frac F    memory budget as a fraction of 2^{n+4} (default 0:
 //                        unlimited, stays lossless)
 //     --fuse             apply single-qubit gate fusion first (the run
@@ -37,8 +39,9 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <circuit-file> [--ranks N] [--blocks N] "
-               "[--codec NAME] [--budget-frac F] [--fuse] [--no-batching] "
-               "[--max-run N] [--checkpoint PATH] [--samples N]\n",
+               "[--codec NAME] [--policy fixed|adaptive] [--budget-frac F] "
+               "[--fuse] [--no-batching] [--max-run N] [--checkpoint PATH] "
+               "[--samples N]\n",
                argv0);
   std::exit(2);
 }
@@ -70,6 +73,8 @@ int main(int argc, char** argv) try {
       config.blocks_per_rank = std::atoi(next());
     } else if (arg == "--codec") {
       config.codec = next();
+    } else if (arg == "--policy") {
+      config.codec_policy = next();
     } else if (arg == "--budget-frac") {
       budget_fraction = std::atof(next());
     } else if (arg == "--fuse") {

@@ -4,6 +4,7 @@
 // re/im doubles) into self-describing byte containers.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -68,5 +69,18 @@ std::unique_ptr<Compressor> make_compressor(const std::string& name);
 
 /// All codec names known to make_compressor.
 std::vector<std::string> compressor_names();
+
+/// Id of the lossless zx codec ("zstd") — the codec every block starts
+/// compressed with and the one the arbiter falls back to for sparse blocks.
+inline constexpr std::uint8_t kLosslessCodecId = 0;
+
+/// Stable numeric id of a codec name. Ids are part of the on-disk
+/// checkpoint format (v3 stores one per block) and of BlockMeta, so the
+/// mapping must never be reordered — new codecs append.
+/// Throws std::invalid_argument for unknown names.
+std::uint8_t codec_id(const std::string& name);
+
+/// Inverse of codec_id. Throws std::invalid_argument for unknown ids.
+const std::string& codec_name_of(std::uint8_t id);
 
 }  // namespace cqs::compression

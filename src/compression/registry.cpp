@@ -29,4 +29,31 @@ std::vector<std::string> compressor_names() {
   return {"zstd", "sz", "sz-complex", "qzc", "qzc-shuffle", "zfp", "fpzip"};
 }
 
+namespace {
+
+// Order IS the id assignment (checkpoint v3 / BlockMeta): append-only.
+const std::vector<std::string>& id_table() {
+  static const std::vector<std::string> table = compressor_names();
+  return table;
+}
+
+}  // namespace
+
+std::uint8_t codec_id(const std::string& name) {
+  const auto& table = id_table();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table[i] == name) return static_cast<std::uint8_t>(i);
+  }
+  throw std::invalid_argument("codec_id: unknown codec '" + name + "'");
+}
+
+const std::string& codec_name_of(std::uint8_t id) {
+  const auto& table = id_table();
+  if (id >= table.size()) {
+    throw std::invalid_argument("codec_name_of: unknown codec id " +
+                                std::to_string(id));
+  }
+  return table[id];
+}
+
 }  // namespace cqs::compression

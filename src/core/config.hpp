@@ -24,6 +24,36 @@ struct SimConfig {
   /// "zfp", "fpzip". "zstd" forces a lossless-only simulation.
   std::string codec = "qzc";
 
+  /// Per-block codec policy. "fixed" compresses every block with `codec`
+  /// at any lossy ladder level (the paper's single-codec runs). "adaptive"
+  /// lets the codec arbiter (runtime/codec_arbiter.hpp) inspect each
+  /// block's statistics at every recompression and keep sparse/spiky
+  /// blocks on the lossless zero-suppressing path even at a lossy level —
+  /// the Figs. 9-14 observation that state structure dictates which codec
+  /// wins.
+  std::string codec_policy = "fixed";
+
+  /// Adaptive policy: a block whose exact-zero double fraction is at or
+  /// above this stays lossless (zero suppression beats quantization).
+  double adaptive_zero_fraction = 0.75;
+
+  /// Adaptive policy: a block whose nonzero magnitudes span at most this
+  /// many bits (log2 max/min) stays lossless — uniform-magnitude states
+  /// (GHZ, QFT of basis inputs, Grover superpositions) are repeated bit
+  /// patterns that LZ matching removes and quantization cannot improve.
+  double adaptive_dynamic_range = 1.0;
+
+  /// Adaptive policy: a block whose max/mean nonzero magnitude ratio is at
+  /// or above this (extremely spiky) stays lossless.
+  double adaptive_spikiness = 1e6;
+
+  /// Half-width of the hysteresis band around the adaptive thresholds: a
+  /// block flips codec only when its signal leaves the band, so blocks
+  /// near a threshold don't thrash between codecs across passes. Additive
+  /// on zero fraction and on dynamic-range bits, multiplicative (1 +- h)
+  /// on spikiness. In [0, 0.5).
+  double adaptive_hysteresis = 0.1;
+
   /// Error-bound ladder (Section 3.7): level 0 is lossless Zstd; level k
   /// compresses with pointwise relative bound ladder[k-1]. Whenever the
   /// memory budget is exceeded the level escalates to the next entry.

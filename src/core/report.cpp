@@ -12,6 +12,22 @@ double SimulationReport::phase_fraction(Phase p) const {
   return total == 0.0 ? 0.0 : phases.get(p) / total;
 }
 
+double SimulationReport::lossless_block_ratio() const {
+  return final_lossless_bytes == 0
+             ? 0.0
+             : static_cast<double>(final_lossless_blocks) *
+                   static_cast<double>(block_raw_bytes) /
+                   static_cast<double>(final_lossless_bytes);
+}
+
+double SimulationReport::lossy_block_ratio() const {
+  return final_lossy_bytes == 0
+             ? 0.0
+             : static_cast<double>(final_lossy_blocks) *
+                   static_cast<double>(block_raw_bytes) /
+                   static_cast<double>(final_lossy_bytes);
+}
+
 void SimulationReport::print(std::ostream& os) const {
   const auto pct = [&](Phase p) {
     return phase_fraction(p) * 100.0;
@@ -20,7 +36,8 @@ void SimulationReport::print(std::ostream& os) const {
   os << "qubits:              " << num_qubits << "\n"
      << "ranks x blocks:      " << num_ranks << " x " << blocks_per_rank
      << "\n"
-     << "codec:               " << codec << "\n"
+     << "codec:               " << codec << " (" << codec_policy
+     << " policy)\n"
      << "gates:               " << gates << "\n"
      << "memory requirement:  " << format_bytes(memory_requirement_bytes)
      << "\n"
@@ -47,6 +64,12 @@ void SimulationReport::print(std::ostream& os) const {
      << final_ladder_level << ")\n"
      << std::setprecision(2) << "min compression:     "
      << min_compression_ratio << "x\n"
+     << "codec mix:           " << codec_lossless_choices
+     << " lossless / " << codec_lossy_choices << " lossy passes ("
+     << codec_switches << " switches); final blocks "
+     << final_lossless_blocks << " lossless ("
+     << format_bytes(final_lossless_bytes) << ") / " << final_lossy_blocks
+     << " lossy (" << format_bytes(final_lossy_bytes) << ")\n"
      << "communication:       " << format_bytes(comm_bytes) << " in "
      << comm_messages << " messages\n"
      << "cache:               " << cache.hits << " hits / " << cache.misses

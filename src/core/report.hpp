@@ -37,6 +37,17 @@ struct SimulationReport {
   double min_compression_ratio = 0.0;  ///< min over gates (Table 2 last row)
   int final_ladder_level = 0;          ///< 0 = still lossless
 
+  // Codec arbiter (per-block codec selection; runtime/codec_arbiter.hpp).
+  std::string codec_policy;                  ///< "fixed" or "adaptive"
+  std::uint64_t codec_lossless_choices = 0;  ///< passes routed to lossless zx
+  std::uint64_t codec_lossy_choices = 0;     ///< passes routed to the codec
+  std::uint64_t codec_switches = 0;  ///< per-block flips (post-hysteresis)
+  std::uint64_t final_lossless_blocks = 0;  ///< end-state census by BlockMeta
+  std::uint64_t final_lossy_blocks = 0;
+  std::size_t final_lossless_bytes = 0;  ///< compressed bytes of those blocks
+  std::size_t final_lossy_bytes = 0;
+  std::size_t block_raw_bytes = 0;  ///< uncompressed bytes of one block
+
   // Gate-run scheduler (block-local batching).
   std::uint64_t batched_runs = 0;   ///< block-local runs (one codec pass each)
   std::uint64_t batched_gates = 0;  ///< scheduled ops applied inside runs
@@ -63,6 +74,15 @@ struct SimulationReport {
     return batched_runs == 0 ? 0.0
                              : static_cast<double>(batched_gates) /
                                    static_cast<double>(batched_runs);
+  }
+
+  /// Compression ratio of the end-state blocks each codec class holds
+  /// (raw/compressed; 0 when that class holds no blocks). Their spread is
+  /// the per-codec ratio delta the Fig. 9-14 studies measure.
+  double lossless_block_ratio() const;
+  double lossy_block_ratio() const;
+  double codec_ratio_delta() const {
+    return lossless_block_ratio() - lossy_block_ratio();
   }
 
   /// Fraction of summed phase time spent in `p` (the percentage rows of

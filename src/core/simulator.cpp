@@ -83,6 +83,9 @@ struct CompressedStateSimulator::GateRouting {
   Bytes descriptor;
   /// Count of blocks recompressed during this gate (shared across workers).
   mutable std::atomic<std::uint64_t> blocks_compressed{0};
+  /// Blocks whose recompression (or cached output) went through the lossy
+  /// codec — only these trigger a fidelity pass.
+  mutable std::atomic<std::uint64_t> blocks_lossy{0};
 };
 
 /// Resolved execution plan of one block-local gate run: every kernel acts
@@ -101,6 +104,7 @@ struct CompressedStateSimulator::RunPlan {
   std::vector<Bytes> descriptors;
   int level = 0;
   InvocationCounter blocks_compressed;  ///< blocks recompressed by this run
+  InvocationCounter blocks_lossy;  ///< of those, ones the lossy codec wrote
 };
 
 CompressedStateSimulator::CompressedStateSimulator(SimConfig config)
@@ -115,6 +119,12 @@ CompressedStateSimulator::CompressedStateSimulator(SimConfig config)
       throw std::invalid_argument(
           "simulator: codec must support pointwise relative bounds");
     }
+    lossy_codec_id_ = compression::codec_id(config_.codec);
+  }
+  if (config_.error_ladder.empty()) {
+    throw std::invalid_argument(
+        "simulator: error ladder must not be empty (level 0 is implicit; "
+        "give at least one lossy bound)");
   }
   for (double eps : config_.error_ladder) {
     if (!(eps > 0.0) || !(eps < 1.0)) {
@@ -132,6 +142,34 @@ CompressedStateSimulator::CompressedStateSimulator(SimConfig config)
     throw std::invalid_argument(
         "simulator: lossless codec cannot start at a lossy level");
   }
+
+  runtime::ArbiterConfig arbiter_config;
+  arbiter_config.policy = runtime::parse_codec_policy(config_.codec_policy);
+  arbiter_config.zero_fraction_threshold = config_.adaptive_zero_fraction;
+  arbiter_config.dynamic_range_threshold = config_.adaptive_dynamic_range;
+  arbiter_config.spikiness_threshold = config_.adaptive_spikiness;
+  arbiter_config.hysteresis = config_.adaptive_hysteresis;
+  if (!(arbiter_config.zero_fraction_threshold >= 0.0) ||
+      !(arbiter_config.zero_fraction_threshold <= 1.0)) {
+    throw std::invalid_argument(
+        "simulator: adaptive_zero_fraction must be in [0, 1]");
+  }
+  if (!(arbiter_config.dynamic_range_threshold >= 0.0)) {
+    throw std::invalid_argument(
+        "simulator: adaptive_dynamic_range must be >= 0 bits");
+  }
+  if (!(arbiter_config.spikiness_threshold > 1.0)) {
+    throw std::invalid_argument(
+        "simulator: adaptive_spikiness must exceed 1 (max/mean ratio)");
+  }
+  if (!(arbiter_config.hysteresis >= 0.0) ||
+      !(arbiter_config.hysteresis < 0.5)) {
+    throw std::invalid_argument(
+        "simulator: adaptive_hysteresis must be in [0, 0.5)");
+  }
+  arbiter_ = std::make_unique<runtime::CodecArbiter>(
+      arbiter_config,
+      partition_.num_ranks() * partition_.blocks_per_rank());
 
   const std::size_t threads =
       config_.threads > 0 ? static_cast<std::size_t>(config_.threads) : 0;
@@ -151,51 +189,68 @@ CompressedStateSimulator::CompressedStateSimulator(SimConfig config)
 
 void CompressedStateSimulator::init_blocks() {
   // |0...0>: amplitude (1,0) lives at offset 0 of block 0 of rank 0; every
-  // other block is all zeros and shares one compressed payload.
+  // other block is all zeros and shares one compressed payload. Both
+  // contents arbitrate through block 0 as the representative (every block
+  // is structurally identical at t=0), then the per-block hysteresis state
+  // is seeded so the arbiter remembers each block's starting codec.
   std::vector<double> zeros(partition_.doubles_per_block(), 0.0);
-  const Bytes zero_block = compress_block(zeros, level_, worker_timers_[0]);
+  auto [zero_payload, zero_meta] =
+      encode_block(zeros, level_, 0, 0, worker_timers_[0]);
   zeros[0] = 1.0;
-  const Bytes one_block = compress_block(zeros, level_, worker_timers_[0]);
+  auto [one_payload, one_meta] =
+      encode_block(zeros, level_, 0, 0, worker_timers_[0]);
 
-  const auto meta =
-      runtime::BlockMeta{static_cast<std::uint8_t>(level_)};
   for (int r = 0; r < partition_.num_ranks(); ++r) {
     for (int b = 0; b < partition_.blocks_per_rank(); ++b) {
-      ranks_[r].set_block(b, (r == 0 && b == 0) ? one_block : zero_block,
-                          meta);
+      const bool is_origin = r == 0 && b == 0;
+      ranks_[r].set_block(b, is_origin ? one_payload : zero_payload,
+                          is_origin ? one_meta : zero_meta);
+      arbiter_->seed(global_block(r, b),
+                     (is_origin ? one_meta : zero_meta).codec ==
+                         compression::kLosslessCodecId);
     }
   }
 }
 
-Bytes CompressedStateSimulator::compress_block(std::span<const double> data,
-                                               int level,
-                                               PhaseTimers& timers) const {
+std::pair<Bytes, runtime::BlockMeta> CompressedStateSimulator::encode_block(
+    std::span<const double> data, int level, int rank, int block,
+    PhaseTimers& timers) const {
   ScopedPhase phase(timers, Phase::kCompression);
   compress_calls_.bump();
-  if (level == 0) {
-    return lossless_->compress(data, ErrorBound::lossless());
-  }
-  return lossy_->compress(
-      data, ErrorBound::relative(config_.error_ladder[level - 1]));
+  const bool lossless =
+      arbiter_->decide_lossless(global_block(rank, block), level, data);
+  runtime::BlockMeta meta{static_cast<std::uint8_t>(level),
+                          lossless ? compression::kLosslessCodecId
+                                   : lossy_codec_id_};
+  Bytes payload =
+      lossless
+          ? lossless_->compress(data, ErrorBound::lossless())
+          : lossy_->compress(
+                data, ErrorBound::relative(config_.error_ladder[level - 1]));
+  return {std::move(payload), meta};
 }
 
 void CompressedStateSimulator::decompress_block(int rank, int block,
                                                 std::span<double> out,
                                                 PhaseTimers& timers) const {
   const auto& store = ranks_[rank];
-  decompress_payload(store.block(block), store.meta(block).level, out,
-                     timers);
+  decompress_payload(store.block(block), store.meta(block), out, timers);
 }
 
-void CompressedStateSimulator::decompress_payload(ByteSpan payload, int level,
-                                                  std::span<double> out,
-                                                  PhaseTimers& timers) const {
+void CompressedStateSimulator::decompress_payload(
+    ByteSpan payload, const runtime::BlockMeta& meta, std::span<double> out,
+    PhaseTimers& timers) const {
   ScopedPhase phase(timers, Phase::kDecompression);
   decompress_calls_.bump();
-  if (level == 0) {
+  if (meta.codec == compression::kLosslessCodecId) {
     lossless_->decompress(payload, out);
-  } else {
+  } else if (meta.codec == lossy_codec_id_) {
     lossy_->decompress(payload, out);
+  } else {
+    throw std::runtime_error(
+        "simulator: block codec id " + std::to_string(meta.codec) +
+        " matches neither the lossless stage nor the configured codec '" +
+        config_.codec + "'");
   }
 }
 
@@ -326,7 +381,10 @@ void CompressedStateSimulator::apply_impl(const GateOp& op) {
     }
   }
 
-  if (routing.blocks_compressed.load() > 0 && level_ > 0) {
+  // Only blocks the lossy codec actually wrote cost fidelity: under the
+  // adaptive policy a lossy-level gate whose blocks all stayed on the
+  // lossless path is exact.
+  if (routing.blocks_lossy.load() > 0 && level_ > 0) {
     fidelity_.record_lossy_pass(config_.error_ladder[level_ - 1]);
   }
 }
@@ -428,15 +486,25 @@ void CompressedStateSimulator::process_single(const GateRouting& routing,
       config_.enable_cache ? caches_[rank].get() : nullptr;
   std::uint64_t key = 0;
   if (cache != nullptr && cache->enabled()) {
-    key = fnv1a_u64(unit_salt,
-                    runtime::BlockCache::make_key(routing.descriptor,
-                                                  store.block(block), {}));
+    key = fnv1a_u64(
+        unit_salt,
+        runtime::BlockCache::make_key(routing.descriptor, store.block(block),
+                                      {}, store.meta(block).codec));
     Bytes out1;
     Bytes out2;
-    if (cache->lookup(key, out1, out2)) {
+    std::uint8_t codec1 = compression::kLosslessCodecId;
+    if (cache->lookup(key, out1, out2, &codec1)) {
       store.set_block(block, std::move(out1),
-                      {static_cast<std::uint8_t>(routing.level)});
+                      {static_cast<std::uint8_t>(routing.level), codec1});
+      // Keep the arbiter's hysteresis in step with the stored codec even
+      // though no decision ran — otherwise hit/miss interleavings would
+      // leak into later codec choices and break cross-thread determinism.
+      arbiter_->seed(global_block(rank, block),
+                     codec1 == compression::kLosslessCodecId);
       routing.blocks_compressed.fetch_add(1, std::memory_order_relaxed);
+      if (codec1 != compression::kLosslessCodecId) {
+        routing.blocks_lossy.fetch_add(1, std::memory_order_relaxed);
+      }
       return;
     }
   }
@@ -468,13 +536,17 @@ void CompressedStateSimulator::process_single(const GateRouting& routing,
                           ctrl);
     }
   }
-  Bytes compressed = compress_block(vx, routing.level, timers);
+  auto [compressed, meta] =
+      encode_block(vx, routing.level, rank, block, timers);
   if (cache != nullptr && cache->enabled()) {
-    cache->insert(key, compressed, {});
+    cache->insert(key, compressed, {}, meta.codec);
   }
-  store.set_block(block, std::move(compressed),
-                  {static_cast<std::uint8_t>(routing.level)});
+  const bool lossy_write = meta.codec != compression::kLosslessCodecId;
+  store.set_block(block, std::move(compressed), meta);
   routing.blocks_compressed.fetch_add(1, std::memory_order_relaxed);
+  if (lossy_write) {
+    routing.blocks_lossy.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 CompressedStateSimulator::RunPlan CompressedStateSimulator::build_run_plan(
@@ -530,8 +602,9 @@ void CompressedStateSimulator::apply_run(const qsim::Circuit& circuit,
   });
   // The whole run cost each block one recompression, so the fidelity
   // ledger records one lossy pass — not one per gate (Eq. 11 tightens to
-  // F >= (1 - delta)^runs).
-  if (plan.blocks_compressed.get() > 0 && level_ > 0) {
+  // F >= (1 - delta)^runs) — and only if the lossy codec wrote at least
+  // one block (adaptive runs whose blocks all stayed lossless are exact).
+  if (plan.blocks_lossy.get() > 0 && level_ > 0) {
     fidelity_.record_lossy_pass(config_.error_ladder[level_ - 1]);
   }
 }
@@ -546,13 +619,19 @@ void CompressedStateSimulator::process_run_single(const RunPlan& plan,
   std::uint64_t key = 0;
   if (cache != nullptr && cache->enabled()) {
     key = runtime::BlockCache::make_run_key(plan.descriptors,
-                                            store.block(block));
+                                            store.block(block),
+                                            store.meta(block).codec);
     Bytes out1;
     Bytes out2;
-    if (cache->lookup(key, out1, out2)) {
+    std::uint8_t codec1 = compression::kLosslessCodecId;
+    if (cache->lookup(key, out1, out2, &codec1)) {
       store.set_block(block, std::move(out1),
-                      {static_cast<std::uint8_t>(plan.level)});
+                      {static_cast<std::uint8_t>(plan.level), codec1});
+      // See process_single: hysteresis must track the stored codec on hits.
+      arbiter_->seed(global_block(rank, block),
+                     codec1 == compression::kLosslessCodecId);
       plan.blocks_compressed.bump();
+      if (codec1 != compression::kLosslessCodecId) plan.blocks_lossy.bump();
       return;
     }
   }
@@ -568,13 +647,14 @@ void CompressedStateSimulator::process_run_single(const RunPlan& plan,
                           kernel.target_bit, kernel.ctrl_mask);
     }
   }
-  Bytes compressed = compress_block(vx, plan.level, timers);
+  auto [compressed, meta] = encode_block(vx, plan.level, rank, block, timers);
   if (cache != nullptr && cache->enabled()) {
-    cache->insert(key, compressed, {});
+    cache->insert(key, compressed, {}, meta.codec);
   }
-  store.set_block(block, std::move(compressed),
-                  {static_cast<std::uint8_t>(plan.level)});
+  const bool lossy_write = meta.codec != compression::kLosslessCodecId;
+  store.set_block(block, std::move(compressed), meta);
   plan.blocks_compressed.bump();
+  if (lossy_write) plan.blocks_lossy.bump();
 }
 
 void CompressedStateSimulator::process_pair(const GateRouting& routing,
@@ -605,15 +685,29 @@ void CompressedStateSimulator::process_pair(const GateRouting& routing,
   bool hit = false;
   if (cache != nullptr && cache->enabled()) {
     key = runtime::BlockCache::make_key(
-        routing.descriptor, store_a.block(block_a), store_b.block(block_b));
+        routing.descriptor, store_a.block(block_a), store_b.block(block_b),
+        store_a.meta(block_a).codec, store_b.meta(block_b).codec);
     Bytes out1;
     Bytes out2;
-    if (cache->lookup(key, out1, out2)) {
+    std::uint8_t codec1 = compression::kLosslessCodecId;
+    std::uint8_t codec2 = compression::kLosslessCodecId;
+    if (cache->lookup(key, out1, out2, &codec1, &codec2)) {
       store_a.set_block(block_a, std::move(out1),
-                        {static_cast<std::uint8_t>(routing.level)});
+                        {static_cast<std::uint8_t>(routing.level), codec1});
       store_b.set_block(block_b, std::move(out2),
-                        {static_cast<std::uint8_t>(routing.level)});
+                        {static_cast<std::uint8_t>(routing.level), codec2});
+      // See process_single: hysteresis must track the stored codec on hits.
+      arbiter_->seed(global_block(rank_a, block_a),
+                     codec1 == compression::kLosslessCodecId);
+      arbiter_->seed(global_block(rank_b, block_b),
+                     codec2 == compression::kLosslessCodecId);
       routing.blocks_compressed.fetch_add(2, std::memory_order_relaxed);
+      const std::uint64_t lossy =
+          (codec1 != compression::kLosslessCodecId ? 1u : 0u) +
+          (codec2 != compression::kLosslessCodecId ? 1u : 0u);
+      if (lossy > 0) {
+        routing.blocks_lossy.fetch_add(lossy, std::memory_order_relaxed);
+      }
       hit = true;
     }
   }
@@ -625,8 +719,7 @@ void CompressedStateSimulator::process_pair(const GateRouting& routing,
     if (cross_rank) {
       // Decompress the partner's block from the bytes that came over the
       // wire — the exchanged payload is the data this rank computes on.
-      decompress_payload(received_b, store_b.meta(block_b).level, vy,
-                         timers);
+      decompress_payload(received_b, store_b.meta(block_b), vy, timers);
     } else {
       decompress_block(rank_b, block_b, vy, timers);
     }
@@ -644,14 +737,22 @@ void CompressedStateSimulator::process_pair(const GateRouting& routing,
         a1[i] = routing.m.u10 * x + routing.m.u11 * y;
       }
     }
-    Bytes ca = compress_block(vx, routing.level, timers);
-    Bytes cb = compress_block(vy, routing.level, timers);
-    if (cache != nullptr && cache->enabled()) cache->insert(key, ca, cb);
-    store_a.set_block(block_a, std::move(ca),
-                      {static_cast<std::uint8_t>(routing.level)});
-    store_b.set_block(block_b, std::move(cb),
-                      {static_cast<std::uint8_t>(routing.level)});
+    auto [ca, meta_a] =
+        encode_block(vx, routing.level, rank_a, block_a, timers);
+    auto [cb, meta_b] =
+        encode_block(vy, routing.level, rank_b, block_b, timers);
+    if (cache != nullptr && cache->enabled()) {
+      cache->insert(key, ca, cb, meta_a.codec, meta_b.codec);
+    }
+    const std::uint64_t lossy =
+        (meta_a.codec != compression::kLosslessCodecId ? 1u : 0u) +
+        (meta_b.codec != compression::kLosslessCodecId ? 1u : 0u);
+    store_a.set_block(block_a, std::move(ca), meta_a);
+    store_b.set_block(block_b, std::move(cb), meta_b);
     routing.blocks_compressed.fetch_add(2, std::memory_order_relaxed);
+    if (lossy > 0) {
+      routing.blocks_lossy.fetch_add(lossy, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -671,26 +772,32 @@ void CompressedStateSimulator::enforce_budget() {
          level_ < static_cast<int>(config_.error_ladder.size()) &&
          lossy_ != nullptr) {
     ++level_;
-    recompress_all(level_);
-    fidelity_.record_lossy_pass(config_.error_ladder[level_ - 1]);
+    const std::uint64_t lossy_blocks = recompress_all(level_);
+    if (lossy_blocks > 0) {
+      fidelity_.record_lossy_pass(config_.error_ladder[level_ - 1]);
+    }
   }
   if (compressed_bytes() > budget) budget_exceeded_ = true;
 }
 
-void CompressedStateSimulator::recompress_all(int new_level) {
+std::uint64_t CompressedStateSimulator::recompress_all(int new_level) {
   const std::size_t total_blocks =
       static_cast<std::size_t>(partition_.num_ranks()) *
       partition_.blocks_per_rank();
+  std::atomic<std::uint64_t> lossy_blocks{0};
   pool_->parallel_for(total_blocks, [&](std::size_t i, std::size_t worker) {
     const int rank = static_cast<int>(i) / partition_.blocks_per_rank();
     const int block = static_cast<int>(i) % partition_.blocks_per_rank();
     auto vx = scratch_->vector_x(worker);
     decompress_block(rank, block, vx, worker_timers_[worker]);
-    Bytes compressed =
-        compress_block(vx, new_level, worker_timers_[worker]);
-    ranks_[rank].set_block(block, std::move(compressed),
-                           {static_cast<std::uint8_t>(new_level)});
+    auto [compressed, meta] =
+        encode_block(vx, new_level, rank, block, worker_timers_[worker]);
+    if (meta.codec != compression::kLosslessCodecId) {
+      lossy_blocks.fetch_add(1, std::memory_order_relaxed);
+    }
+    ranks_[rank].set_block(block, std::move(compressed), meta);
   });
+  return lossy_blocks.load(std::memory_order_relaxed);
 }
 
 double CompressedStateSimulator::probability_one(int qubit) {
@@ -891,7 +998,7 @@ int CompressedStateSimulator::measure(int qubit, Rng& rng) {
   const std::size_t total_blocks =
       static_cast<std::size_t>(partition_.num_ranks()) *
       partition_.blocks_per_rank();
-  std::atomic<std::uint64_t> recompressed{0};
+  std::atomic<std::uint64_t> lossy_writes{0};
   pool_->parallel_for(total_blocks, [&](std::size_t i, std::size_t worker) {
     const int rank = static_cast<int>(i) / partition_.blocks_per_rank();
     const int block = static_cast<int>(i) % partition_.blocks_per_rank();
@@ -924,13 +1031,14 @@ int CompressedStateSimulator::measure(int qubit, Rng& rng) {
         }
       }
     }
-    Bytes compressed =
-        compress_block(vx, level_, worker_timers_[worker]);
-    ranks_[rank].set_block(block, std::move(compressed),
-                           {static_cast<std::uint8_t>(level_)});
-    recompressed.fetch_add(1, std::memory_order_relaxed);
+    auto [compressed, meta] =
+        encode_block(vx, level_, rank, block, worker_timers_[worker]);
+    if (meta.codec != compression::kLosslessCodecId) {
+      lossy_writes.fetch_add(1, std::memory_order_relaxed);
+    }
+    ranks_[rank].set_block(block, std::move(compressed), meta);
   });
-  if (recompressed.load() > 0 && level_ > 0) {
+  if (lossy_writes.load() > 0 && level_ > 0) {
     fidelity_.record_lossy_pass(config_.error_ladder[level_ - 1]);
   }
   enforce_budget();
@@ -983,6 +1091,24 @@ CompressedStateSimulator CompressedStateSimulator::load_checkpoint(
   sim.ranks_ = std::move(stores);
   sim.level_ = static_cast<int>(header.ladder_level);
   sim.gate_cursor_ = header.next_gate_index;
+  // Validate every block's codec id up front (decompression happens on
+  // worker threads, where a bad id could not throw usefully), and seed the
+  // arbiter's hysteresis from the persisted codec so the first pass after
+  // a restore doesn't see a blank history.
+  for (int r = 0; r < sim.partition_.num_ranks(); ++r) {
+    for (int b = 0; b < sim.partition_.blocks_per_rank(); ++b) {
+      const auto codec = sim.ranks_[r].meta(b).codec;
+      if (codec != compression::kLosslessCodecId &&
+          codec != sim.lossy_codec_id_) {
+        throw std::invalid_argument(
+            "load_checkpoint: block codec id " + std::to_string(codec) +
+            " matches neither the lossless stage nor the checkpoint codec "
+            "'" + sim.config_.codec + "'");
+      }
+      sim.arbiter_->seed(sim.global_block(r, b),
+                         codec == compression::kLosslessCodecId);
+    }
+  }
   // Both the bound and the pass count resume exactly where the saved run
   // stopped; subsequent lossy passes multiply/count onto them.
   sim.fidelity_ = FidelityTracker();
@@ -1007,6 +1133,23 @@ SimulationReport CompressedStateSimulator::report() const {
   rep.budget_exceeded = budget_exceeded_;
   rep.min_compression_ratio = min_ratio_;
   rep.final_ladder_level = level_;
+  rep.codec_policy = config_.codec_policy;
+  const auto arbiter_stats = arbiter_->stats();
+  rep.codec_lossless_choices = arbiter_stats.lossless_choices;
+  rep.codec_lossy_choices = arbiter_stats.lossy_choices;
+  rep.codec_switches = arbiter_stats.switches;
+  rep.block_raw_bytes = partition_.bytes_per_block();
+  for (const auto& store : ranks_) {
+    for (int b = 0; b < store.num_blocks(); ++b) {
+      if (store.meta(b).codec == compression::kLosslessCodecId) {
+        ++rep.final_lossless_blocks;
+        rep.final_lossless_bytes += store.block(b).size();
+      } else {
+        ++rep.final_lossy_blocks;
+        rep.final_lossy_bytes += store.block(b).size();
+      }
+    }
+  }
   rep.batched_runs = batched_runs_;
   rep.batched_gates = batched_gates_;
   rep.compress_invocations = compress_calls_.get();

@@ -33,6 +33,7 @@
 #include "qsim/scheduler.hpp"
 #include "runtime/block_cache.hpp"
 #include "runtime/block_store.hpp"
+#include "runtime/codec_arbiter.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/partition.hpp"
 #include "runtime/scratch.hpp"
@@ -135,12 +136,19 @@ class CompressedStateSimulator {
   };
 
   void init_blocks();
-  Bytes compress_block(std::span<const double> data, int level,
-                       PhaseTimers& timers) const;
+  int global_block(int rank, int block) const {
+    return rank * partition_.blocks_per_rank() + block;
+  }
+  /// Compresses one block at `level`, letting the codec arbiter pick
+  /// lossless vs. the configured lossy codec per block. Returns the
+  /// payload plus the BlockMeta (level + codec id) describing it.
+  std::pair<Bytes, runtime::BlockMeta> encode_block(
+      std::span<const double> data, int level, int rank, int block,
+      PhaseTimers& timers) const;
   void decompress_block(int rank, int block, std::span<double> out,
                         PhaseTimers& timers) const;
-  void decompress_payload(ByteSpan payload, int level, std::span<double> out,
-                          PhaseTimers& timers) const;
+  void decompress_payload(ByteSpan payload, const runtime::BlockMeta& meta,
+                          std::span<double> out, PhaseTimers& timers) const;
 
   /// Shared tail of apply_circuit / resume_circuit: applies the ops of
   /// `circuit` from gate_cursor_ to the end, batched through the gate-run
@@ -171,7 +179,11 @@ class CompressedStateSimulator {
   /// Escalates the error ladder and recompresses every block until the
   /// compressed total fits the budget (or the ladder is exhausted).
   void enforce_budget();
-  void recompress_all(int new_level);
+  /// Recompresses every block at `new_level`; returns how many blocks the
+  /// arbiter actually sent through the lossy codec (adaptive blocks can
+  /// stay lossless), so the caller records a fidelity pass only when one
+  /// happened.
+  std::uint64_t recompress_all(int new_level);
   void note_gate_finished(double gate_seconds);
 
   bool controls_satisfied_block(const GateRouting& routing, int rank,
@@ -184,6 +196,8 @@ class CompressedStateSimulator {
   std::unique_ptr<runtime::Comm> comm_;
   std::unique_ptr<compression::Compressor> lossless_;
   std::unique_ptr<compression::Compressor> lossy_;
+  std::uint8_t lossy_codec_id_ = compression::kLosslessCodecId;
+  std::unique_ptr<runtime::CodecArbiter> arbiter_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<runtime::ScratchArena> scratch_;
   mutable std::vector<PhaseTimers> worker_timers_;

@@ -7,17 +7,21 @@ BlockCache::BlockCache(std::size_t lines,
     : capacity_(lines), disable_after_misses_(disable_after_misses) {}
 
 std::uint64_t BlockCache::make_key(ByteSpan op_descriptor, ByteSpan cb1,
-                                   ByteSpan cb2) {
+                                   ByteSpan cb2, std::uint8_t cb1_codec,
+                                   std::uint8_t cb2_codec) {
   std::uint64_t h = fnv1a(op_descriptor);
   h = fnv1a(cb1, h);
   h = fnv1a_u64(cb1.size(), h);
+  h = fnv1a_u64(cb1_codec, h);
   h = fnv1a(cb2, h);
   h = fnv1a_u64(cb2.size(), h);
+  h = fnv1a_u64(cb2_codec, h);
   return h;
 }
 
-std::uint64_t BlockCache::make_run_key(
-    std::span<const Bytes> op_descriptors, ByteSpan cb1) {
+std::uint64_t BlockCache::make_run_key(std::span<const Bytes> op_descriptors,
+                                       ByteSpan cb1,
+                                       std::uint8_t cb1_codec) {
   std::uint64_t h = fnv1a_u64(op_descriptors.size(), 0xcbf29ce484222325ull);
   for (const Bytes& d : op_descriptors) {
     h = fnv1a(d, h);
@@ -25,10 +29,12 @@ std::uint64_t BlockCache::make_run_key(
   }
   h = fnv1a(cb1, h);
   h = fnv1a_u64(cb1.size(), h);
+  h = fnv1a_u64(cb1_codec, h);
   return h;
 }
 
-bool BlockCache::lookup(std::uint64_t key, Bytes& out1, Bytes& out2) {
+bool BlockCache::lookup(std::uint64_t key, Bytes& out1, Bytes& out2,
+                        std::uint8_t* codec1, std::uint8_t* codec2) {
   std::lock_guard lock(mutex_);
   if (stats_.disabled) {
     // Disabled lookups short-circuit but still count: stats must account
@@ -45,12 +51,17 @@ bool BlockCache::lookup(std::uint64_t key, Bytes& out1, Bytes& out2) {
   ++stats_.hits;
   lru_.splice(lru_.begin(), lru_, it->second);
   out1 = it->second->out1;
-  if (!it->second->out2.empty()) out2 = it->second->out2;
+  if (codec1 != nullptr) *codec1 = it->second->codec1;
+  if (!it->second->out2.empty()) {
+    out2 = it->second->out2;
+    if (codec2 != nullptr) *codec2 = it->second->codec2;
+  }
   return true;
 }
 
 void BlockCache::insert(std::uint64_t key, const Bytes& out1,
-                        const Bytes& out2) {
+                        const Bytes& out2, std::uint8_t codec1,
+                        std::uint8_t codec2) {
   std::lock_guard lock(mutex_);
   if (stats_.disabled || capacity_ == 0) return;
   const auto it = index_.find(key);
@@ -58,13 +69,15 @@ void BlockCache::insert(std::uint64_t key, const Bytes& out1,
     lru_.splice(lru_.begin(), lru_, it->second);
     it->second->out1 = out1;
     it->second->out2 = out2;
+    it->second->codec1 = codec1;
+    it->second->codec2 = codec2;
     return;
   }
   if (lru_.size() >= capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
   }
-  lru_.push_front({key, out1, out2});
+  lru_.push_front({key, out1, out2, codec1, codec2});
   index_[key] = lru_.begin();
 }
 

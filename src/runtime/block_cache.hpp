@@ -37,23 +37,32 @@ class BlockCache {
   explicit BlockCache(std::size_t lines = 64,
                       std::uint64_t disable_after_misses = 4096);
 
-  /// Key for (OP, CB1, CB2): hash of the op descriptor and input payloads.
+  /// Key for (OP, CB1, CB2): hash of the op descriptor and input payloads,
+  /// plus each input's codec id — byte-identical payloads produced by
+  /// different codecs decode to different blocks, so the id must join the
+  /// identity.
   static std::uint64_t make_key(ByteSpan op_descriptor, ByteSpan cb1,
-                                ByteSpan cb2);
+                                ByteSpan cb2, std::uint8_t cb1_codec = 0,
+                                std::uint8_t cb2_codec = 0);
 
   /// Key for (RUN, CB1): a gate run is a first-class cache identity — the
   /// hash covers the descriptor count and each per-gate descriptor with
   /// its length, so ({"ab","c"}, ...) and ({"a","bc"}, ...) never collide,
-  /// plus the single input block a block-local run reads.
+  /// plus the single input block a block-local run reads and its codec id.
   static std::uint64_t make_run_key(std::span<const Bytes> op_descriptors,
-                                    ByteSpan cb1);
+                                    ByteSpan cb1, std::uint8_t cb1_codec = 0);
 
   /// On hit, copies the cached output blocks into `out1` / `out2` (out2
-  /// untouched for single-block entries) and returns true.
-  bool lookup(std::uint64_t key, Bytes& out1, Bytes& out2);
+  /// untouched for single-block entries), reports which codec produced
+  /// each output via the optional id pointers, and returns true.
+  bool lookup(std::uint64_t key, Bytes& out1, Bytes& out2,
+              std::uint8_t* codec1 = nullptr, std::uint8_t* codec2 = nullptr);
 
-  /// Inserts outputs for `key`, evicting the LRU line if full.
-  void insert(std::uint64_t key, const Bytes& out1, const Bytes& out2);
+  /// Inserts outputs for `key`, evicting the LRU line if full. The codec
+  /// ids record which codec produced each output payload so a later hit
+  /// can restore the block's BlockMeta exactly.
+  void insert(std::uint64_t key, const Bytes& out1, const Bytes& out2,
+              std::uint8_t codec1 = 0, std::uint8_t codec2 = 0);
 
   CacheStats stats() const;
   bool enabled() const;
@@ -63,6 +72,8 @@ class BlockCache {
     std::uint64_t key;
     Bytes out1;
     Bytes out2;
+    std::uint8_t codec1 = 0;
+    std::uint8_t codec2 = 0;
   };
 
   void maybe_disable_locked();

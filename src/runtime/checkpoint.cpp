@@ -5,14 +5,17 @@
 #include <stdexcept>
 
 #include "common/bytes.hpp"
+#include "compression/compressor.hpp"
 
 namespace cqs::runtime {
 namespace {
 
-// Format v2 appends the lossy-pass count after the fidelity bound; the
-// trailing magic byte is the version and the reader accepts both.
+// The trailing magic byte is the format version; the reader accepts all
+// of them. v2 appended the lossy-pass count after the fidelity bound; v3
+// appends a codec id to every block's meta (adaptive per-block codecs).
 constexpr char kMagicV1[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '1'};
 constexpr char kMagicV2[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '2'};
+constexpr char kMagicV3[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '3'};
 
 }  // namespace
 
@@ -20,8 +23,8 @@ void save_checkpoint(const std::string& path, const CheckpointHeader& header,
                      const std::vector<BlockStore>& ranks) {
   Bytes buffer;
   buffer.insert(buffer.end(),
-                reinterpret_cast<const std::byte*>(kMagicV2),
-                reinterpret_cast<const std::byte*>(kMagicV2) + 8);
+                reinterpret_cast<const std::byte*>(kMagicV3),
+                reinterpret_cast<const std::byte*>(kMagicV3) + 8);
   put_varint(buffer, header.num_qubits);
   put_varint(buffer, header.num_ranks);
   put_varint(buffer, header.blocks_per_rank);
@@ -38,6 +41,7 @@ void save_checkpoint(const std::string& path, const CheckpointHeader& header,
     put_varint(buffer, store.num_blocks());
     for (int b = 0; b < store.num_blocks(); ++b) {
       buffer.push_back(static_cast<std::byte>(store.meta(b).level));
+      buffer.push_back(static_cast<std::byte>(store.meta(b).codec));
       put_varint(buffer, store.block(b).size());
       buffer.insert(buffer.end(), store.block(b).begin(),
                     store.block(b).end());
@@ -64,7 +68,8 @@ std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
 
   const bool v1 = size >= 8 && std::memcmp(buffer.data(), kMagicV1, 8) == 0;
   const bool v2 = size >= 8 && std::memcmp(buffer.data(), kMagicV2, 8) == 0;
-  if (!v1 && !v2) {
+  const bool v3 = size >= 8 && std::memcmp(buffer.data(), kMagicV3, 8) == 0;
+  if (!v1 && !v2 && !v3) {
     throw std::runtime_error("checkpoint: bad magic");
   }
   std::size_t offset = 8;
@@ -78,8 +83,8 @@ std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
   header.fidelity_bound = get_scalar<double>(buffer, offset);
   // v1 never persisted the pass count; the closest reconstruction is one
   // synthetic pass whenever any lossy history exists.
-  header.lossy_passes = v2 ? get_varint(buffer, offset)
-                           : (header.fidelity_bound < 1.0 ? 1u : 0u);
+  header.lossy_passes = v1 ? (header.fidelity_bound < 1.0 ? 1u : 0u)
+                           : get_varint(buffer, offset);
   const std::uint64_t name_len = get_varint(buffer, offset);
   if (offset + name_len > buffer.size()) {
     throw std::runtime_error("checkpoint: truncated codec name");
@@ -88,6 +93,11 @@ std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
       reinterpret_cast<const char*>(buffer.data()) + offset, name_len);
   offset += name_len;
 
+  // Pre-v3 blocks never stored a codec id; level 0 was by construction
+  // the lossless zx stage and every lossy level used the header codec.
+  const std::uint8_t legacy_lossy_codec =
+      v3 ? 0 : compression::codec_id(header.codec_name);
+
   const std::uint64_t rank_count = get_varint(buffer, offset);
   std::vector<BlockStore> ranks;
   ranks.reserve(rank_count);
@@ -95,10 +105,13 @@ std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
     const auto block_count = static_cast<int>(get_varint(buffer, offset));
     BlockStore store(block_count);
     for (int b = 0; b < block_count; ++b) {
-      if (offset >= buffer.size()) {
+      if (offset + (v3 ? 1u : 0u) >= buffer.size()) {
         throw std::runtime_error("checkpoint: truncated block meta");
       }
       BlockMeta meta{static_cast<std::uint8_t>(buffer[offset++])};
+      meta.codec = v3 ? static_cast<std::uint8_t>(buffer[offset++])
+                      : (meta.level == 0 ? compression::kLosslessCodecId
+                                         : legacy_lossy_codec);
       const std::uint64_t block_size = get_varint(buffer, offset);
       if (offset + block_size > buffer.size()) {
         throw std::runtime_error("checkpoint: truncated block payload");

@@ -27,12 +27,16 @@ struct CheckpointHeader {
   std::string codec_name;
 };
 
-/// Writes header + every rank's compressed blocks to `path`.
+/// Writes header + every rank's compressed blocks to `path` in format v3:
+/// each block carries its ladder level AND the codec id that produced its
+/// payload, so per-block adaptive codec choices survive a resume.
 /// Throws std::runtime_error on I/O failure.
 void save_checkpoint(const std::string& path, const CheckpointHeader& header,
                      const std::vector<BlockStore>& ranks);
 
-/// Reads a checkpoint written by save_checkpoint.
+/// Reads a checkpoint written by save_checkpoint. Accepts formats v1-v3;
+/// v1/v2 blocks never stored a codec id, so the reader derives it from the
+/// block's level (0 = lossless zx, otherwise the header codec).
 std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
     const std::string& path);
 

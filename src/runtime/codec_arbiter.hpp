@@ -1,0 +1,102 @@
+// Codec arbiter: per-block, per-pass codec selection (the paper's Figs.
+// 9-14 observation that compression effectiveness is dictated by block
+// state structure). Spiky or mostly-zero blocks favor the lossless
+// zero-suppressing zx path; dense smooth blocks need the lossy
+// error-bounded codec to fit memory. Under the "adaptive" policy the
+// arbiter inspects cheap block statistics at every recompression and picks
+// lossless vs. the configured lossy codec independently for each block,
+// with hysteresis so a block sitting near a threshold doesn't thrash
+// between codecs on successive passes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cqs::runtime {
+
+/// Cheap single-pass statistics of one decompressed block (interleaved
+/// re/im doubles). All three signals are scale-free, so the same
+/// thresholds work at any qubit count.
+struct BlockStats {
+  /// Fraction of exact-zero doubles. Sparse early-simulation and
+  /// ancilla-heavy states sit near 1; dense supremacy states near 0.
+  double zero_fraction = 1.0;
+  /// max|x| / mean|x| over the nonzero doubles (1 for uniform-magnitude
+  /// data, 0 when the block is all zeros). The paper's spikiness proxy.
+  double spikiness = 0.0;
+  /// log2(max|x| / min nonzero |x|): dynamic range in bits. 0 when fewer
+  /// than two nonzeros.
+  double dynamic_range = 0.0;
+};
+
+/// One pass over `data` (uses common/stats' RunningStats over |x|).
+BlockStats compute_block_stats(std::span<const double> data);
+
+enum class CodecPolicy {
+  kFixed,     ///< SimConfig::codec for every lossy pass (seed behavior)
+  kAdaptive,  ///< per-block lossless-vs-lossy arbitration
+};
+
+/// Parses "fixed" / "adaptive"; throws std::invalid_argument otherwise.
+CodecPolicy parse_codec_policy(const std::string& name);
+
+/// Thresholds of the adaptive policy (see SimConfig for the knobs' docs).
+/// A block goes lossless when it is decisively sparse (zero fraction), has
+/// essentially uniform nonzero magnitudes (dynamic range in bits — repeated
+/// bit patterns that LZ matching nails and quantization cannot improve), or
+/// is spike-dominated. Everything else goes to the lossy codec, whose
+/// mantissa truncation collapses the ULP-level noise lossless coding must
+/// preserve.
+struct ArbiterConfig {
+  CodecPolicy policy = CodecPolicy::kFixed;
+  double zero_fraction_threshold = 0.75;
+  double dynamic_range_threshold = 1.0;
+  double spikiness_threshold = 1e6;
+  double hysteresis = 0.1;
+};
+
+struct ArbiterStats {
+  std::uint64_t lossless_choices = 0;  ///< passes encoded with lossless zx
+  std::uint64_t lossy_choices = 0;     ///< passes encoded with the lossy codec
+  std::uint64_t switches = 0;  ///< per-block codec flips (post-hysteresis)
+};
+
+class CodecArbiter {
+ public:
+  /// `total_blocks`: number of blocks across all ranks; per-block
+  /// hysteresis state is indexed by rank * blocks_per_rank + block.
+  CodecArbiter(ArbiterConfig config, int total_blocks);
+
+  /// Decides the codec for one compression pass of `global_block` at
+  /// ladder `level`. Level 0 is always lossless; the fixed policy always
+  /// picks the lossy codec above level 0; the adaptive policy computes
+  /// block statistics and applies the hysteresis band. Returns true for
+  /// lossless. Safe to call concurrently for distinct blocks (the
+  /// simulator's parallel_for never hands one block to two workers).
+  bool decide_lossless(int global_block, int level,
+                       std::span<const double> data);
+
+  /// Reinstates a block's last-known codec (checkpoint resume) without
+  /// counting a choice, so hysteresis continues where the saved run was.
+  void seed(int global_block, bool lossless);
+
+  const ArbiterConfig& config() const { return config_; }
+  ArbiterStats stats() const;
+
+ private:
+  static constexpr std::uint8_t kUnset = 2;
+
+  ArbiterConfig config_;
+  /// Last decision per block: 0 = lossy, 1 = lossless, kUnset = no pass
+  /// yet. Plain bytes: distinct blocks are never raced (see
+  /// decide_lossless), and reads/writes of one block stay on one worker.
+  std::vector<std::uint8_t> last_lossless_;
+  std::atomic<std::uint64_t> lossless_choices_{0};
+  std::atomic<std::uint64_t> lossy_choices_{0};
+  std::atomic<std::uint64_t> switches_{0};
+};
+
+}  // namespace cqs::runtime

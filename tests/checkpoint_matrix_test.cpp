@@ -1,0 +1,250 @@
+// Checkpoint cross-version matrix: files written in formats v1, v2, and
+// the current v3 must all resume into a correct simulation. v3
+// additionally round-trips per-block codec ids (mixed adaptive codecs)
+// and the accumulated lossy-pass count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "circuits/grover.hpp"
+#include "circuits/qft.hpp"
+#include "common/bytes.hpp"
+#include "compression/compressor.hpp"
+#include "core/simulator.hpp"
+#include "qsim/state_vector.hpp"
+#include "runtime/checkpoint.hpp"
+#include "test_util.hpp"
+
+namespace cqs {
+namespace {
+
+using core::CompressedStateSimulator;
+using core::SimConfig;
+
+SimConfig matrix_config(int qubits, const std::string& policy = "fixed") {
+  SimConfig config;
+  config.num_qubits = qubits;
+  config.num_ranks = 2;
+  config.blocks_per_rank = 2;
+  config.codec_policy = policy;
+  return config;
+}
+
+/// Partition under which an adaptive lossy Grover-10 run is known to leave
+/// a mixed store: the block holding the data subspace is dense-with-noise
+/// (lossy) while the ancilla blocks stay lossless.
+SimConfig mixed_config(int qubits) {
+  SimConfig config;
+  config.num_qubits = qubits;
+  config.num_ranks = 2;
+  config.blocks_per_rank = 4;
+  config.codec_policy = "adaptive";
+  config.initial_level = 1;
+  return config;
+}
+
+/// Writes a legacy (v1 or v2) checkpoint holding a REAL simulator state:
+/// `raw` chopped into 2 ranks x 2 blocks, each block zx-compressed at
+/// level 0 — exactly what the old writers produced for a lossless run
+/// whose `gates_done` gates of a circuit had been applied.
+void write_legacy_checkpoint(const std::string& path, int version,
+                             const std::vector<double>& raw, int num_qubits,
+                             std::uint64_t gates_done,
+                             std::uint64_t lossy_passes) {
+  Bytes buffer;
+  const char magic[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T',
+                         static_cast<char>('0' + version)};
+  buffer.insert(buffer.end(), reinterpret_cast<const std::byte*>(magic),
+                reinterpret_cast<const std::byte*>(magic) + 8);
+  put_varint(buffer, static_cast<std::uint64_t>(num_qubits));
+  put_varint(buffer, 2);  // num_ranks
+  put_varint(buffer, 2);  // blocks_per_rank
+  put_varint(buffer, 0);  // ladder_level: lossless
+  put_varint(buffer, gates_done);
+  put_scalar(buffer, 1.0);  // fidelity bound
+  if (version >= 2) put_varint(buffer, lossy_passes);
+  const std::string codec_name = "qzc";
+  put_varint(buffer, codec_name.size());
+  for (char ch : codec_name) buffer.push_back(static_cast<std::byte>(ch));
+
+  const auto codec = compression::make_compressor("zstd");
+  const std::size_t doubles_per_block = raw.size() / 4;
+  put_varint(buffer, 2);  // rank count
+  for (int r = 0; r < 2; ++r) {
+    put_varint(buffer, 2);  // blocks in rank
+    for (int b = 0; b < 2; ++b) {
+      const std::size_t base = (r * 2 + b) * doubles_per_block;
+      const Bytes payload = codec->compress(
+          std::span<const double>(raw.data() + base, doubles_per_block),
+          compression::ErrorBound::lossless());
+      buffer.push_back(std::byte{0});  // meta level (no codec byte pre-v3)
+      put_varint(buffer, payload.size());
+      buffer.insert(buffer.end(), payload.begin(), payload.end());
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
+}
+
+using CheckpointMatrixTest = test::TempDirFixture;
+
+TEST_F(CheckpointMatrixTest, V1AndV2FilesResumeCorrectly) {
+  const auto circuit =
+      circuits::qft_circuit({.num_qubits = 8, .random_input = false});
+
+  // Uninterrupted reference run.
+  CompressedStateSimulator full(matrix_config(8));
+  full.apply_circuit(circuit);
+  const auto reference = full.to_raw();
+
+  // The state after the first half, from a real (lossless) run.
+  const std::uint64_t half = circuit.size() / 2;
+  CompressedStateSimulator first(matrix_config(8));
+  qsim::Circuit head(8);
+  for (std::uint64_t i = 0; i < half; ++i) {
+    head.append(circuit.ops()[i]);
+  }
+  first.apply_circuit(head);
+  const auto half_state = first.to_raw();
+
+  for (int version : {1, 2}) {
+    const std::string path =
+        this->path("legacy_v" + std::to_string(version) + ".bin");
+    write_legacy_checkpoint(path, version, half_state, 8, half,
+                            /*lossy_passes=*/0);
+    auto resumed =
+        CompressedStateSimulator::load_checkpoint(path, matrix_config(8));
+    EXPECT_EQ(resumed.gate_cursor(), half) << "v" << version;
+    resumed.resume_circuit(circuit);
+    EXPECT_NEAR(qsim::state_fidelity(resumed.to_raw(), reference), 1.0,
+                1e-10)
+        << "v" << version;
+    CQS_EXPECT_STATES_CLOSE(resumed.to_raw(), reference, 1e-12);
+  }
+}
+
+TEST_F(CheckpointMatrixTest, V2PassCountSurvivesWhereV1Reconstructs) {
+  const std::vector<double> raw(1 << 9, 0.0);  // 8 qubits of zeros
+
+  const std::string v2 = this->path("passes_v2.bin");
+  write_legacy_checkpoint(v2, 2, raw, 8, 0, /*lossy_passes=*/17);
+  EXPECT_EQ(runtime::load_checkpoint(v2).first.lossy_passes, 17u);
+
+  // v1 has no pass field: a bound of 1.0 reconstructs zero passes.
+  const std::string v1 = this->path("passes_v1.bin");
+  write_legacy_checkpoint(v1, 1, raw, 8, 0, /*lossy_passes=*/99);
+  EXPECT_EQ(runtime::load_checkpoint(v1).first.lossy_passes, 0u);
+}
+
+TEST_F(CheckpointMatrixTest, V3RoundTripsMixedPerBlockCodecsAndPasses) {
+  // An adaptive lossy Grover run leaves a genuinely mixed store: the
+  // occupied block goes through qzc while the ancilla blocks stay on the
+  // lossless path. Save (v3) must persist each block's codec id and the
+  // pass count; load must resume both exactly.
+  const auto circuit = circuits::grover_circuit(
+      {.data_qubits = 6, .marked_state = 0b101101, .iterations = 2});
+  SimConfig config = mixed_config(circuit.num_qubits());
+  CompressedStateSimulator sim(config);
+  sim.apply_circuit(circuit);
+  const auto report = sim.report();
+  ASSERT_GT(report.final_lossless_blocks, 0u);
+  ASSERT_GT(report.final_lossy_blocks, 0u) << "state not mixed; the "
+      "fixture circuit no longer exercises mixed codecs";
+
+  const std::string path = this->path("mixed_v3.bin");
+  sim.save_checkpoint(path);
+
+  // Raw reload: per-block codec ids survive byte-for-byte.
+  const auto [header, stores] = runtime::load_checkpoint(path);
+  EXPECT_EQ(header.lossy_passes, report.lossy_passes);
+  std::uint64_t lossless_blocks = 0;
+  std::uint64_t lossy_blocks = 0;
+  for (const auto& store : stores) {
+    for (int b = 0; b < store.num_blocks(); ++b) {
+      if (store.meta(b).codec == compression::kLosslessCodecId) {
+        ++lossless_blocks;
+      } else {
+        EXPECT_EQ(store.meta(b).codec, compression::codec_id("qzc"));
+        ++lossy_blocks;
+      }
+    }
+  }
+  EXPECT_EQ(lossless_blocks, report.final_lossless_blocks);
+  EXPECT_EQ(lossy_blocks, report.final_lossy_blocks);
+
+  // Simulator reload: the mixed store decompresses per-block and the
+  // fidelity ledger continues from the saved passes, not from scratch.
+  auto resumed = CompressedStateSimulator::load_checkpoint(
+      path, mixed_config(circuit.num_qubits()));
+  CQS_EXPECT_STATES_CLOSE(resumed.to_raw(), sim.to_raw(), 0.0);
+  const auto resumed_report = resumed.report();
+  EXPECT_EQ(resumed_report.lossy_passes, report.lossy_passes);
+  EXPECT_DOUBLE_EQ(resumed_report.fidelity_bound, report.fidelity_bound);
+  EXPECT_EQ(resumed_report.final_lossless_blocks,
+            report.final_lossless_blocks);
+}
+
+TEST_F(CheckpointMatrixTest, SplitAdaptiveRunMatchesUninterruptedRun) {
+  // Save mid-circuit under the adaptive policy, resume, and compare with
+  // the uninterrupted run: cursor, codec mix, and state must all agree
+  // bit-exactly (same codec decisions on both paths — the arbiter's
+  // hysteresis is restored from the per-block codec ids).
+  const auto circuit = circuits::grover_circuit(
+      {.data_qubits = 6, .marked_state = 0b110011, .iterations = 2});
+  SimConfig config = mixed_config(circuit.num_qubits());
+  // Per-gate mode: batched runs may not span the save point, so the
+  // batched split run would legitimately recompress at different points
+  // than the uninterrupted one; gate-by-gate the two are bit-comparable.
+  config.enable_run_batching = false;
+
+  CompressedStateSimulator full{config};
+  full.apply_circuit(circuit);
+
+  CompressedStateSimulator first{config};
+  qsim::Circuit head(circuit.num_qubits());
+  const std::uint64_t half = circuit.size() / 2;
+  for (std::uint64_t i = 0; i < half; ++i) {
+    head.append(circuit.ops()[i]);
+  }
+  first.apply_circuit(head);
+  const std::string path = this->path("split_adaptive.bin");
+  first.save_checkpoint(path);
+
+  auto resumed = CompressedStateSimulator::load_checkpoint(path, config);
+  EXPECT_EQ(resumed.gate_cursor(), half);
+  resumed.resume_circuit(circuit);
+  CQS_EXPECT_STATES_CLOSE(resumed.to_raw(), full.to_raw(), 0.0);
+  EXPECT_EQ(resumed.report().final_lossy_blocks,
+            full.report().final_lossy_blocks);
+}
+
+TEST_F(CheckpointMatrixTest, V3RejectsForeignCodecIdAtLoad) {
+  // A v3 block claiming a codec the resume config doesn't hold must fail
+  // loudly at load (decompression runs on worker threads, which cannot
+  // surface the error), not silently misdecode.
+  const auto circuit = circuits::grover_circuit(
+      {.data_qubits = 6, .marked_state = 0b001101, .iterations = 2});
+  CompressedStateSimulator sim(mixed_config(circuit.num_qubits()));
+  sim.apply_circuit(circuit);
+  ASSERT_GT(sim.report().final_lossy_blocks, 0u);
+  const std::string path = this->path("foreign.bin");
+  sim.save_checkpoint(path);
+
+  // Pretend the file came from an sz run: the qzc-compressed payloads
+  // keep their codec id 'qzc', which an sz simulator cannot decode.
+  auto [header, stores] = runtime::load_checkpoint(path);
+  header.codec_name = "sz";
+  const std::string rewritten = this->path("foreign_sz.bin");
+  runtime::save_checkpoint(rewritten, header, stores);
+
+  EXPECT_THROW(CompressedStateSimulator::load_checkpoint(
+                   rewritten, mixed_config(circuit.num_qubits())),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cqs

@@ -5,12 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include "circuits/qaoa.hpp"
 #include "circuits/supremacy.hpp"
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/simulator.hpp"
+#include "qsim/circuit.hpp"
 #include "runtime/block_cache.hpp"
 #include "runtime/block_store.hpp"
 #include "test_util.hpp"
@@ -97,6 +100,137 @@ TEST(ConcurrencyTest, ResultsIdenticalAcrossThreadCounts) {
     } else {
       // tol = 0: results must be bit-identical across thread counts.
       CQS_EXPECT_STATES_CLOSE(raw, reference, 0.0);
+    }
+  }
+}
+
+/// Randomized circuit over all three partition segments: single-qubit
+/// gates (including parameterized rotations), controlled pairs, SWAPs,
+/// and Toffolis on uniformly drawn qubits. Deterministic in `seed`.
+qsim::Circuit random_circuit(int qubits, std::size_t gates,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  qsim::Circuit c(qubits);
+  auto qubit = [&] { return static_cast<int>(rng.next_below(qubits)); };
+  auto distinct_from = [&](int a) {
+    int q = qubit();
+    while (q == a) q = qubit();
+    return q;
+  };
+  for (std::size_t i = 0; i < gates; ++i) {
+    const int target = qubit();
+    switch (rng.next_below(10)) {
+      case 0: c.h(target); break;
+      case 1: c.x(target); break;
+      case 2: c.t(target); break;
+      case 3: c.rz(target, rng.next_double() * 3.0); break;
+      case 4: c.ry(target, rng.next_double() * 3.0); break;
+      case 5: c.cx(distinct_from(target), target); break;
+      case 6: c.cz(distinct_from(target), target); break;
+      case 7: c.cphase(distinct_from(target), target,
+                       rng.next_double() * 3.0); break;
+      case 8: c.swap(distinct_from(target), target); break;
+      default: {
+        const int c0 = distinct_from(target);
+        int c1 = qubit();
+        while (c1 == target || c1 == c0) c1 = qubit();
+        c.ccx(c0, c1, target);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+/// The deterministic subset of a report: everything except wall-clock
+/// times and cache-interleaving artifacts (hit/miss split, compress-call
+/// counts) must be identical across worker counts.
+struct DeterministicReport {
+  std::uint64_t gates, batched_runs, batched_gates, lossy_passes;
+  double fidelity_bound;
+  int final_ladder_level;
+  std::uint64_t final_lossless_blocks, final_lossy_blocks;
+  std::size_t final_lossless_bytes, final_lossy_bytes;
+  bool operator==(const DeterministicReport&) const = default;
+};
+
+DeterministicReport deterministic_fields(const core::SimulationReport& r) {
+  return {r.gates,
+          r.batched_runs,
+          r.batched_gates,
+          r.lossy_passes,
+          r.fidelity_bound,
+          r.final_ladder_level,
+          r.final_lossless_blocks,
+          r.final_lossy_blocks,
+          r.final_lossless_bytes,
+          r.final_lossy_bytes};
+}
+
+TEST(ConcurrencyTest, RandomizedCircuitsBitIdenticalAcrossThreadCounts) {
+  // Randomized circuits x {fixed, adaptive} x {1, 2, hw} worker threads:
+  // states must be bit-identical and the deterministic report fields must
+  // agree — per-block compression is deterministic, blocks are
+  // independent, and (for adaptive) the arbiter's hysteresis follows the
+  // stored codec even across cache hit/miss interleavings.
+  const int hw = static_cast<int>(
+      std::max(2u, std::thread::hardware_concurrency()));
+  for (const std::string policy : {"fixed", "adaptive"}) {
+    for (std::uint64_t seed : {11u, 42u}) {
+      const auto circuit = random_circuit(11, 90, seed);
+      std::vector<double> reference;
+      DeterministicReport reference_report{};
+      for (int threads : {1, 2, hw}) {
+        core::SimConfig config;
+        config.num_qubits = 11;
+        config.num_ranks = 2;
+        config.blocks_per_rank = 8;
+        config.threads = threads;
+        config.initial_level = 2;  // lossy: determinism must still hold
+        config.codec_policy = policy;
+        core::CompressedStateSimulator sim(config);
+        sim.apply_circuit(circuit);
+        const auto report = deterministic_fields(sim.report());
+        const auto raw = sim.to_raw();
+        if (reference.empty()) {
+          reference = raw;
+          reference_report = report;
+        } else {
+          // tol = 0: bit-identical states regardless of worker count.
+          CQS_EXPECT_STATES_CLOSE(raw, reference, 0.0);
+          EXPECT_EQ(report, reference_report)
+              << "policy " << policy << " seed " << seed << " threads "
+              << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(ConcurrencyTest, BudgetEscalationIdenticalAcrossThreadCounts) {
+  // The ladder escalates mid-run under a tight budget; the escalation
+  // point and the resulting state must not depend on the worker count.
+  const auto circuit = random_circuit(10, 60, 7);
+  std::vector<double> reference;
+  DeterministicReport reference_report{};
+  for (int threads : {1, 4}) {
+    core::SimConfig config;
+    config.num_qubits = 10;
+    config.num_ranks = 2;
+    config.blocks_per_rank = 4;
+    config.threads = threads;
+    config.codec_policy = "adaptive";
+    config.memory_budget_bytes = 6 * 1024;
+    core::CompressedStateSimulator sim(config);
+    sim.apply_circuit(circuit);
+    const auto report = deterministic_fields(sim.report());
+    const auto raw = sim.to_raw();
+    if (reference.empty()) {
+      reference = raw;
+      reference_report = report;
+    } else {
+      CQS_EXPECT_STATES_CLOSE(raw, reference, 0.0);
+      EXPECT_EQ(report, reference_report);
     }
   }
 }

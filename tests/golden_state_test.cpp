@@ -1,0 +1,199 @@
+// Golden-state regression suite: exact pinned amplitudes for GHZ-8,
+// QFT-8, and Grover-10 under lossless simulation, and fidelity floors
+// under every lossy codec x ladder level — so codec or scheduler
+// refactors can't silently drift states. Every case runs under both the
+// fixed and the adaptive codec policy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "circuits/grover.hpp"
+#include "circuits/qft.hpp"
+#include "compression/compressor.hpp"
+#include "core/simulator.hpp"
+#include "qsim/circuit.hpp"
+#include "qsim/state_vector.hpp"
+#include "test_util.hpp"
+
+namespace cqs {
+namespace {
+
+using core::CompressedStateSimulator;
+using core::SimConfig;
+
+qsim::Circuit ghz_circuit(int qubits) {
+  qsim::Circuit c(qubits);
+  c.h(0);
+  for (int q = 1; q < qubits; ++q) c.cx(q - 1, q);
+  return c;
+}
+
+SimConfig golden_config(int qubits, const std::string& policy) {
+  SimConfig config;
+  config.num_qubits = qubits;
+  config.num_ranks = 2;
+  config.blocks_per_rank = 4;
+  config.codec_policy = policy;
+  return config;
+}
+
+std::vector<std::complex<double>> run_lossless(const qsim::Circuit& circuit,
+                                               const std::string& policy) {
+  CompressedStateSimulator sim(
+      golden_config(circuit.num_qubits(), policy));
+  sim.apply_circuit(circuit);
+  const auto raw = sim.to_raw();
+  std::vector<std::complex<double>> amps(raw.size() / 2);
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    amps[i] = {raw[2 * i], raw[2 * i + 1]};
+  }
+  return amps;
+}
+
+class GoldenPolicyTest : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(BothPolicies, GoldenPolicyTest,
+                         ::testing::Values("fixed", "adaptive"));
+
+TEST_P(GoldenPolicyTest, Ghz8ExactAmplitudes) {
+  const auto amps = run_lossless(ghz_circuit(8), GetParam());
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  ASSERT_EQ(amps.size(), 256u);
+  EXPECT_NEAR(amps[0].real(), inv_sqrt2, 1e-15);
+  EXPECT_NEAR(amps[255].real(), inv_sqrt2, 1e-15);
+  EXPECT_EQ(amps[0].imag(), 0.0);
+  EXPECT_EQ(amps[255].imag(), 0.0);
+  for (std::size_t i = 1; i < 255; ++i) {
+    // Structural zeros are exact: H and CX never touch these amplitudes.
+    EXPECT_EQ(amps[i], std::complex<double>(0.0, 0.0)) << "index " << i;
+  }
+}
+
+TEST_P(GoldenPolicyTest, Qft8ExactAmplitudes) {
+  // QFT of |0...0> is the uniform superposition with ALL phases +1:
+  // every amplitude is exactly 2^-4 up to rounding of the H cascade.
+  const auto amps = run_lossless(
+      circuits::qft_circuit({.num_qubits = 8, .random_input = false}),
+      GetParam());
+  ASSERT_EQ(amps.size(), 256u);
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    EXPECT_NEAR(amps[i].real(), 0.0625, 1e-14) << "index " << i;
+    EXPECT_NEAR(amps[i].imag(), 0.0, 1e-14) << "index " << i;
+  }
+}
+
+TEST_P(GoldenPolicyTest, Grover10ExactAmplitudes) {
+  // 6 data qubits, marked 0b101101, 2 iterations. The implementation's
+  // diffusion is I - 2|s><s| (the negated textbook reflection), so after
+  // an even iteration count the textbook amplitudes hold verbatim:
+  // amp[m] = sin(5 theta), amp[x != m] = cos(5 theta)/sqrt(63) with
+  // theta = asin(1/8); the ancilla subspace stays (numerically) empty.
+  constexpr std::uint64_t kMarked = 0b101101;
+  const auto amps = run_lossless(
+      circuits::grover_circuit({.data_qubits = 6,
+                                .marked_state = kMarked,
+                                .iterations = 2}),
+      GetParam());
+  ASSERT_EQ(amps.size(), 1024u);
+  const double theta = std::asin(1.0 / 8.0);
+  const double marked = std::sin(5.0 * theta);
+  const double rest = std::cos(5.0 * theta) / std::sqrt(63.0);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const double expected = i == kMarked ? marked : rest;
+    EXPECT_NEAR(amps[i].real(), expected, 1e-12) << "index " << i;
+    EXPECT_NEAR(amps[i].imag(), 0.0, 1e-12) << "index " << i;
+  }
+  for (std::size_t i = 64; i < amps.size(); ++i) {
+    // Ancilla uncompute leaves at most fused-gate rounding residue.
+    EXPECT_NEAR(std::abs(amps[i]), 0.0, 1e-12) << "index " << i;
+  }
+}
+
+TEST_P(GoldenPolicyTest, PoliciesAgreeBitExactlyWhenLossless) {
+  // At level 0 the arbiter has no freedom: both policies must produce the
+  // same bytes and the same state.
+  for (const auto& circuit :
+       {ghz_circuit(8),
+        circuits::qft_circuit({.num_qubits = 8, .random_input = false})}) {
+    CompressedStateSimulator fixed(golden_config(8, "fixed"));
+    CompressedStateSimulator adaptive(golden_config(8, "adaptive"));
+    fixed.apply_circuit(circuit);
+    adaptive.apply_circuit(circuit);
+    CQS_EXPECT_STATES_CLOSE(fixed.to_raw(), adaptive.to_raw(), 0.0);
+  }
+}
+
+// --- Fidelity floors under each lossy codec x ladder level ---------------
+
+struct LossyCase {
+  std::string codec;
+  int level;
+};
+
+class GoldenLossyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLossyCodecsAllLevels, GoldenLossyTest,
+    ::testing::Combine(::testing::Values("qzc", "qzc-shuffle", "sz",
+                                         "sz-complex", "zfp", "fpzip"),
+                       ::testing::Values(1, 3, 5)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name + "_level" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(GoldenLossyTest, FidelityFloorsHoldUnderBothPolicies) {
+  const auto [codec, level] = GetParam();
+  const auto circuits = {
+      std::pair{std::string("ghz8"), ghz_circuit(8)},
+      std::pair{std::string("qft8"),
+                circuits::qft_circuit({.num_qubits = 8,
+                                       .random_input = false})},
+      std::pair{std::string("grover10"),
+                circuits::grover_circuit({.data_qubits = 6,
+                                          .marked_state = 0b101101,
+                                          .iterations = 2})},
+  };
+  for (const auto& [name, circuit] : circuits) {
+    const auto reference = run_lossless(circuit, "fixed");
+    std::vector<double> reference_raw(reference.size() * 2);
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      reference_raw[2 * i] = reference[i].real();
+      reference_raw[2 * i + 1] = reference[i].imag();
+    }
+    for (const std::string policy : {"fixed", "adaptive"}) {
+      SimConfig config = golden_config(circuit.num_qubits(), policy);
+      config.codec = codec;
+      config.initial_level = level;
+      CompressedStateSimulator sim(config);
+      sim.apply_circuit(circuit);
+      const auto report = sim.report();
+      const double fidelity =
+          qsim::state_fidelity(sim.to_raw(), reference_raw);
+      // Eq. 11's guarantee is the floor every refactor must preserve:
+      // measured fidelity never dips below the tracked bound.
+      EXPECT_GE(fidelity, report.fidelity_bound - 1e-12)
+          << name << " codec " << codec << " level " << level << " policy "
+          << policy;
+      // Pinned measured-fidelity floors (values observed at pin time held
+      // comfortable margins: worst cases 0.99995 / 0.9942 / 0.6700): a
+      // codec or scheduler change that degrades reconstruction accuracy
+      // trips these long before the worst-case bound does.
+      const double floor = level == 1 ? 0.999 : level == 3 ? 0.99 : 0.6;
+      EXPECT_GE(fidelity, floor)
+          << name << " codec " << codec << " level " << level << " policy "
+          << policy;
+      EXPECT_GT(report.fidelity_bound, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cqs

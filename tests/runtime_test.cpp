@@ -293,10 +293,11 @@ TEST_F(CheckpointTest, RoundTrip) {
   }
 }
 
-TEST_F(CheckpointTest, BlockMetaLevelSurvivesRoundTrip) {
+TEST_F(CheckpointTest, BlockMetaLevelAndCodecSurviveRoundTrip) {
   // Every distinct ladder level — including the full uint8 range ends and
-  // empty payloads — must survive save/load unchanged; a block's level is
-  // what tells the loader which codec path decompresses it.
+  // empty payloads — and every per-block codec id must survive save/load
+  // unchanged; a block's codec id is what tells the loader which codec
+  // decompresses it (format v3).
   const std::string path = this->path("levels.bin");
   CheckpointHeader header;
   header.num_qubits = 8;
@@ -305,11 +306,12 @@ TEST_F(CheckpointTest, BlockMetaLevelSurvivesRoundTrip) {
   header.codec_name = "qzc";
 
   const std::uint8_t levels[] = {0, 1, 2, 5, 254, 255};
+  const std::uint8_t codecs[] = {0, 3, 0, 3, 1, 6};  // deliberately mixed
   std::vector<BlockStore> ranks(1, BlockStore(6));
   for (int b = 0; b < 6; ++b) {
     // Block 3 is deliberately empty: meta must survive payload-free blocks.
     Bytes payload(b == 3 ? 0 : 4 + b, static_cast<std::byte>(b));
-    ranks[0].set_block(b, std::move(payload), {levels[b]});
+    ranks[0].set_block(b, std::move(payload), {levels[b], codecs[b]});
   }
   save_checkpoint(path, header, ranks);
 
@@ -318,6 +320,7 @@ TEST_F(CheckpointTest, BlockMetaLevelSurvivesRoundTrip) {
   ASSERT_EQ(loaded_ranks[0].num_blocks(), 6);
   for (int b = 0; b < 6; ++b) {
     EXPECT_EQ(loaded_ranks[0].meta(b).level, levels[b]) << "block " << b;
+    EXPECT_EQ(loaded_ranks[0].meta(b).codec, codecs[b]) << "block " << b;
     EXPECT_EQ(loaded_ranks[0].block(b), ranks[0].block(b)) << "block " << b;
   }
   EXPECT_EQ(loaded_ranks[0].total_bytes(), ranks[0].total_bytes());
@@ -382,6 +385,9 @@ TEST_F(CheckpointTest, ReadsVersion1CheckpointsWithoutPassCount) {
   EXPECT_EQ(lossy_header.codec_name, "qzc");
   ASSERT_EQ(lossy_stores.size(), 1u);
   EXPECT_EQ(lossy_stores[0].block(0).size(), 3u);
+  // Pre-v3 blocks derive their codec id from the level: level 1 was by
+  // construction compressed with the header codec ("qzc").
+  EXPECT_EQ(lossy_stores[0].meta(0).codec, 3);
 
   // A lossless v1 checkpoint has no lossy history at all.
   const std::string lossless = this->path("v1_lossless.bin");
