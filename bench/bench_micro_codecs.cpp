@@ -1,13 +1,27 @@
-// google-benchmark micro suite over every codec in the repository:
-// compression and decompression throughput on the qaoa_18 snapshot and on
-// an early-simulation sparse state, at a representative relative bound.
+// Codec hot-path micro benchmark, two modes:
+//
+//   (default)      google-benchmark suite over every registry codec:
+//                  compression and decompression throughput on the qaoa_18
+//                  snapshot and an early-simulation sparse state, in both
+//                  the scratch-less and the scratch-pooled (steady-state
+//                  hot path) variants.
+//
+//   --json PATH    CI gate: verifies every golden-blob digest (the
+//                  unchanged-bitstream guarantee) through BOTH compress
+//                  paths, measures scratch-path round-trip rates, writes
+//                  the measurements as a JSON artifact, and exits nonzero
+//                  on any hash drift.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "circuits/datasets.hpp"
-#include "compression/compressor.hpp"
+#include "compression/codec_scratch.hpp"
+#include "compression/golden_blobs.hpp"
 
 namespace {
 
@@ -41,6 +55,24 @@ void BM_Compress(benchmark::State& state, const std::string& name,
       static_cast<double>(compressed_size);
 }
 
+void BM_CompressScratch(benchmark::State& state, const std::string& name,
+                        const std::vector<double>& data) {
+  const auto codec = compression::make_compressor(name);
+  const auto bound = bound_for(*codec);
+  compression::CodecScratch scratch;
+  std::size_t compressed_size = 0;
+  for (auto _ : state) {
+    const auto compressed = codec->compress(data, bound, scratch);
+    compressed_size = compressed.size();
+    benchmark::DoNotOptimize(compressed.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size() * 8));
+  state.counters["ratio"] =
+      static_cast<double>(data.size() * 8) /
+      static_cast<double>(compressed_size);
+}
+
 void BM_Decompress(benchmark::State& state, const std::string& name,
                    const std::vector<double>& data) {
   const auto codec = compression::make_compressor(name);
@@ -54,16 +86,150 @@ void BM_Decompress(benchmark::State& state, const std::string& name,
                           static_cast<std::int64_t>(data.size() * 8));
 }
 
+void BM_DecompressScratch(benchmark::State& state, const std::string& name,
+                          const std::vector<double>& data) {
+  const auto codec = compression::make_compressor(name);
+  const auto compressed = codec->compress(data, bound_for(*codec));
+  compression::CodecScratch scratch;
+  std::vector<double> out(data.size());
+  for (auto _ : state) {
+    codec->decompress(compressed, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size() * 8));
+}
+
+// ---- --json CI mode ------------------------------------------------------
+
+struct RateRow {
+  std::string codec;
+  std::string dataset;
+  double compress_mb_per_s = 0.0;
+  double decompress_mb_per_s = 0.0;
+  double ratio = 0.0;
+};
+
+/// Scratch-path round trip through bench_util's shared timing protocol,
+/// with one warm pass so the pools reach their steady state first.
+RateRow measure_scratch_rate(const std::string& name,
+                             const std::string& dataset,
+                             std::span<const double> data) {
+  const auto codec = compression::make_compressor(name);
+  const auto bound = bound_for(*codec);
+  compression::CodecScratch scratch;
+  {
+    const Bytes warm = codec->compress(data, bound, scratch);
+    std::vector<double> out(data.size());
+    codec->decompress(warm, out, scratch);
+  }
+  const bench::RateResult rate = bench::measure_rate_with(
+      data, [&] { return codec->compress(data, bound, scratch); },
+      [&](const Bytes& compressed, std::span<double> out) {
+        codec->decompress(compressed, out, scratch);
+      },
+      /*repeats=*/5);
+  return {name, dataset, rate.compress_mb_per_s, rate.decompress_mb_per_s,
+          rate.ratio};
+}
+
+int run_ci_gate(const std::string& json_path) {
+  bench::print_header(
+      "Codec micro bench: golden-blob drift gate + scratch-path rates");
+
+  // 1. The unchanged-bitstream guarantee, through both compress paths.
+  int drifted = 0;
+  compression::CodecScratch scratch;
+  for (const auto& blob : compression::kGoldenBlobs) {
+    const std::string plain = compression::golden_blob_hash(blob);
+    const std::string pooled = compression::golden_blob_hash(blob, &scratch);
+    if (plain != blob.sha256 || pooled != blob.sha256) {
+      std::fprintf(stderr,
+                   "DRIFT %s/%s/%s: want %s got %s (scratch %s)\n",
+                   blob.codec, blob.mode, blob.fixture, blob.sha256,
+                   plain.c_str(), pooled.c_str());
+      ++drifted;
+    }
+  }
+  std::printf("golden blobs: %d drifted of %zu\n", drifted,
+              std::size(compression::kGoldenBlobs));
+
+  // 2. Scratch-path throughput per codec on the two standard datasets.
+  std::vector<RateRow> rows;
+  for (const auto& name : compression::compressor_names()) {
+    rows.push_back(measure_scratch_rate(name, "qaoa18", bench::qaoa_data()));
+    rows.push_back(measure_scratch_rate(name, "sparse", sparse_data()));
+  }
+  std::printf("%-12s %-8s %12s %12s %8s\n", "codec", "dataset",
+              "comp MB/s", "decomp MB/s", "ratio");
+  for (const auto& row : rows) {
+    std::printf("%-12s %-8s %12.1f %12.1f %8.2f\n", row.codec.c_str(),
+                row.dataset.c_str(), row.compress_mb_per_s,
+                row.decompress_mb_per_s, row.ratio);
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+  std::fprintf(f, "{\n  \"golden_blobs_total\": %zu,\n",
+               std::size(compression::kGoldenBlobs));
+  std::fprintf(f, "  \"golden_blobs_drifted\": %d,\n", drifted);
+  std::fprintf(f, "  \"rates\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    std::fprintf(f,
+                 "    {\"codec\": \"%s\", \"dataset\": \"%s\", "
+                 "\"compress_mb_per_s\": %.1f, "
+                 "\"decompress_mb_per_s\": %.1f, \"ratio\": %.3f}%s\n",
+                 row.codec.c_str(), row.dataset.c_str(),
+                 row.compress_mb_per_s, row.decompress_mb_per_s, row.ratio,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (drifted > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d compressed bitstream(s) drifted from the golden "
+                 "digests — checkpoints and cache keys would break\n",
+                 drifted);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json needs a value\n");
+        return 2;
+      }
+      return run_ci_gate(argv[i + 1]);
+    }
+  }
+
   for (const auto& name : compression::compressor_names()) {
     benchmark::RegisterBenchmark(("compress/" + name + "/qaoa18").c_str(),
                                  BM_Compress, name, bench::qaoa_data());
+    benchmark::RegisterBenchmark(
+        ("compress-scratch/" + name + "/qaoa18").c_str(), BM_CompressScratch,
+        name, bench::qaoa_data());
     benchmark::RegisterBenchmark(("decompress/" + name + "/qaoa18").c_str(),
                                  BM_Decompress, name, bench::qaoa_data());
+    benchmark::RegisterBenchmark(
+        ("decompress-scratch/" + name + "/qaoa18").c_str(),
+        BM_DecompressScratch, name, bench::qaoa_data());
     benchmark::RegisterBenchmark(("compress/" + name + "/sparse").c_str(),
                                  BM_Compress, name, sparse_data());
+    benchmark::RegisterBenchmark(
+        ("compress-scratch/" + name + "/sparse").c_str(), BM_CompressScratch,
+        name, sparse_data());
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

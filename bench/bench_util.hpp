@@ -41,10 +41,13 @@ struct RateResult {
 
 /// Times one compress + decompress round trip (single core, like the
 /// paper's Figure 11) over `repeats` runs, reporting the best rate.
-inline RateResult measure_rate(const compression::Compressor& codec,
-                               std::span<const double> data,
-                               const compression::ErrorBound& bound,
-                               int repeats = 3) {
+/// `compress_fn()` returns the container; `decompress_fn(container, out)`
+/// reverses it — the one timing protocol behind the figure benches and
+/// the micro-codec CI gate.
+template <typename CompressFn, typename DecompressFn>
+RateResult measure_rate_with(std::span<const double> data,
+                             CompressFn&& compress_fn,
+                             DecompressFn&& decompress_fn, int repeats = 3) {
   using clock = std::chrono::steady_clock;
   const double megabytes =
       static_cast<double>(data.size() * sizeof(double)) / (1024.0 * 1024.0);
@@ -52,7 +55,7 @@ inline RateResult measure_rate(const compression::Compressor& codec,
   Bytes compressed;
   for (int r = 0; r < repeats; ++r) {
     const auto t0 = clock::now();
-    compressed = codec.compress(data, bound);
+    compressed = compress_fn();
     const auto t1 = clock::now();
     const double secs = std::chrono::duration<double>(t1 - t0).count();
     result.compress_mb_per_s =
@@ -61,7 +64,7 @@ inline RateResult measure_rate(const compression::Compressor& codec,
   std::vector<double> out(data.size());
   for (int r = 0; r < repeats; ++r) {
     const auto t0 = clock::now();
-    codec.decompress(compressed, out);
+    decompress_fn(compressed, std::span<double>(out));
     const auto t1 = clock::now();
     const double secs = std::chrono::duration<double>(t1 - t0).count();
     result.decompress_mb_per_s =
@@ -69,6 +72,18 @@ inline RateResult measure_rate(const compression::Compressor& codec,
   }
   result.ratio = ratio_of(data, compressed.size());
   return result;
+}
+
+inline RateResult measure_rate(const compression::Compressor& codec,
+                               std::span<const double> data,
+                               const compression::ErrorBound& bound,
+                               int repeats = 3) {
+  return measure_rate_with(
+      data, [&] { return codec.compress(data, bound); },
+      [&](const Bytes& compressed, std::span<double> out) {
+        codec.decompress(compressed, out);
+      },
+      repeats);
 }
 
 /// The error-bound sweep every compression figure uses.

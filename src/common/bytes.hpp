@@ -2,6 +2,7 @@
 // LEB128 varints, fixed-width little-endian scalar I/O, and FNV-1a hashing.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -10,6 +11,14 @@
 #include <vector>
 
 namespace cqs {
+
+// put_scalar/get_scalar memcpy host-order scalars into byte streams that
+// checkpoints and golden-blob hashes treat as little-endian. A big-endian
+// host would silently produce incompatible containers, so refuse to build
+// there until an explicit byteswap path exists.
+static_assert(std::endian::native == std::endian::little,
+              "cqs: scalar byte I/O assumes a little-endian host; "
+              "port put_scalar/get_scalar before building on this target");
 
 using Bytes = std::vector<std::byte>;
 using ByteSpan = std::span<const std::byte>;

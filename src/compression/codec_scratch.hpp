@@ -1,0 +1,75 @@
+// CodecScratch: per-worker pooled working state for the codec hot path.
+// One instance per worker thread (owned by runtime::ScratchArena) is
+// threaded through Compressor::compress/decompress so that in the steady
+// state a full block codec round allocates nothing: the LZ77 hash chains,
+// token/entropy staging buffers, Huffman coder pairs, qzc's deinterleave
+// plane and split streams, and sz's quantization vectors all live here and
+// are reused pass over pass. Buffers only grow, so bytes() converges to
+// the per-worker high-water mark — the term the report adds to the Eq. 8
+// memory footprint alongside the ScratchArena block buffers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "lossless/huffman.hpp"
+#include "lossless/zx.hpp"
+
+namespace cqs::compression {
+
+struct CodecScratch {
+  /// Shared by every codec that ends in the zx lossless stage.
+  lossless::ZxScratch zx;
+
+  /// Final container staging: compress() builds here, then returns one
+  /// exact-sized copy (the single allocation a compress call may make).
+  Bytes packed;
+
+  /// Inner stream staging (qzc's code+payload streams, sz's pre-zx inner,
+  /// fpzip's residuals, zfp's side channels, and the decompressed inner on
+  /// the way back).
+  Bytes inner;
+
+  /// qzc: leading-same-byte code stream and differing-byte payload.
+  /// zfp reuses them for its relative-mode inner container and sides.
+  Bytes codes;
+  Bytes payload;
+
+  /// Double-valued staging: qzc's deinterleave plane, sz/zfp's log plane.
+  std::vector<double> values;
+
+  /// sz: quantization codes, outlier values, Huffman symbol counts.
+  std::vector<std::uint32_t> quant_codes;
+  std::vector<double> outliers;
+  std::vector<std::uint64_t> counts;
+
+  /// Relative-mode side channels (sz and zfp): sign mask, special mask,
+  /// and the verbatim special values.
+  std::vector<bool> mask_a;
+  std::vector<bool> mask_b;
+  Bytes special_bytes;
+  std::vector<double> special_values;
+
+  /// sz quantization-code Huffman pair (alphabet = quantization bins;
+  /// distinct from the byte-alphabet pair inside `zx`).
+  lossless::HuffmanEncoder huff_encoder;
+  lossless::HuffmanDecoder huff_decoder;
+
+  /// Bytes held across calls — the scratch-pool share of the Eq. 8
+  /// footprint (vector<bool> packs 1 bit per element).
+  std::size_t bytes() const {
+    return zx.bytes() + packed.capacity() + inner.capacity() +
+           codes.capacity() + payload.capacity() +
+           values.capacity() * sizeof(double) +
+           quant_codes.capacity() * sizeof(std::uint32_t) +
+           outliers.capacity() * sizeof(double) +
+           counts.capacity() * sizeof(std::uint64_t) +
+           mask_a.capacity() / 8 + mask_b.capacity() / 8 +
+           special_bytes.capacity() +
+           special_values.capacity() * sizeof(double) +
+           huff_encoder.bytes() + huff_decoder.bytes();
+  }
+};
+
+}  // namespace cqs::compression

@@ -32,6 +32,11 @@ struct ErrorBound {
   }
 };
 
+/// Per-worker pooled codec working state (codec_scratch.hpp). Forward
+/// declared so the interface stays light; only scratch-aware codecs and
+/// hot-path callers include the definition.
+struct CodecScratch;
+
 class Compressor {
  public:
   virtual ~Compressor() = default;
@@ -49,6 +54,24 @@ class Compressor {
   /// (recorded in the container and queryable via element_count).
   virtual void decompress(ByteSpan compressed,
                           std::span<double> out) const = 0;
+
+  /// Scratch-aware overloads for hot-path callers that hold a per-worker
+  /// CodecScratch: the bitstream is byte-identical to the scratch-less
+  /// path, but pooled codecs reach a zero-allocation steady state (the
+  /// returned payload being compress()'s single, exact-sized allocation).
+  /// Defaults forward to the scratch-less virtuals so codecs without
+  /// pooled state — and external callers — need no changes.
+  virtual Bytes compress(std::span<const double> data, const ErrorBound& bound,
+                         CodecScratch& scratch) const {
+    (void)scratch;
+    return compress(data, bound);
+  }
+
+  virtual void decompress(ByteSpan compressed, std::span<double> out,
+                          CodecScratch& scratch) const {
+    (void)scratch;
+    decompress(compressed, out);
+  }
 
   /// Element count recorded in a container produced by this codec.
   virtual std::size_t element_count(ByteSpan compressed) const = 0;

@@ -15,6 +15,10 @@ class ZxCodec final : public Compressor {
   Bytes compress(std::span<const double> data,
                  const ErrorBound& bound) const override;
   void decompress(ByteSpan compressed, std::span<double> out) const override;
+  Bytes compress(std::span<const double> data, const ErrorBound& bound,
+                 CodecScratch& scratch) const override;
+  void decompress(ByteSpan compressed, std::span<double> out,
+                  CodecScratch& scratch) const override;
   std::size_t element_count(ByteSpan compressed) const override;
 };
 

@@ -59,7 +59,12 @@ void SimulationReport::print(std::ostream& os) const {
      << " gates/run)\n"
      << "codec invocations:   " << compress_invocations << " compress / "
      << decompress_invocations << " decompress\n"
-     << std::setprecision(4) << "fidelity bound:      " << fidelity_bound
+     << std::setprecision(4) << "codec time:          compress "
+     << lossless_compress_seconds << " s lossless / "
+     << lossy_compress_seconds << " s lossy; decompress "
+     << lossless_decompress_seconds << " s lossless / "
+     << lossy_decompress_seconds << " s lossy\n"
+     << "fidelity bound:      " << fidelity_bound
      << " (" << lossy_passes << " lossy passes, final level "
      << final_ladder_level << ")\n"
      << std::setprecision(2) << "min compression:     "

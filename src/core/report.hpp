@@ -54,6 +54,24 @@ struct SimulationReport {
   std::uint64_t compress_invocations = 0;    ///< codec compress calls
   std::uint64_t decompress_invocations = 0;  ///< codec decompress calls
 
+  // Codec hot-path attribution: invocations and wall seconds split by
+  // codec class (lossless zx vs the configured lossy codec), so benches
+  // can attribute (de)compression time per codec. Counts are deterministic
+  // across worker counts when the block cache is off (cache hits skip
+  // codec calls, and hit/miss splits depend on interleaving); the seconds
+  // are wall-clock measurements.
+  std::uint64_t lossless_compress_invocations = 0;
+  std::uint64_t lossy_compress_invocations = 0;
+  std::uint64_t lossless_decompress_invocations = 0;
+  std::uint64_t lossy_decompress_invocations = 0;
+  double lossless_compress_seconds = 0.0;
+  double lossy_compress_seconds = 0.0;
+  double lossless_decompress_seconds = 0.0;
+  double lossy_decompress_seconds = 0.0;
+  /// Share of scratch_bytes held by the per-worker codec pools
+  /// (CodecScratch high-water marks; the rest is the block buffers).
+  std::size_t codec_scratch_bytes = 0;
+
   // Fidelity.
   double fidelity_bound = 1.0;
   std::uint64_t lossy_passes = 0;

@@ -175,6 +175,7 @@ CompressedStateSimulator::CompressedStateSimulator(SimConfig config)
       config_.threads > 0 ? static_cast<std::size_t>(config_.threads) : 0;
   pool_ = std::make_unique<ThreadPool>(threads);
   worker_timers_.resize(pool_->size());
+  codec_stats_.resize(pool_->size());
   scratch_ = std::make_unique<runtime::ScratchArena>(
       pool_->size(), partition_.doubles_per_block());
   comm_ = std::make_unique<runtime::Comm>(partition_.num_ranks());
@@ -194,11 +195,9 @@ void CompressedStateSimulator::init_blocks() {
   // is structurally identical at t=0), then the per-block hysteresis state
   // is seeded so the arbiter remembers each block's starting codec.
   std::vector<double> zeros(partition_.doubles_per_block(), 0.0);
-  auto [zero_payload, zero_meta] =
-      encode_block(zeros, level_, 0, 0, worker_timers_[0]);
+  auto [zero_payload, zero_meta] = encode_block(zeros, level_, 0, 0, 0);
   zeros[0] = 1.0;
-  auto [one_payload, one_meta] =
-      encode_block(zeros, level_, 0, 0, worker_timers_[0]);
+  auto [one_payload, one_meta] = encode_block(zeros, level_, 0, 0, 0);
 
   for (int r = 0; r < partition_.num_ranks(); ++r) {
     for (int b = 0; b < partition_.blocks_per_rank(); ++b) {
@@ -214,38 +213,57 @@ void CompressedStateSimulator::init_blocks() {
 
 std::pair<Bytes, runtime::BlockMeta> CompressedStateSimulator::encode_block(
     std::span<const double> data, int level, int rank, int block,
-    PhaseTimers& timers) const {
-  ScopedPhase phase(timers, Phase::kCompression);
+    std::size_t worker) const {
+  ScopedPhase phase(worker_timers_[worker], Phase::kCompression);
   compress_calls_.bump();
   const bool lossless =
       arbiter_->decide_lossless(global_block(rank, block), level, data);
   runtime::BlockMeta meta{static_cast<std::uint8_t>(level),
                           lossless ? compression::kLosslessCodecId
                                    : lossy_codec_id_};
+  auto& scratch = scratch_->codec_scratch(worker);
+  auto& stats = codec_stats_[worker];
+  WallTimer codec_timer;
   Bytes payload =
       lossless
-          ? lossless_->compress(data, ErrorBound::lossless())
+          ? lossless_->compress(data, ErrorBound::lossless(), scratch)
           : lossy_->compress(
-                data, ErrorBound::relative(config_.error_ladder[level - 1]));
+                data, ErrorBound::relative(config_.error_ladder[level - 1]),
+                scratch);
+  const double seconds = codec_timer.seconds();
+  if (lossless) {
+    stats.lossless_compress_seconds += seconds;
+    ++stats.lossless_compress_calls;
+  } else {
+    stats.lossy_compress_seconds += seconds;
+    ++stats.lossy_compress_calls;
+  }
   return {std::move(payload), meta};
 }
 
 void CompressedStateSimulator::decompress_block(int rank, int block,
                                                 std::span<double> out,
-                                                PhaseTimers& timers) const {
+                                                std::size_t worker) const {
   const auto& store = ranks_[rank];
-  decompress_payload(store.block(block), store.meta(block), out, timers);
+  decompress_payload(store.block(block), store.meta(block), out, worker);
 }
 
 void CompressedStateSimulator::decompress_payload(
     ByteSpan payload, const runtime::BlockMeta& meta, std::span<double> out,
-    PhaseTimers& timers) const {
-  ScopedPhase phase(timers, Phase::kDecompression);
+    std::size_t worker) const {
+  ScopedPhase phase(worker_timers_[worker], Phase::kDecompression);
   decompress_calls_.bump();
+  auto& scratch = scratch_->codec_scratch(worker);
+  auto& stats = codec_stats_[worker];
+  WallTimer codec_timer;
   if (meta.codec == compression::kLosslessCodecId) {
-    lossless_->decompress(payload, out);
+    lossless_->decompress(payload, out, scratch);
+    stats.lossless_decompress_seconds += codec_timer.seconds();
+    ++stats.lossless_decompress_calls;
   } else if (meta.codec == lossy_codec_id_) {
-    lossy_->decompress(payload, out);
+    lossy_->decompress(payload, out, scratch);
+    stats.lossy_decompress_seconds += codec_timer.seconds();
+    ++stats.lossy_decompress_calls;
   } else {
     throw std::runtime_error(
         "simulator: block codec id " + std::to_string(meta.codec) +
@@ -510,7 +528,7 @@ void CompressedStateSimulator::process_single(const GateRouting& routing,
   }
 
   auto vx = scratch_->vector_x(worker);
-  decompress_block(rank, block, vx, timers);
+  decompress_block(rank, block, vx, worker);
   {
     ScopedPhase phase(timers, Phase::kComputation);
     auto* amps = as_complex(vx);
@@ -537,7 +555,7 @@ void CompressedStateSimulator::process_single(const GateRouting& routing,
     }
   }
   auto [compressed, meta] =
-      encode_block(vx, routing.level, rank, block, timers);
+      encode_block(vx, routing.level, rank, block, worker);
   if (cache != nullptr && cache->enabled()) {
     cache->insert(key, compressed, {}, meta.codec);
   }
@@ -637,7 +655,7 @@ void CompressedStateSimulator::process_run_single(const RunPlan& plan,
   }
 
   auto vx = scratch_->vector_x(worker);
-  decompress_block(rank, block, vx, timers);
+  decompress_block(rank, block, vx, worker);
   {
     ScopedPhase phase(timers, Phase::kComputation);
     auto* amps = as_complex(vx);
@@ -647,7 +665,7 @@ void CompressedStateSimulator::process_run_single(const RunPlan& plan,
                           kernel.target_bit, kernel.ctrl_mask);
     }
   }
-  auto [compressed, meta] = encode_block(vx, plan.level, rank, block, timers);
+  auto [compressed, meta] = encode_block(vx, plan.level, rank, block, worker);
   if (cache != nullptr && cache->enabled()) {
     cache->insert(key, compressed, {}, meta.codec);
   }
@@ -715,13 +733,13 @@ void CompressedStateSimulator::process_pair(const GateRouting& routing,
   if (!hit) {
     auto vx = scratch_->vector_x(worker);
     auto vy = scratch_->vector_y(worker);
-    decompress_block(rank_a, block_a, vx, timers);
+    decompress_block(rank_a, block_a, vx, worker);
     if (cross_rank) {
       // Decompress the partner's block from the bytes that came over the
       // wire — the exchanged payload is the data this rank computes on.
-      decompress_payload(received_b, store_b.meta(block_b), vy, timers);
+      decompress_payload(received_b, store_b.meta(block_b), vy, worker);
     } else {
-      decompress_block(rank_b, block_b, vy, timers);
+      decompress_block(rank_b, block_b, vy, worker);
     }
     {
       ScopedPhase phase(timers, Phase::kComputation);
@@ -738,9 +756,9 @@ void CompressedStateSimulator::process_pair(const GateRouting& routing,
       }
     }
     auto [ca, meta_a] =
-        encode_block(vx, routing.level, rank_a, block_a, timers);
+        encode_block(vx, routing.level, rank_a, block_a, worker);
     auto [cb, meta_b] =
-        encode_block(vy, routing.level, rank_b, block_b, timers);
+        encode_block(vy, routing.level, rank_b, block_b, worker);
     if (cache != nullptr && cache->enabled()) {
       cache->insert(key, ca, cb, meta_a.codec, meta_b.codec);
     }
@@ -789,9 +807,9 @@ std::uint64_t CompressedStateSimulator::recompress_all(int new_level) {
     const int rank = static_cast<int>(i) / partition_.blocks_per_rank();
     const int block = static_cast<int>(i) % partition_.blocks_per_rank();
     auto vx = scratch_->vector_x(worker);
-    decompress_block(rank, block, vx, worker_timers_[worker]);
+    decompress_block(rank, block, vx, worker);
     auto [compressed, meta] =
-        encode_block(vx, new_level, rank, block, worker_timers_[worker]);
+        encode_block(vx, new_level, rank, block, worker);
     if (meta.codec != compression::kLosslessCodecId) {
       lossy_blocks.fetch_add(1, std::memory_order_relaxed);
     }
@@ -822,8 +840,7 @@ double CompressedStateSimulator::probability_one(int qubit) {
   }
   pool_->parallel_for(units.size(), [&](std::size_t i, std::size_t worker) {
     auto vx = scratch_->vector_x(worker);
-    decompress_block(units[i].first, units[i].second, vx,
-                     worker_timers_[worker]);
+    decompress_block(units[i].first, units[i].second, vx, worker);
     const auto* amps = as_complex(vx);
     const std::uint64_t count = partition_.amplitudes_per_block();
     double sum = 0.0;
@@ -851,7 +868,7 @@ double CompressedStateSimulator::norm() {
     const int rank = static_cast<int>(i) / partition_.blocks_per_rank();
     const int block = static_cast<int>(i) % partition_.blocks_per_rank();
     auto vx = scratch_->vector_x(worker);
-    decompress_block(rank, block, vx, worker_timers_[worker]);
+    decompress_block(rank, block, vx, worker);
     const auto* amps = as_complex(vx);
     double sum = 0.0;
     for (std::uint64_t k = 0; k < partition_.amplitudes_per_block(); ++k) {
@@ -879,7 +896,7 @@ std::vector<double> CompressedStateSimulator::to_raw() {
     decompress_block(rank, block,
                      std::span<double>(out.data() + base,
                                        partition_.doubles_per_block()),
-                     worker_timers_[worker]);
+                     worker);
   });
   return out;
 }
@@ -924,7 +941,7 @@ double CompressedStateSimulator::expectation_pauli_z(
          std::popcount(static_cast<unsigned>(rank & rank_mask))) &
         1;
     auto vx = scratch_->vector_x(worker);
-    decompress_block(rank, block, vx, worker_timers_[worker]);
+    decompress_block(rank, block, vx, worker);
     const auto* amps = as_complex(vx);
     double sum = 0.0;
     for (std::uint64_t k = 0; k < partition_.amplitudes_per_block(); ++k) {
@@ -949,7 +966,7 @@ std::uint64_t CompressedStateSimulator::sample(Rng& rng) {
     const int rank = static_cast<int>(i) / partition_.blocks_per_rank();
     const int block = static_cast<int>(i) % partition_.blocks_per_rank();
     auto vx = scratch_->vector_x(worker);
-    decompress_block(rank, block, vx, worker_timers_[worker]);
+    decompress_block(rank, block, vx, worker);
     const auto* amps = as_complex(vx);
     double sum = 0.0;
     for (std::uint64_t k = 0; k < partition_.amplitudes_per_block(); ++k) {
@@ -973,7 +990,7 @@ std::uint64_t CompressedStateSimulator::sample(Rng& rng) {
   const int rank = static_cast<int>(chosen) / partition_.blocks_per_rank();
   const int block = static_cast<int>(chosen) % partition_.blocks_per_rank();
   auto vx = scratch_->vector_x(0);
-  decompress_block(rank, block, vx, worker_timers_[0]);
+  decompress_block(rank, block, vx, 0);
   const auto* amps = as_complex(vx);
   double r2 = rng.next_double() * masses[chosen];
   std::uint64_t offset = partition_.amplitudes_per_block() - 1;
@@ -1014,7 +1031,7 @@ int CompressedStateSimulator::measure(int qubit, Rng& rng) {
       block_bit = (rank >> local) & 1;
     }
     auto vx = scratch_->vector_x(worker);
-    decompress_block(rank, block, vx, worker_timers_[worker]);
+    decompress_block(rank, block, vx, worker);
     auto* amps = as_complex(vx);
     const std::uint64_t count = partition_.amplitudes_per_block();
     const std::uint64_t bit = std::uint64_t{1} << local;
@@ -1032,7 +1049,7 @@ int CompressedStateSimulator::measure(int qubit, Rng& rng) {
       }
     }
     auto [compressed, meta] =
-        encode_block(vx, level_, rank, block, worker_timers_[worker]);
+        encode_block(vx, level_, rank, block, worker);
     if (meta.codec != compression::kLosslessCodecId) {
       lossy_writes.fetch_add(1, std::memory_order_relaxed);
     }
@@ -1154,6 +1171,17 @@ SimulationReport CompressedStateSimulator::report() const {
   rep.batched_gates = batched_gates_;
   rep.compress_invocations = compress_calls_.get();
   rep.decompress_invocations = decompress_calls_.get();
+  for (const auto& stats : codec_stats_) {
+    rep.lossless_compress_invocations += stats.lossless_compress_calls;
+    rep.lossy_compress_invocations += stats.lossy_compress_calls;
+    rep.lossless_decompress_invocations += stats.lossless_decompress_calls;
+    rep.lossy_decompress_invocations += stats.lossy_decompress_calls;
+    rep.lossless_compress_seconds += stats.lossless_compress_seconds;
+    rep.lossy_compress_seconds += stats.lossy_compress_seconds;
+    rep.lossless_decompress_seconds += stats.lossless_decompress_seconds;
+    rep.lossy_decompress_seconds += stats.lossy_decompress_seconds;
+  }
+  rep.codec_scratch_bytes = scratch_->codec_scratch_bytes();
   rep.fidelity_bound = fidelity_.bound();
   rep.lossy_passes = fidelity_.lossy_passes();
   const auto comm_stats = comm_->stats();

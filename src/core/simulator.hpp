@@ -135,20 +135,37 @@ class CompressedStateSimulator {
     }
   };
 
+  /// Per-worker codec call attribution: wall seconds and invocation
+  /// counts split by codec class (lossless zx vs the configured lossy
+  /// codec), merged into the report. Counts are deterministic across
+  /// worker counts when the block cache is off; seconds are wall-clock.
+  struct CodecCallStats {
+    double lossless_compress_seconds = 0.0;
+    double lossy_compress_seconds = 0.0;
+    double lossless_decompress_seconds = 0.0;
+    double lossy_decompress_seconds = 0.0;
+    std::uint64_t lossless_compress_calls = 0;
+    std::uint64_t lossy_compress_calls = 0;
+    std::uint64_t lossless_decompress_calls = 0;
+    std::uint64_t lossy_decompress_calls = 0;
+  };
+
   void init_blocks();
   int global_block(int rank, int block) const {
     return rank * partition_.blocks_per_rank() + block;
   }
   /// Compresses one block at `level`, letting the codec arbiter pick
   /// lossless vs. the configured lossy codec per block. Returns the
-  /// payload plus the BlockMeta (level + codec id) describing it.
+  /// payload plus the BlockMeta (level + codec id) describing it. The
+  /// worker index selects the timer slot and the pooled CodecScratch, so
+  /// steady-state calls only allocate the returned payload.
   std::pair<Bytes, runtime::BlockMeta> encode_block(
       std::span<const double> data, int level, int rank, int block,
-      PhaseTimers& timers) const;
+      std::size_t worker) const;
   void decompress_block(int rank, int block, std::span<double> out,
-                        PhaseTimers& timers) const;
+                        std::size_t worker) const;
   void decompress_payload(ByteSpan payload, const runtime::BlockMeta& meta,
-                          std::span<double> out, PhaseTimers& timers) const;
+                          std::span<double> out, std::size_t worker) const;
 
   /// Shared tail of apply_circuit / resume_circuit: applies the ops of
   /// `circuit` from gate_cursor_ to the end, batched through the gate-run
@@ -201,6 +218,7 @@ class CompressedStateSimulator {
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<runtime::ScratchArena> scratch_;
   mutable std::vector<PhaseTimers> worker_timers_;
+  mutable std::vector<CodecCallStats> codec_stats_;  // one per worker
 
   int level_ = 0;  ///< 0 = lossless; k > 0 = error_ladder[k-1]
   FidelityTracker fidelity_;

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "compression/codec_scratch.hpp"
 #include "lossless/zx.hpp"
 
 namespace cqs::fpzip {
@@ -54,6 +55,19 @@ FpzipCodec::FpzipCodec(int fixed_precision)
 
 Bytes FpzipCodec::compress(std::span<const double> data,
                            const compression::ErrorBound& bound) const {
+  compression::CodecScratch scratch;
+  return compress(data, bound, scratch);
+}
+
+void FpzipCodec::decompress(ByteSpan compressed,
+                            std::span<double> out) const {
+  compression::CodecScratch scratch;
+  decompress(compressed, out, scratch);
+}
+
+Bytes FpzipCodec::compress(std::span<const double> data,
+                           const compression::ErrorBound& bound,
+                           compression::CodecScratch& scratch) const {
   int precision;
   if (bound.mode == compression::BoundMode::kLossless) {
     precision = 64;
@@ -64,7 +78,8 @@ Bytes FpzipCodec::compress(std::span<const double> data,
     throw std::invalid_argument("fpzip: unsupported bound mode");
   }
 
-  Bytes residuals;
+  Bytes& residuals = scratch.inner;
+  residuals.clear();
   residuals.reserve(data.size() * 3);
   std::uint64_t prev_ordered = order_encode(0);
   for (double d : data) {
@@ -77,20 +92,18 @@ Bytes FpzipCodec::compress(std::span<const double> data,
                zigzag_encode(static_cast<std::int64_t>(delta)));
     prev_ordered = ordered;
   }
-  const Bytes packed = lossless::zx_compress(residuals);
-
-  Bytes out;
-  out.reserve(packed.size() + 16);
+  Bytes& out = scratch.packed;
+  out.clear();
   out.push_back(kMagic0);
   out.push_back(kMagic1);
   out.push_back(static_cast<std::byte>(precision));
   put_varint(out, data.size());
-  out.insert(out.end(), packed.begin(), packed.end());
-  return out;
+  lossless::zx_compress_into(residuals, {}, scratch.zx, out);
+  return Bytes(out.begin(), out.end());
 }
 
-void FpzipCodec::decompress(ByteSpan compressed,
-                            std::span<double> out) const {
+void FpzipCodec::decompress(ByteSpan compressed, std::span<double> out,
+                            compression::CodecScratch& scratch) const {
   if (compressed.size() < 4 || compressed[0] != kMagic0 ||
       compressed[1] != kMagic1) {
     throw std::runtime_error("fpzip: bad magic");
@@ -100,8 +113,9 @@ void FpzipCodec::decompress(ByteSpan compressed,
   if (out.size() != count) {
     throw std::runtime_error("fpzip: output size mismatch");
   }
-  const Bytes residuals =
-      lossless::zx_decompress(compressed.subspan(offset));
+  Bytes& residuals = scratch.inner;
+  lossless::zx_decompress_into(compressed.subspan(offset), scratch.zx,
+                               residuals);
   std::size_t pos = 0;
   std::uint64_t prev_ordered = order_encode(0);
   for (std::size_t i = 0; i < count; ++i) {

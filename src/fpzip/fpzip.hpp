@@ -38,6 +38,11 @@ class FpzipCodec final : public compression::Compressor {
   Bytes compress(std::span<const double> data,
                  const compression::ErrorBound& bound) const override;
   void decompress(ByteSpan compressed, std::span<double> out) const override;
+  Bytes compress(std::span<const double> data,
+                 const compression::ErrorBound& bound,
+                 compression::CodecScratch& scratch) const override;
+  void decompress(ByteSpan compressed, std::span<double> out,
+                  compression::CodecScratch& scratch) const override;
   std::size_t element_count(ByteSpan compressed) const override;
 
  private:

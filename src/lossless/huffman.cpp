@@ -1,92 +1,75 @@
 #include "lossless/huffman.hpp"
 
 #include <algorithm>
-#include <queue>
 #include <stdexcept>
 
 namespace cqs::lossless {
-namespace {
 
-struct Node {
-  std::uint64_t weight;
-  std::uint32_t order;  // tie-break for determinism
-  int left;             // -1 for leaf
-  int right;
-  std::uint32_t symbol;
-};
+void HuffmanEncoder::build_lengths(std::span<const std::uint64_t> counts) {
+  auto& working = build_.working;
+  auto& nodes = build_.nodes;
+  auto& heap = build_.heap;
+  auto& stack = build_.stack;
 
-struct NodeGreater {
-  const std::vector<Node>* nodes;
-  bool operator()(int a, int b) const {
-    const Node& na = (*nodes)[a];
-    const Node& nb = (*nodes)[b];
+  working.assign(counts.begin(), counts.end());
+  lengths_.assign(counts.size(), 0);
+
+  const auto heap_greater = [&nodes](int a, int b) {
+    const auto& na = nodes[a];
+    const auto& nb = nodes[b];
     if (na.weight != nb.weight) return na.weight > nb.weight;
     return na.order > nb.order;
-  }
-};
-
-void assign_depths(const std::vector<Node>& nodes, int root,
-                   std::vector<std::uint8_t>& lengths) {
-  // Iterative DFS: (node, depth).
-  std::vector<std::pair<int, int>> stack{{root, 0}};
-  while (!stack.empty()) {
-    auto [idx, depth] = stack.back();
-    stack.pop_back();
-    const Node& n = nodes[idx];
-    if (n.left < 0) {
-      lengths[n.symbol] = static_cast<std::uint8_t>(std::max(depth, 1));
-    } else {
-      stack.push_back({n.left, depth + 1});
-      stack.push_back({n.right, depth + 1});
-    }
-  }
-}
-
-}  // namespace
-
-std::vector<std::uint8_t> build_code_lengths(
-    std::span<const std::uint64_t> counts) {
-  std::vector<std::uint64_t> working(counts.begin(), counts.end());
-  std::vector<std::uint8_t> lengths(counts.size(), 0);
+  };
 
   while (true) {
-    std::vector<Node> nodes;
-    nodes.reserve(2 * working.size());
-    std::priority_queue<int, std::vector<int>, NodeGreater> heap{
-        NodeGreater{&nodes}};
-    // The heap holds indices into `nodes`; push leaves first.
-    std::vector<int> heap_seed;
+    nodes.clear();
+    heap.clear();
     for (std::uint32_t s = 0; s < working.size(); ++s) {
       if (working[s] == 0) continue;
       nodes.push_back({working[s], s, -1, -1, s});
-      heap_seed.push_back(static_cast<int>(nodes.size()) - 1);
+      heap.push_back(static_cast<int>(nodes.size()) - 1);
     }
-    if (heap_seed.empty()) return lengths;  // empty input: all zero lengths
-    if (heap_seed.size() == 1) {
-      lengths[nodes[heap_seed[0]].symbol] = 1;
-      return lengths;
+    if (heap.empty()) return;  // empty input: all zero lengths
+    if (heap.size() == 1) {
+      lengths_[nodes[heap[0]].symbol] = 1;
+      return;
     }
-    // Reserve ahead of time: pushing into `nodes` must not invalidate the
-    // comparator's view mid-heap operation.
-    nodes.reserve(2 * heap_seed.size());
-    for (int idx : heap_seed) heap.push(idx);
+    // Reserve ahead of time: the comparator indexes into `nodes`, which
+    // must not reallocate mid-heap operation.
+    nodes.reserve(2 * heap.size());
+    std::make_heap(heap.begin(), heap.end(), heap_greater);
 
     std::uint32_t order = static_cast<std::uint32_t>(working.size());
     while (heap.size() > 1) {
-      const int a = heap.top();
-      heap.pop();
-      const int b = heap.top();
-      heap.pop();
-      nodes.push_back(
-          {nodes[a].weight + nodes[b].weight, order++, a, b, 0});
-      heap.push(static_cast<int>(nodes.size()) - 1);
+      std::pop_heap(heap.begin(), heap.end(), heap_greater);
+      const int a = heap.back();
+      heap.pop_back();
+      std::pop_heap(heap.begin(), heap.end(), heap_greater);
+      const int b = heap.back();
+      heap.pop_back();
+      nodes.push_back({nodes[a].weight + nodes[b].weight, order++, a, b, 0});
+      heap.push_back(static_cast<int>(nodes.size()) - 1);
+      std::push_heap(heap.begin(), heap.end(), heap_greater);
     }
-    std::fill(lengths.begin(), lengths.end(), 0);
-    assign_depths(nodes, heap.top(), lengths);
+    std::fill(lengths_.begin(), lengths_.end(), 0);
+    // Iterative DFS assigning leaf depths.
+    stack.clear();
+    stack.push_back({heap[0], 0});
+    while (!stack.empty()) {
+      const auto [idx, depth] = stack.back();
+      stack.pop_back();
+      const auto& n = nodes[idx];
+      if (n.left < 0) {
+        lengths_[n.symbol] = static_cast<std::uint8_t>(std::max(depth, 1));
+      } else {
+        stack.push_back({n.left, depth + 1});
+        stack.push_back({n.right, depth + 1});
+      }
+    }
 
     const auto max_len =
-        *std::max_element(lengths.begin(), lengths.end());
-    if (max_len <= kMaxCodeLength) return lengths;
+        *std::max_element(lengths_.begin(), lengths_.end());
+    if (max_len <= kMaxCodeLength) return;
     // Depth limiting: flatten the distribution and rebuild. Halving skewed
     // counts converges in a handful of iterations.
     for (auto& c : working) {
@@ -95,10 +78,15 @@ std::vector<std::uint8_t> build_code_lengths(
   }
 }
 
-std::vector<std::uint32_t> canonical_codes(
-    std::span<const std::uint8_t> lengths) {
-  // Order symbols by (length, symbol value) and hand out consecutive codes.
-  std::vector<std::uint32_t> order;
+namespace {
+
+/// Canonical code assignment: order symbols by (length, symbol value) into
+/// `order` and hand out consecutive codes into `codes`. The single
+/// implementation behind both HuffmanEncoder::build and canonical_codes.
+void assign_canonical_codes(std::span<const std::uint8_t> lengths,
+                            std::vector<std::uint32_t>& order,
+                            std::vector<std::uint32_t>& codes) {
+  order.clear();
   for (std::uint32_t s = 0; s < lengths.size(); ++s) {
     if (lengths[s] > 0) order.push_back(s);
   }
@@ -107,7 +95,7 @@ std::vector<std::uint32_t> canonical_codes(
               if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
               return a < b;
             });
-  std::vector<std::uint32_t> codes(lengths.size(), 0);
+  codes.assign(lengths.size(), 0);
   std::uint32_t code = 0;
   int prev_len = 0;
   for (std::uint32_t s : order) {
@@ -116,14 +104,38 @@ std::vector<std::uint32_t> canonical_codes(
     ++code;
     prev_len = lengths[s];
   }
+}
+
+}  // namespace
+
+void HuffmanEncoder::build_codes() {
+  assign_canonical_codes(lengths_, build_.symbol_order, codes_);
+}
+
+void HuffmanEncoder::build(std::span<const std::uint64_t> counts) {
+  build_lengths(counts);
+  build_codes();
+}
+
+std::vector<std::uint8_t> build_code_lengths(
+    std::span<const std::uint64_t> counts) {
+  HuffmanEncoder enc;
+  enc.build(counts);
+  return enc.lengths();
+}
+
+std::vector<std::uint32_t> canonical_codes(
+    std::span<const std::uint8_t> lengths) {
+  std::vector<std::uint32_t> order;
+  std::vector<std::uint32_t> codes;
+  assign_canonical_codes(lengths, order, codes);
   return codes;
 }
 
 HuffmanEncoder HuffmanEncoder::from_counts(
     std::span<const std::uint64_t> counts) {
   HuffmanEncoder enc;
-  enc.lengths_ = build_code_lengths(counts);
-  enc.codes_ = canonical_codes(enc.lengths_);
+  enc.build(counts);
   return enc;
 }
 
@@ -144,13 +156,20 @@ void HuffmanEncoder::write_table(Bytes& out) const {
   }
 }
 
-void HuffmanEncoder::encode(BitWriter& writer, std::uint32_t symbol) const {
-  writer.write(codes_[symbol], lengths_[symbol]);
-}
-
 HuffmanDecoder HuffmanDecoder::read_table(ByteSpan in, std::size_t& offset,
                                           std::size_t alphabet_size) {
-  std::vector<std::uint8_t> lengths(alphabet_size, 0);
+  HuffmanDecoder dec;
+  dec.parse_table(in, offset, alphabet_size);
+  return dec;
+}
+
+void HuffmanDecoder::parse_table(ByteSpan in, std::size_t& offset,
+                                 std::size_t alphabet_size) {
+  if (alphabet_size > kMaxAlphabetSize) {
+    throw std::invalid_argument("cqs: huffman alphabet exceeds 2^16 symbols");
+  }
+  auto& lengths = lengths_;
+  lengths.assign(alphabet_size, 0);
   const std::uint64_t used = get_varint(in, offset);
   std::uint32_t symbol = 0;
   for (std::uint64_t i = 0; i < used; ++i) {
@@ -167,17 +186,17 @@ HuffmanDecoder HuffmanDecoder::read_table(ByteSpan in, std::size_t& offset,
     }
   }
 
-  HuffmanDecoder dec;
-  dec.first_code_.assign(kMaxCodeLength + 1, 0);
-  dec.first_index_.assign(kMaxCodeLength + 1, 0);
-  dec.symbol_count_.assign(kMaxCodeLength + 1, 0);
+  first_code_.assign(kMaxCodeLength + 1, 0);
+  first_index_.assign(kMaxCodeLength + 1, 0);
+  symbol_count_.assign(kMaxCodeLength + 1, 0);
+  symbols_.clear();
   for (std::uint32_t s = 0; s < alphabet_size; ++s) {
     if (lengths[s] > 0) {
-      ++dec.symbol_count_[lengths[s]];
-      dec.symbols_.push_back(s);
+      ++symbol_count_[lengths[s]];
+      symbols_.push_back(s);
     }
   }
-  std::sort(dec.symbols_.begin(), dec.symbols_.end(),
+  std::sort(symbols_.begin(), symbols_.end(),
             [&](std::uint32_t a, std::uint32_t b) {
               if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
               return a < b;
@@ -186,22 +205,55 @@ HuffmanDecoder HuffmanDecoder::read_table(ByteSpan in, std::size_t& offset,
   std::uint32_t index = 0;
   for (int len = 1; len <= kMaxCodeLength; ++len) {
     code <<= 1;
-    dec.first_code_[len] = code;
-    dec.first_index_[len] = index;
-    code += dec.symbol_count_[len];
-    index += dec.symbol_count_[len];
+    first_code_[len] = code;
+    first_index_[len] = index;
+    code += symbol_count_[len];
+    index += symbol_count_[len];
+    // Kraft validity: an oversubscribed length (more codes than a
+    // prefix-free tree admits) comes only from a corrupt table. It must be
+    // rejected here — the primary-table fill below indexes rows by
+    // code << (kPrimaryBits - len) and would write past the table.
+    if (code > (std::uint32_t{1} << len)) {
+      throw std::runtime_error("cqs: huffman table oversubscribed");
+    }
   }
-  return dec;
+
+  // First-level lookup: every code of length <= kPrimaryBits owns the
+  // 2^(kPrimaryBits - length) table rows sharing its prefix. Longer codes
+  // leave length 0, routing decode() to the canonical per-length scan.
+  primary_.assign(std::size_t{1} << kPrimaryBits, PrimaryEntry{0, 0});
+  index = 0;
+  for (int len = 1; len <= std::min(kPrimaryBits, kMaxCodeLength); ++len) {
+    for (std::uint32_t k = 0; k < symbol_count_[len]; ++k) {
+      const std::uint32_t c = first_code_[len] + k;
+      const std::uint32_t sym = symbols_[first_index_[len] + k];
+      const std::uint32_t base = c << (kPrimaryBits - len);
+      const std::uint32_t span = std::uint32_t{1} << (kPrimaryBits - len);
+      for (std::uint32_t row = base; row < base + span; ++row) {
+        primary_[row] = {static_cast<std::uint16_t>(sym),
+                         static_cast<std::uint8_t>(len)};
+      }
+    }
+  }
 }
 
-std::uint32_t HuffmanDecoder::decode(BitReader& reader) const {
-  std::uint32_t code = 0;
-  for (int len = 1; len <= kMaxCodeLength; ++len) {
-    code = (code << 1) | reader.read_bit();
+std::uint32_t HuffmanDecoder::decode_long(BitReader& reader,
+                                          std::uint32_t peeked) const {
+  // Canonical scan over the lengths the primary table doesn't cover. The
+  // peeked window is zero-padded past the stream end; consume() rejects
+  // any match that would need more bits than actually remain.
+  for (int len = kPrimaryBits + 1; len <= kMaxCodeLength; ++len) {
+    const std::uint32_t code = peeked >> (kMaxCodeLength - len);
     const std::uint32_t delta = code - first_code_[len];
     if (code >= first_code_[len] && delta < symbol_count_[len]) {
+      reader.consume(len);
       return symbols_[first_index_[len] + delta];
     }
+  }
+  // No prefix of the window is a valid code. Distinguish the truncated
+  // stream (historical out_of_range) from genuine corruption.
+  if (reader.exhausted(kMaxCodeLength)) {
+    throw std::out_of_range("cqs: bit stream truncated");
   }
   throw std::runtime_error("cqs: invalid huffman code");
 }

@@ -49,20 +49,44 @@ inline std::size_t match_length(const std::byte* a, const std::byte* b,
   return static_cast<std::size_t>(a - start);
 }
 
+/// Opens a tokenize pass over `scratch`: bumps the generation so every
+/// head-table entry from earlier passes reads as empty, and guarantees the
+/// chain table covers `n` positions. Generation wrap (once per 2^32
+/// passes) falls back to one full restamp.
+void begin_pass(Lz77Scratch& scratch, std::size_t n) {
+  if (scratch.head.size() != kHashSize) {
+    scratch.head.assign(kHashSize, -1);
+    scratch.head_gen.assign(kHashSize, 0);
+    scratch.generation = 0;
+  }
+  if (++scratch.generation == 0) {
+    std::fill(scratch.head_gen.begin(), scratch.head_gen.end(), 0);
+    scratch.generation = 1;
+  }
+  if (scratch.prev.size() < n) scratch.prev.resize(n);
+}
+
 }  // namespace
 
-void lz77_tokenize(ByteSpan input, Bytes& out, const Lz77Config& config) {
+void lz77_tokenize(ByteSpan input, Bytes& out, const Lz77Config& config,
+                   Lz77Scratch& scratch) {
   const std::size_t n = input.size();
   const std::byte* base = input.data();
+  begin_pass(scratch, n);
 
-  std::vector<std::int64_t> head(kHashSize, -1);
-  std::vector<std::int64_t> prev(n, -1);
+  auto* const head = scratch.head.data();
+  auto* const head_gen = scratch.head_gen.data();
+  auto* const prev = scratch.prev.data();
+  const std::uint32_t gen = scratch.generation;
+  const auto head_at = [&](std::uint32_t h) -> std::int64_t {
+    return head_gen[h] == gen ? head[h] : -1;
+  };
 
   std::size_t literal_start = 0;
   std::size_t pos = 0;
   while (pos + kHashBytes <= n) {
     const std::uint32_t h = hash6(base + pos);
-    std::int64_t candidate = head[h];
+    std::int64_t candidate = head_at(h);
     std::size_t best_len = 0;
     std::size_t best_offset = 0;
     int chain = config.max_chain;
@@ -91,14 +115,16 @@ void lz77_tokenize(ByteSpan input, Bytes& out, const Lz77Config& config) {
       const std::size_t step = best_len > 512 ? 509 : 1;  // prime stride
       for (std::size_t i = pos; i + kHashBytes <= n && i < end; i += step) {
         const std::uint32_t hi = hash6(base + i);
-        prev[i] = head[hi];
+        prev[i] = head_at(hi);
         head[hi] = static_cast<std::int64_t>(i);
+        head_gen[hi] = gen;
       }
       pos = end;
       literal_start = pos;
     } else {
-      prev[pos] = head[h];
+      prev[pos] = head_at(h);
       head[h] = static_cast<std::int64_t>(pos);
+      head_gen[h] = gen;
       ++pos;
     }
   }
@@ -108,8 +134,13 @@ void lz77_tokenize(ByteSpan input, Bytes& out, const Lz77Config& config) {
   put_varint(out, 0);
 }
 
-Bytes lz77_detokenize(ByteSpan tokens, std::size_t expected_size) {
-  Bytes out;
+void lz77_tokenize(ByteSpan input, Bytes& out, const Lz77Config& config) {
+  Lz77Scratch scratch;
+  lz77_tokenize(input, out, config, scratch);
+}
+
+void lz77_detokenize(ByteSpan tokens, std::size_t expected_size, Bytes& out) {
+  out.clear();
   out.reserve(expected_size);
   std::size_t offset = 0;
   while (true) {
@@ -127,12 +158,20 @@ Bytes lz77_detokenize(ByteSpan tokens, std::size_t expected_size) {
     if (match_offset == 0 || match_offset > out.size()) {
       throw std::runtime_error("cqs: lz77 bad match offset");
     }
-    // Byte-by-byte copy: overlapping matches (offset < len) replicate runs.
-    std::size_t src = out.size() - match_offset;
-    for (std::uint64_t i = 0; i < match_len; ++i) {
-      out.push_back(out[src + i]);
-    }
+    // Forward byte copy: overlapping matches (offset < len) replicate runs,
+    // so this must not be a memmove. Resizing once keeps the loop free of
+    // per-byte capacity checks.
+    const std::size_t old_size = out.size();
+    out.resize(old_size + match_len);
+    std::byte* dst = out.data() + old_size;
+    const std::byte* src = dst - match_offset;
+    for (std::uint64_t i = 0; i < match_len; ++i) dst[i] = src[i];
   }
+}
+
+Bytes lz77_detokenize(ByteSpan tokens, std::size_t expected_size) {
+  Bytes out;
+  lz77_detokenize(tokens, expected_size, out);
   return out;
 }
 

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "common/bytes.hpp"
 
@@ -29,11 +31,38 @@ struct Lz77Config {
   std::size_t good_match = 32;
 };
 
+/// Reusable hash-chain state. The 2^18-entry head table is generation
+/// stamped: an entry only counts when its stamp matches the current pass,
+/// so reusing the scratch costs O(1) instead of a 2 MiB zero-fill, and the
+/// chain-link table is grown monotonically (stale entries are unreachable
+/// because every reachable link was written during the current pass).
+struct Lz77Scratch {
+  std::vector<std::int64_t> head;       // hash -> most recent position
+  std::vector<std::uint32_t> head_gen;  // per-entry generation stamp
+  std::vector<std::int64_t> prev;       // position -> previous in chain
+  std::uint32_t generation = 0;
+
+  /// Bytes held by the scratch (Eq. 8 accounting).
+  std::size_t bytes() const {
+    return head.capacity() * sizeof(std::int64_t) +
+           head_gen.capacity() * sizeof(std::uint32_t) +
+           prev.capacity() * sizeof(std::int64_t);
+  }
+};
+
 /// Tokenizes `input`; appends the token stream to `out`.
 void lz77_tokenize(ByteSpan input, Bytes& out, const Lz77Config& config = {});
+
+/// Scratch-pooled variant: identical token stream, zero allocations once
+/// `scratch` capacities are warm.
+void lz77_tokenize(ByteSpan input, Bytes& out, const Lz77Config& config,
+                   Lz77Scratch& scratch);
 
 /// Reverses lz77_tokenize. `expected_size` reserves the output; the stream
 /// is self-terminating. Throws std::runtime_error on malformed input.
 Bytes lz77_detokenize(ByteSpan tokens, std::size_t expected_size);
+
+/// In-place variant: replaces the contents of `out` (capacity reused).
+void lz77_detokenize(ByteSpan tokens, std::size_t expected_size, Bytes& out);
 
 }  // namespace cqs::lossless

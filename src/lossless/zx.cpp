@@ -4,7 +4,6 @@
 #include <stdexcept>
 
 #include "common/bits.hpp"
-#include "lossless/huffman.hpp"
 
 namespace cqs::lossless {
 namespace {
@@ -15,79 +14,83 @@ constexpr std::byte kModeRaw{0};
 constexpr std::byte kModeLz{2};
 constexpr std::byte kModeLzHuff{3};
 
-Bytes huffman_bytes(ByteSpan data) {
+void huffman_bytes_into(ByteSpan data, ZxScratch& scratch, Bytes& out) {
   std::array<std::uint64_t, 256> counts{};
   for (std::byte b : data) ++counts[static_cast<std::uint8_t>(b)];
-  const auto encoder = HuffmanEncoder::from_counts(counts);
-  Bytes out;
-  encoder.write_table(out);
+  scratch.encoder.build(counts);
+  scratch.encoder.write_table(out);
   put_varint(out, data.size());
   BitWriter writer(out);
   for (std::byte b : data) {
-    encoder.encode(writer, static_cast<std::uint8_t>(b));
+    scratch.encoder.encode(writer, static_cast<std::uint8_t>(b));
   }
   writer.flush();
-  return out;
 }
 
-Bytes unhuffman_bytes(ByteSpan data) {
+void unhuffman_bytes_into(ByteSpan data, ZxScratch& scratch, Bytes& out) {
   std::size_t offset = 0;
-  const auto decoder = HuffmanDecoder::read_table(data, offset, 256);
+  scratch.decoder.parse_table(data, offset, 256);
   const std::uint64_t count = get_varint(data, offset);
-  Bytes out;
-  out.reserve(count);
+  out.resize(count);
   BitReader reader(data.subspan(offset));
   for (std::uint64_t i = 0; i < count; ++i) {
-    out.push_back(static_cast<std::byte>(decoder.decode(reader)));
+    out[i] = static_cast<std::byte>(scratch.decoder.decode(reader));
   }
-  return out;
+}
+
+void append_raw_container(ByteSpan input, Bytes& out) {
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(kModeRaw);
+  put_varint(out, input.size());
+  out.insert(out.end(), input.begin(), input.end());
 }
 
 }  // namespace
 
-Bytes zx_compress(ByteSpan input, const ZxConfig& config) {
-  Bytes header;
-  header.push_back(kMagic0);
-  header.push_back(kMagic1);
+void zx_compress_into(ByteSpan input, const ZxConfig& config,
+                      ZxScratch& scratch, Bytes& out) {
+  const std::size_t base = out.size();
 
-  Bytes tokens;
-  lz77_tokenize(input, tokens, config.lz);
+  scratch.tokens.clear();
+  lz77_tokenize(input, scratch.tokens, config.lz, scratch.lz);
 
-  Bytes best_payload;
-  std::byte mode = kModeRaw;
-  if (tokens.size() < input.size()) {
-    best_payload = std::move(tokens);
-    mode = kModeLz;
-  } else {
-    best_payload.assign(input.begin(), input.end());
-    tokens.clear();
+  if (scratch.tokens.size() >= input.size()) {
+    append_raw_container(input, out);
+    return;
   }
 
-  if (config.enable_huffman && mode == kModeLz && !best_payload.empty()) {
-    Bytes huffed = huffman_bytes(best_payload);
-    if (huffed.size() < best_payload.size()) {
-      best_payload = std::move(huffed);
+  ByteSpan payload = scratch.tokens;
+  std::byte mode = kModeLz;
+  if (config.enable_huffman && !scratch.tokens.empty()) {
+    scratch.huffed.clear();
+    huffman_bytes_into(scratch.tokens, scratch, scratch.huffed);
+    if (scratch.huffed.size() < scratch.tokens.size()) {
+      payload = scratch.huffed;
       mode = kModeLzHuff;
     }
   }
 
-  Bytes out = std::move(header);
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
   out.push_back(mode);
   put_varint(out, input.size());
-  out.insert(out.end(), best_payload.begin(), best_payload.end());
+  out.insert(out.end(), payload.begin(), payload.end());
   // Raw fallback guarantee: if the pipeline expanded the data, store raw.
-  if (mode != kModeRaw && out.size() > input.size() + 12) {
-    out.clear();
-    out.push_back(kMagic0);
-    out.push_back(kMagic1);
-    out.push_back(kModeRaw);
-    put_varint(out, input.size());
-    out.insert(out.end(), input.begin(), input.end());
+  if (out.size() - base > input.size() + 12) {
+    out.resize(base);
+    append_raw_container(input, out);
   }
+}
+
+Bytes zx_compress(ByteSpan input, const ZxConfig& config) {
+  ZxScratch scratch;
+  Bytes out;
+  zx_compress_into(input, config, scratch, out);
   return out;
 }
 
-Bytes zx_decompress(ByteSpan compressed) {
+void zx_decompress_into(ByteSpan compressed, ZxScratch& scratch, Bytes& out) {
   if (compressed.size() < 3 || compressed[0] != kMagic0 ||
       compressed[1] != kMagic1) {
     throw std::runtime_error("cqs: not a zx container");
@@ -101,20 +104,28 @@ Bytes zx_decompress(ByteSpan compressed) {
     if (payload.size() != original_size) {
       throw std::runtime_error("cqs: zx raw payload size mismatch");
     }
-    return Bytes(payload.begin(), payload.end());
+    out.assign(payload.begin(), payload.end());
+    return;
   }
-  Bytes tokens;
+  ByteSpan tokens;
   if (mode == kModeLzHuff) {
-    tokens = unhuffman_bytes(payload);
+    unhuffman_bytes_into(payload, scratch, scratch.tokens);
+    tokens = scratch.tokens;
   } else if (mode == kModeLz) {
-    tokens.assign(payload.begin(), payload.end());
+    tokens = payload;  // detokenize reads the container bytes in place
   } else {
     throw std::runtime_error("cqs: zx unknown mode");
   }
-  Bytes out = lz77_detokenize(tokens, original_size);
+  lz77_detokenize(tokens, original_size, out);
   if (out.size() != original_size) {
     throw std::runtime_error("cqs: zx decompressed size mismatch");
   }
+}
+
+Bytes zx_decompress(ByteSpan compressed) {
+  ZxScratch scratch;
+  Bytes out;
+  zx_decompress_into(compressed, scratch, out);
   return out;
 }
 

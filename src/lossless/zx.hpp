@@ -9,9 +9,14 @@
 //   size    varint   original byte count
 //   [mode 3] table + varint token byte count
 //   payload
+//
+// The *_into variants append/replace into caller-owned buffers and thread
+// a ZxScratch, so a warm scratch makes a full compress/decompress round
+// allocation-free; the value-returning entry points forward to them.
 #pragma once
 
 #include "common/bytes.hpp"
+#include "lossless/huffman.hpp"
 #include "lossless/lz77.hpp"
 
 namespace cqs::lossless {
@@ -21,12 +26,37 @@ struct ZxConfig {
   bool enable_huffman = true;
 };
 
+/// Reusable working state for one zx compress/decompress stream: the LZ77
+/// hash chains, token/entropy staging buffers, and the Huffman coder pair.
+struct ZxScratch {
+  Lz77Scratch lz;
+  Bytes tokens;  // LZ77 token stream (compress) / decoded tokens (decompress)
+  Bytes huffed;  // Huffman-coded candidate payload
+  HuffmanEncoder encoder;
+  HuffmanDecoder decoder;
+
+  /// Bytes held across passes, Huffman coder pools included (Eq. 8
+  /// accounting).
+  std::size_t bytes() const {
+    return lz.bytes() + tokens.capacity() + huffed.capacity() +
+           encoder.bytes() + decoder.bytes();
+  }
+};
+
 /// Compresses `input`; never throws on valid input and never expands beyond
 /// input size + header bytes.
 Bytes zx_compress(ByteSpan input, const ZxConfig& config = {});
 
+/// Scratch-pooled variant producing the identical container byte-for-byte;
+/// appends to `out` (existing contents untouched).
+void zx_compress_into(ByteSpan input, const ZxConfig& config,
+                      ZxScratch& scratch, Bytes& out);
+
 /// Decompresses a zx container. Throws std::runtime_error on corruption.
 Bytes zx_decompress(ByteSpan compressed);
+
+/// Scratch-pooled variant; replaces the contents of `out`.
+void zx_decompress_into(ByteSpan compressed, ZxScratch& scratch, Bytes& out);
 
 /// Original (decompressed) size recorded in a zx container header.
 std::size_t zx_original_size(ByteSpan compressed);

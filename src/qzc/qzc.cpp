@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/bits.hpp"
+#include "compression/codec_scratch.hpp"
 #include "lossless/zx.hpp"
 
 namespace cqs::qzc {
@@ -13,7 +14,6 @@ namespace {
 
 constexpr std::byte kMagic0{'Q'};
 constexpr std::byte kMagic1{'Z'};
-constexpr int kSignExponentBits = 12;  // double: 1 sign + 11 exponent
 
 /// Two-bit leading-same-byte code values map to {0, 1, 2, 3} leading bytes;
 /// 3 means "3 or more were identical but we only skip 3" — the remaining
@@ -61,12 +61,29 @@ void deinterleave(std::span<const double> data, std::vector<double>& out) {
   if (data.size() % 2 != 0) out[data.size() - 1] = data.back();
 }
 
-void reinterleave(std::span<double> data) {
-  const std::size_t pairs = data.size() / 2;
-  std::vector<double> tmp(data.begin(), data.end());
-  for (std::size_t i = 0; i < pairs; ++i) {
-    data[2 * i] = tmp[i];
-    data[2 * i + 1] = tmp[pairs + i];
+/// Decodes the XOR-delta streams into `out` (plane order when shuffled).
+void decode_values(const Header& h, ByteSpan codes, ByteSpan payload,
+                   std::span<double> out) {
+  const int drop = 52 - h.mantissa_bits;
+  const int trailing_zero_bytes = drop > 0 ? drop / 8 : 0;
+
+  std::uint64_t prev = 0;
+  std::size_t payload_pos = 0;
+  for (std::size_t i = 0; i < h.count; ++i) {
+    const auto code_byte = static_cast<std::uint8_t>(codes[i / 4]);
+    const int lead = (code_byte >> (6 - 2 * (i % 4))) & 3;
+    std::uint64_t x = 0;
+    for (int b = lead; b < 8 - trailing_zero_bytes; ++b) {
+      if (payload_pos >= payload.size()) {
+        throw std::runtime_error("qzc: payload truncated");
+      }
+      x |= static_cast<std::uint64_t>(payload[payload_pos++]) << (56 - 8 * b);
+    }
+    const std::uint64_t t = x ^ prev;
+    prev = t;
+    double d;
+    std::memcpy(&d, &t, 8);
+    out[i] = d;
   }
 }
 
@@ -85,6 +102,18 @@ double bound_for_mantissa_bits(int m) { return std::ldexp(1.0, -m); }
 
 Bytes QzcCodec::compress(std::span<const double> data,
                          const compression::ErrorBound& bound) const {
+  compression::CodecScratch scratch;
+  return compress(data, bound, scratch);
+}
+
+void QzcCodec::decompress(ByteSpan compressed, std::span<double> out) const {
+  compression::CodecScratch scratch;
+  decompress(compressed, out, scratch);
+}
+
+Bytes QzcCodec::compress(std::span<const double> data,
+                         const compression::ErrorBound& bound,
+                         compression::CodecScratch& scratch) const {
   if (bound.mode != compression::BoundMode::kPointwiseRelative) {
     throw std::invalid_argument("qzc: pointwise relative bound required");
   }
@@ -93,18 +122,19 @@ Bytes QzcCodec::compress(std::span<const double> data,
   // Bytes of every truncated value that are structurally zero.
   const int trailing_zero_bytes = drop / 8;
 
-  std::vector<double> shuffled_storage;
   std::span<const double> values = data;
   if (shuffle_) {
-    deinterleave(data, shuffled_storage);
-    values = shuffled_storage;
+    deinterleave(data, scratch.values);
+    values = scratch.values;
   }
 
   // Stream 1: 2-bit leading-same-byte codes, packed 4 per byte.
   // Stream 2: differing payload bytes (big-endian significant first).
-  Bytes codes;
+  Bytes& codes = scratch.codes;
+  codes.clear();
   codes.reserve(values.size() / 4 + 1);
-  Bytes payload;
+  Bytes& payload = scratch.payload;
+  payload.clear();
   payload.reserve(values.size() * (8 - trailing_zero_bytes) / 2);
 
   std::uint64_t prev = 0;
@@ -135,32 +165,35 @@ Bytes QzcCodec::compress(std::span<const double> data,
     codes.push_back(static_cast<std::byte>(code_accum));
   }
 
-  // Concatenate [varint codes size][codes][payload], then zx-compress.
-  Bytes streams;
+  // Concatenate [varint codes size][codes][payload] and zx-compress that
+  // straight into the container being built.
+  Bytes& streams = scratch.inner;
+  streams.clear();
   streams.reserve(codes.size() + payload.size() + 10);
   put_varint(streams, codes.size());
   streams.insert(streams.end(), codes.begin(), codes.end());
   streams.insert(streams.end(), payload.begin(), payload.end());
-  const Bytes packed = lossless::zx_compress(streams);
 
-  Bytes out;
-  out.reserve(packed.size() + 16);
+  Bytes& out = scratch.packed;
+  out.clear();
   out.push_back(kMagic0);
   out.push_back(kMagic1);
   out.push_back(static_cast<std::byte>(shuffle_ ? 1 : 0));
   out.push_back(static_cast<std::byte>(mbits));
   put_varint(out, data.size());
-  out.insert(out.end(), packed.begin(), packed.end());
-  return out;
+  lossless::zx_compress_into(streams, {}, scratch.zx, out);
+  return Bytes(out.begin(), out.end());
 }
 
-void QzcCodec::decompress(ByteSpan compressed, std::span<double> out) const {
+void QzcCodec::decompress(ByteSpan compressed, std::span<double> out,
+                          compression::CodecScratch& scratch) const {
   const Header h = parse_header(compressed);
   if (out.size() != h.count) {
     throw std::runtime_error("qzc: output size mismatch");
   }
-  const Bytes streams =
-      lossless::zx_decompress(compressed.subspan(h.payload_offset));
+  Bytes& streams = scratch.inner;
+  lossless::zx_decompress_into(compressed.subspan(h.payload_offset),
+                               scratch.zx, streams);
   std::size_t offset = 0;
   const std::uint64_t codes_size = get_varint(streams, offset);
   if (offset + codes_size > streams.size()) {
@@ -173,28 +206,21 @@ void QzcCodec::decompress(ByteSpan compressed, std::span<double> out) const {
   const ByteSpan payload(streams.data() + offset + codes_size,
                          streams.size() - offset - codes_size);
 
-  const int drop = 52 - h.mantissa_bits;
-  const int trailing_zero_bytes = drop > 0 ? drop / 8 : 0;
-
-  std::uint64_t prev = 0;
-  std::size_t payload_pos = 0;
-  for (std::size_t i = 0; i < h.count; ++i) {
-    const auto code_byte = static_cast<std::uint8_t>(codes[i / 4]);
-    const int lead = (code_byte >> (6 - 2 * (i % 4))) & 3;
-    std::uint64_t x = 0;
-    for (int b = lead; b < 8 - trailing_zero_bytes; ++b) {
-      if (payload_pos >= payload.size()) {
-        throw std::runtime_error("qzc: payload truncated");
-      }
-      x |= static_cast<std::uint64_t>(payload[payload_pos++]) << (56 - 8 * b);
-    }
-    const std::uint64_t t = x ^ prev;
-    prev = t;
-    double d;
-    std::memcpy(&d, &t, 8);
-    out[i] = d;
+  if (!h.shuffled) {
+    decode_values(h, codes, payload, out);
+    return;
   }
-  if (h.shuffled) reinterleave(out);
+  // Shuffled (Solution D): decode the planes into scratch and interleave
+  // straight into `out` — no full-copy reinterleave temporary.
+  scratch.values.resize(h.count);
+  decode_values(h, codes, payload, scratch.values);
+  const std::span<const double> planes = scratch.values;
+  const std::size_t pairs = h.count / 2;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    out[2 * i] = planes[i];
+    out[2 * i + 1] = planes[pairs + i];
+  }
+  if (h.count % 2 != 0) out[h.count - 1] = planes[h.count - 1];
 }
 
 std::size_t QzcCodec::element_count(ByteSpan compressed) const {

@@ -1,11 +1,13 @@
 #include "sz/sz.hpp"
 
+#include <array>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
 
 #include "common/bits.hpp"
+#include "compression/codec_scratch.hpp"
 #include "lossless/huffman.hpp"
 #include "lossless/zx.hpp"
 #include "sz/fast_log.hpp"
@@ -18,23 +20,25 @@ constexpr std::byte kMagic1{'Z'};
 constexpr std::uint8_t kFlagSplit = 1;
 constexpr std::uint8_t kFlagRelative = 2;
 
-/// Quantization code 0 is reserved for unpredictable (outlier) points.
-struct QuantResult {
-  std::vector<std::uint32_t> codes;    // one per element
-  std::vector<double> outliers;        // raw values for code-0 elements
-};
+/// At most two prediction chains exist (complex-split mode); a fixed
+/// array keeps quantize/dequantize allocation-free.
+constexpr int kMaxChains = 2;
 
+/// Quantization code 0 is reserved for unpredictable (outlier) points.
 /// Lorenzo prediction + linear-scaling quantization over `values`.
 /// `chains` = 1 (Solution A) or 2 (Solution B: even/odd interleaved).
 /// `quantum` is the bin width (2 * error bound). Reconstruction happens
 /// inline so the predictor sees decompressed values, exactly as the
-/// decompressor will.
-QuantResult quantize(std::span<const double> values, double quantum,
-                     std::uint32_t bins, int chains) {
-  QuantResult result;
-  result.codes.resize(values.size());
+/// decompressor will. Writes one code per element into `codes` and the
+/// raw value of every code-0 element into `outliers` (both reused).
+void quantize(std::span<const double> values, double quantum,
+              std::uint32_t bins, int chains,
+              std::vector<std::uint32_t>& codes,
+              std::vector<double>& outliers) {
+  codes.resize(values.size());
+  outliers.clear();
   const auto half_bins = static_cast<std::int64_t>(bins / 2);
-  std::vector<double> prev(chains, 0.0);
+  std::array<double, kMaxChains> prev{};
   for (std::size_t i = 0; i < values.size(); ++i) {
     double& pred = prev[i % chains];
     const double diff = values[i] - pred;
@@ -45,23 +49,22 @@ QuantResult quantize(std::span<const double> values, double quantum,
       const double recon = pred + static_cast<double>(q) * quantum;
       // Guard against floating-point rounding at bin edges.
       if (std::abs(recon - values[i]) <= quantum * 0.5 + 1e-300) {
-        result.codes[i] = static_cast<std::uint32_t>(q + half_bins);
+        codes[i] = static_cast<std::uint32_t>(q + half_bins);
         pred = recon;
         continue;
       }
     }
-    result.codes[i] = 0;
-    result.outliers.push_back(values[i]);
+    codes[i] = 0;
+    outliers.push_back(values[i]);
     pred = values[i];
   }
-  return result;
 }
 
 void dequantize(std::span<const std::uint32_t> codes,
                 std::span<const double> outliers, double quantum,
                 std::uint32_t bins, int chains, std::span<double> out) {
   const auto half_bins = static_cast<std::int64_t>(bins / 2);
-  std::vector<double> prev(chains, 0.0);
+  std::array<double, kMaxChains> prev{};
   std::size_t outlier_pos = 0;
   for (std::size_t i = 0; i < codes.size(); ++i) {
     double& pred = prev[i % chains];
@@ -79,61 +82,60 @@ void dequantize(std::span<const std::uint32_t> codes,
 }
 
 /// Encodes the code stream with Huffman and appends sections to `inner`.
-void write_codes(Bytes& inner, const QuantResult& quant, std::uint32_t bins) {
-  std::vector<std::uint64_t> counts(bins, 0);
-  for (auto c : quant.codes) ++counts[c];
-  const auto encoder = lossless::HuffmanEncoder::from_counts(counts);
-  encoder.write_table(inner);
-  put_varint(inner, quant.codes.size());
+void write_codes(Bytes& inner, std::span<const std::uint32_t> codes,
+                 std::span<const double> outliers, std::uint32_t bins,
+                 compression::CodecScratch& scratch) {
+  scratch.counts.assign(bins, 0);
+  for (auto c : codes) ++scratch.counts[c];
+  scratch.huff_encoder.build(scratch.counts);
+  scratch.huff_encoder.write_table(inner);
+  put_varint(inner, codes.size());
   {
     BitWriter writer(inner);
-    for (auto c : quant.codes) encoder.encode(writer, c);
+    for (auto c : codes) scratch.huff_encoder.encode(writer, c);
   }
-  put_varint(inner, quant.outliers.size());
-  for (double v : quant.outliers) put_scalar(inner, v);
+  put_varint(inner, outliers.size());
+  for (double v : outliers) put_scalar(inner, v);
 }
 
-QuantResult read_codes(ByteSpan inner, std::size_t& offset,
-                       std::uint32_t bins) {
-  const auto decoder = lossless::HuffmanDecoder::read_table(inner, offset, bins);
+/// Reads the sections written by write_codes into the scratch vectors.
+void read_codes(ByteSpan inner, std::size_t& offset, std::uint32_t bins,
+                compression::CodecScratch& scratch) {
+  scratch.huff_decoder.parse_table(inner, offset, bins);
   const std::uint64_t code_count = get_varint(inner, offset);
-  QuantResult quant;
-  quant.codes.resize(code_count);
+  auto& codes = scratch.quant_codes;
+  codes.resize(code_count);
   {
     BitReader reader(inner.subspan(offset));
     for (std::uint64_t i = 0; i < code_count; ++i) {
-      quant.codes[i] = decoder.decode(reader);
+      codes[i] = scratch.huff_decoder.decode(reader);
     }
     offset += (reader.position() + 7) / 8;
   }
   const std::uint64_t outlier_count = get_varint(inner, offset);
-  quant.outliers.resize(outlier_count);
+  auto& outliers = scratch.outliers;
+  outliers.resize(outlier_count);
   for (std::uint64_t i = 0; i < outlier_count; ++i) {
-    quant.outliers[i] = get_scalar<double>(inner, offset);
+    outliers[i] = get_scalar<double>(inner, offset);
   }
-  return quant;
-}
-
-/// Packs one bit per element (sign / zero masks for the relative mode).
-void write_bitmask(Bytes& inner, const std::vector<bool>& mask) {
-  put_varint(inner, mask.size());
-  BitWriter writer(inner);
-  for (bool b : mask) writer.write_bit(b ? 1 : 0);
-}
-
-std::vector<bool> read_bitmask(ByteSpan inner, std::size_t& offset) {
-  const std::uint64_t n = get_varint(inner, offset);
-  std::vector<bool> mask(n);
-  BitReader reader(inner.subspan(offset));
-  for (std::uint64_t i = 0; i < n; ++i) mask[i] = reader.read_bit() != 0;
-  offset += (reader.position() + 7) / 8;
-  return mask;
 }
 
 }  // namespace
 
 Bytes SzCodec::compress(std::span<const double> data,
                         const compression::ErrorBound& bound) const {
+  compression::CodecScratch scratch;
+  return compress(data, bound, scratch);
+}
+
+void SzCodec::decompress(ByteSpan compressed, std::span<double> out) const {
+  compression::CodecScratch scratch;
+  decompress(compressed, out, scratch);
+}
+
+Bytes SzCodec::compress(std::span<const double> data,
+                        const compression::ErrorBound& bound,
+                        compression::CodecScratch& scratch) const {
   if (!supports(bound.mode) || !(bound.value > 0.0)) {
     throw std::invalid_argument("sz: unsupported or non-positive bound");
   }
@@ -141,13 +143,15 @@ Bytes SzCodec::compress(std::span<const double> data,
       bound.mode == compression::BoundMode::kPointwiseRelative;
   const int chains = config_.complex_split ? 2 : 1;
 
-  Bytes inner;
+  Bytes& inner = scratch.inner;
+  inner.clear();
   double quantum;
   if (!relative) {
     quantum = 2.0 * bound.value;
-    const QuantResult quant =
-        quantize(data, quantum, config_.max_bins, chains);
-    write_codes(inner, quant, config_.max_bins);
+    quantize(data, quantum, config_.max_bins, chains, scratch.quant_codes,
+             scratch.outliers);
+    write_codes(inner, scratch.quant_codes, scratch.outliers,
+                config_.max_bins, scratch);
   } else {
     // Log-preprocessing: compress log2|d| under an absolute bound chosen so
     // that 2^|err| <= 1 + eps, with sign and exact-zero side channels.
@@ -158,11 +162,15 @@ Bytes SzCodec::compress(std::span<const double> data,
         std::log2(1.0 + bound.value) -
         (config_.fast_log ? kFastLog2MaxError : 0.0);
     quantum = 2.0 * log_bound;
-    std::vector<double> logs;
+    auto& logs = scratch.values;
+    logs.clear();
     logs.reserve(data.size());
-    std::vector<bool> negative(data.size());
-    std::vector<bool> special(data.size());  // zero or nonfinite
-    Bytes special_values;
+    auto& negative = scratch.mask_a;
+    auto& special = scratch.mask_b;  // zero or nonfinite
+    negative.assign(data.size(), false);
+    special.assign(data.size(), false);
+    Bytes& special_values = scratch.special_bytes;
+    special_values.clear();
     for (std::size_t i = 0; i < data.size(); ++i) {
       const double d = data[i];
       negative[i] = std::signbit(d);
@@ -176,19 +184,18 @@ Bytes SzCodec::compress(std::span<const double> data,
                                         : std::log2(std::abs(d)));
       }
     }
-    const QuantResult quant =
-        quantize(logs, quantum, config_.max_bins, chains);
-    write_codes(inner, quant, config_.max_bins);
+    quantize(logs, quantum, config_.max_bins, chains, scratch.quant_codes,
+             scratch.outliers);
+    write_codes(inner, scratch.quant_codes, scratch.outliers,
+                config_.max_bins, scratch);
     write_bitmask(inner, negative);
     write_bitmask(inner, special);
     put_varint(inner, special_values.size() / sizeof(double));
     inner.insert(inner.end(), special_values.begin(), special_values.end());
   }
 
-  const Bytes packed = lossless::zx_compress(inner);
-
-  Bytes out;
-  out.reserve(packed.size() + 32);
+  Bytes& out = scratch.packed;
+  out.clear();
   out.push_back(kMagic0);
   out.push_back(kMagic1);
   std::uint8_t flags = 0;
@@ -198,11 +205,12 @@ Bytes SzCodec::compress(std::span<const double> data,
   put_varint(out, data.size());
   put_varint(out, config_.max_bins);
   put_scalar(out, quantum);
-  out.insert(out.end(), packed.begin(), packed.end());
-  return out;
+  lossless::zx_compress_into(inner, {}, scratch.zx, out);
+  return Bytes(out.begin(), out.end());
 }
 
-void SzCodec::decompress(ByteSpan compressed, std::span<double> out) const {
+void SzCodec::decompress(ByteSpan compressed, std::span<double> out,
+                         compression::CodecScratch& scratch) const {
   if (compressed.size() < 3 || compressed[0] != kMagic0 ||
       compressed[1] != kMagic1) {
     throw std::runtime_error("sz: bad magic");
@@ -219,23 +227,30 @@ void SzCodec::decompress(ByteSpan compressed, std::span<double> out) const {
     throw std::runtime_error("sz: output size mismatch");
   }
 
-  const Bytes inner = lossless::zx_decompress(compressed.subspan(offset));
+  Bytes& inner = scratch.inner;
+  lossless::zx_decompress_into(compressed.subspan(offset), scratch.zx, inner);
   std::size_t pos = 0;
-  const QuantResult quant = read_codes(inner, pos, bins);
-  if (quant.codes.size() != count) {
+  read_codes(inner, pos, bins, scratch);
+  if (scratch.quant_codes.size() != count) {
     throw std::runtime_error("sz: code count mismatch");
   }
 
   if (!relative) {
-    dequantize(quant.codes, quant.outliers, quantum, bins, chains, out);
+    dequantize(scratch.quant_codes, scratch.outliers, quantum, bins, chains,
+               out);
     return;
   }
-  std::vector<double> logs(count);
-  dequantize(quant.codes, quant.outliers, quantum, bins, chains, logs);
-  const std::vector<bool> negative = read_bitmask(inner, pos);
-  const std::vector<bool> special = read_bitmask(inner, pos);
+  auto& logs = scratch.values;
+  logs.resize(count);
+  dequantize(scratch.quant_codes, scratch.outliers, quantum, bins, chains,
+             logs);
+  auto& negative = scratch.mask_a;
+  auto& special = scratch.mask_b;
+  read_bitmask(inner, pos, negative);
+  read_bitmask(inner, pos, special);
   const std::uint64_t special_count = get_varint(inner, pos);
-  std::vector<double> special_values(special_count);
+  auto& special_values = scratch.special_values;
+  special_values.resize(special_count);
   for (std::uint64_t i = 0; i < special_count; ++i) {
     special_values[i] = get_scalar<double>(inner, pos);
   }

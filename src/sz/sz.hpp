@@ -16,7 +16,10 @@
 // plus sign and exact-zero side channels.
 #pragma once
 
+#include <stdexcept>
+
 #include "compression/compressor.hpp"
+#include "lossless/huffman.hpp"
 
 namespace cqs::sz {
 
@@ -34,7 +37,13 @@ struct SzConfig {
 
 class SzCodec final : public compression::Compressor {
  public:
-  explicit SzCodec(SzConfig config = {}) : config_(config) {}
+  explicit SzCodec(SzConfig config = {}) : config_(config) {
+    // The Huffman decoder admits at most 2^16 symbols; a larger bin count
+    // would compress containers its own decompress rejects.
+    if (config_.max_bins > lossless::kMaxAlphabetSize) {
+      throw std::invalid_argument("sz: max_bins exceeds 2^16");
+    }
+  }
 
   std::string name() const override {
     return config_.complex_split ? "sz-complex" : "sz";
@@ -46,6 +55,11 @@ class SzCodec final : public compression::Compressor {
   Bytes compress(std::span<const double> data,
                  const compression::ErrorBound& bound) const override;
   void decompress(ByteSpan compressed, std::span<double> out) const override;
+  Bytes compress(std::span<const double> data,
+                 const compression::ErrorBound& bound,
+                 compression::CodecScratch& scratch) const override;
+  void decompress(ByteSpan compressed, std::span<double> out,
+                  compression::CodecScratch& scratch) const override;
   std::size_t element_count(ByteSpan compressed) const override;
 
   const SzConfig& config() const { return config_; }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/bits.hpp"
+#include "compression/codec_scratch.hpp"
 #include "lossless/zx.hpp"
 
 namespace cqs::zfp {
@@ -120,27 +121,11 @@ void decode_block(BitReader& reader, std::array<std::uint64_t, 4>& u,
   }
 }
 
-void write_bitmask(Bytes& out, const std::vector<bool>& mask) {
-  put_varint(out, mask.size());
-  BitWriter writer(out);
-  for (bool b : mask) writer.write_bit(b ? 1 : 0);
-}
-
-std::vector<bool> read_bitmask(ByteSpan in, std::size_t& offset) {
-  const std::uint64_t n = get_varint(in, offset);
-  std::vector<bool> mask(n);
-  BitReader reader(in.subspan(offset));
-  for (std::uint64_t i = 0; i < n; ++i) mask[i] = reader.read_bit() != 0;
-  offset += (reader.position() + 7) / 8;
-  return mask;
-}
-
 }  // namespace
 
-Bytes ZfpCodec::compress_absolute(std::span<const double> data,
-                                  double tolerance,
-                                  std::uint8_t flags) const {
-  Bytes out;
+void ZfpCodec::compress_absolute_into(std::span<const double> data,
+                                      double tolerance, std::uint8_t flags,
+                                      Bytes& out) const {
   out.push_back(kMagic0);
   out.push_back(kMagic1);
   out.push_back(static_cast<std::byte>(flags));
@@ -182,7 +167,6 @@ Bytes ZfpCodec::compress_absolute(std::span<const double> data,
     encode_block(writer, u, kept);
   }
   writer.flush();
-  return out;
 }
 
 void ZfpCodec::decompress_absolute(ByteSpan in, std::span<double> out) const {
@@ -214,24 +198,43 @@ void ZfpCodec::decompress_absolute(ByteSpan in, std::span<double> out) const {
 
 Bytes ZfpCodec::compress(std::span<const double> data,
                          const compression::ErrorBound& bound) const {
+  compression::CodecScratch scratch;
+  return compress(data, bound, scratch);
+}
+
+void ZfpCodec::decompress(ByteSpan compressed, std::span<double> out) const {
+  compression::CodecScratch scratch;
+  decompress(compressed, out, scratch);
+}
+
+Bytes ZfpCodec::compress(std::span<const double> data,
+                         const compression::ErrorBound& bound,
+                         compression::CodecScratch& scratch) const {
   if (!supports(bound.mode)) {
     throw std::invalid_argument("zfp: unsupported bound mode");
   }
   if (!(bound.value > 0.0) && fixed_precision_ <= 0) {
     throw std::invalid_argument("zfp: non-positive bound");
   }
+  Bytes& out = scratch.packed;
+  out.clear();
   if (bound.mode == compression::BoundMode::kAbsolute) {
-    return compress_absolute(data, bound.value, 0);
+    compress_absolute_into(data, bound.value, 0, out);
+    return Bytes(out.begin(), out.end());
   }
 
   // Pointwise-relative via log preprocessing (the paper's methodology for
   // ZFP): compress log2|d| under the equivalent absolute bound.
   const double log_bound = std::log2(1.0 + bound.value);
-  std::vector<double> logs;
+  auto& logs = scratch.values;
+  logs.clear();
   logs.reserve(data.size());
-  std::vector<bool> negative(data.size());
-  std::vector<bool> special(data.size());
-  Bytes special_values;
+  auto& negative = scratch.mask_a;
+  auto& special = scratch.mask_b;
+  negative.assign(data.size(), false);
+  special.assign(data.size(), false);
+  Bytes& special_values = scratch.special_bytes;
+  special_values.clear();
   for (std::size_t i = 0; i < data.size(); ++i) {
     const double d = data[i];
     negative[i] = std::signbit(d);
@@ -243,27 +246,29 @@ Bytes ZfpCodec::compress(std::span<const double> data,
       logs.push_back(std::log2(std::abs(d)));
     }
   }
-  const Bytes inner = compress_absolute(logs, log_bound, kFlagRelative);
+  Bytes& inner = scratch.codes;
+  inner.clear();
+  compress_absolute_into(logs, log_bound, kFlagRelative, inner);
 
-  Bytes sides;
+  Bytes& sides = scratch.payload;
+  sides.clear();
   write_bitmask(sides, negative);
   write_bitmask(sides, special);
   put_varint(sides, special_values.size() / sizeof(double));
   sides.insert(sides.end(), special_values.begin(), special_values.end());
-  const Bytes packed_sides = lossless::zx_compress(sides);
 
-  Bytes out;
   out.push_back(kMagic0);
   out.push_back(kMagic1);
   out.push_back(static_cast<std::byte>(kFlagRelative));
   put_varint(out, data.size());
   put_varint(out, inner.size());
   out.insert(out.end(), inner.begin(), inner.end());
-  out.insert(out.end(), packed_sides.begin(), packed_sides.end());
-  return out;
+  lossless::zx_compress_into(sides, {}, scratch.zx, out);
+  return Bytes(out.begin(), out.end());
 }
 
-void ZfpCodec::decompress(ByteSpan compressed, std::span<double> out) const {
+void ZfpCodec::decompress(ByteSpan compressed, std::span<double> out,
+                          compression::CodecScratch& scratch) const {
   if (compressed.size() < 3 || compressed[0] != kMagic0 ||
       compressed[1] != kMagic1) {
     throw std::runtime_error("zfp: bad magic");
@@ -282,15 +287,20 @@ void ZfpCodec::decompress(ByteSpan compressed, std::span<double> out) const {
   if (offset + inner_size > compressed.size()) {
     throw std::runtime_error("zfp: inner blob truncated");
   }
-  std::vector<double> logs(count);
+  auto& logs = scratch.values;
+  logs.resize(count);
   decompress_absolute(compressed.subspan(offset, inner_size), logs);
-  const Bytes sides =
-      lossless::zx_decompress(compressed.subspan(offset + inner_size));
+  Bytes& sides = scratch.inner;
+  lossless::zx_decompress_into(compressed.subspan(offset + inner_size),
+                               scratch.zx, sides);
   std::size_t pos = 0;
-  const std::vector<bool> negative = read_bitmask(sides, pos);
-  const std::vector<bool> special = read_bitmask(sides, pos);
+  auto& negative = scratch.mask_a;
+  auto& special = scratch.mask_b;
+  read_bitmask(sides, pos, negative);
+  read_bitmask(sides, pos, special);
   const std::uint64_t special_count = get_varint(sides, pos);
-  std::vector<double> special_values(special_count);
+  auto& special_values = scratch.special_values;
+  special_values.resize(special_count);
   for (std::uint64_t i = 0; i < special_count; ++i) {
     special_values[i] = get_scalar<double>(sides, pos);
   }

@@ -36,11 +36,16 @@ class ZfpCodec final : public compression::Compressor {
   Bytes compress(std::span<const double> data,
                  const compression::ErrorBound& bound) const override;
   void decompress(ByteSpan compressed, std::span<double> out) const override;
+  Bytes compress(std::span<const double> data,
+                 const compression::ErrorBound& bound,
+                 compression::CodecScratch& scratch) const override;
+  void decompress(ByteSpan compressed, std::span<double> out,
+                  compression::CodecScratch& scratch) const override;
   std::size_t element_count(ByteSpan compressed) const override;
 
  private:
-  Bytes compress_absolute(std::span<const double> data, double tolerance,
-                          std::uint8_t flags) const;
+  void compress_absolute_into(std::span<const double> data, double tolerance,
+                              std::uint8_t flags, Bytes& out) const;
   void decompress_absolute(ByteSpan inner, std::span<double> out) const;
 
   int fixed_precision_;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -252,6 +253,60 @@ TEST(ConcurrencyTest, FidelityBoundIdenticalAcrossThreadCounts) {
       reference_bound = sim.fidelity_bound();
     } else {
       EXPECT_DOUBLE_EQ(sim.fidelity_bound(), reference_bound);
+    }
+  }
+}
+
+TEST(ConcurrencyTest, PerCodecInvocationCountsDeterministicAcrossThreads) {
+  // The report's per-codec-class attribution: with the block cache off
+  // (cache hits skip codec calls and hit/miss splits depend on
+  // interleaving), the invocation counts are a pure function of the
+  // workload — identical for 1, 2, and hw worker threads — and they
+  // partition the total codec invocations. The seconds are wall-clock and
+  // only sanity-checked (finite, nonnegative, nonzero where called).
+  const int hw = static_cast<int>(
+      std::max(2u, std::thread::hardware_concurrency()));
+  const auto circuit = random_circuit(11, 80, 3);
+  std::uint64_t ref_counts[4] = {0, 0, 0, 0};
+  bool have_reference = false;
+  for (int threads : {1, 2, hw}) {
+    core::SimConfig config;
+    config.num_qubits = 11;
+    config.num_ranks = 2;
+    config.blocks_per_rank = 8;
+    config.threads = threads;
+    config.initial_level = 1;
+    config.codec_policy = "adaptive";
+    config.enable_cache = false;
+    core::CompressedStateSimulator sim(config);
+    sim.apply_circuit(circuit);
+    const auto report = sim.report();
+    const std::uint64_t counts[4] = {report.lossless_compress_invocations,
+                                     report.lossy_compress_invocations,
+                                     report.lossless_decompress_invocations,
+                                     report.lossy_decompress_invocations};
+    EXPECT_EQ(counts[0] + counts[1], report.compress_invocations);
+    EXPECT_EQ(counts[2] + counts[3], report.decompress_invocations);
+    for (double seconds :
+         {report.lossless_compress_seconds, report.lossy_compress_seconds,
+          report.lossless_decompress_seconds,
+          report.lossy_decompress_seconds}) {
+      EXPECT_GE(seconds, 0.0);
+      EXPECT_TRUE(std::isfinite(seconds));
+    }
+    // The adaptive run writes both codec classes; time attribution must
+    // follow wherever invocations happened.
+    EXPECT_GT(counts[0] + counts[1], 0u);
+    if (counts[0] > 0) EXPECT_GT(report.lossless_compress_seconds, 0.0);
+    if (counts[1] > 0) EXPECT_GT(report.lossy_compress_seconds, 0.0);
+    if (!have_reference) {
+      for (int i = 0; i < 4; ++i) ref_counts[i] = counts[i];
+      have_reference = true;
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(counts[i], ref_counts[i]) << "threads " << threads
+                                            << " field " << i;
+      }
     }
   }
 }

@@ -235,6 +235,18 @@ TEST(CommTest, RejectsBadRanks) {
   EXPECT_THROW(comm.transfer(1, 1, a), std::invalid_argument);
 }
 
+TEST(ScratchTest, CodecPoolsEnterByteAccounting) {
+  // A fresh arena charges only the block buffers; once a worker's codec
+  // pool warms up, its high-water mark joins the Eq. 8 footprint.
+  ScratchArena arena(2, 64);
+  EXPECT_EQ(arena.codec_scratch_bytes(), 0u);
+  EXPECT_EQ(arena.bytes(), arena.block_buffer_bytes());
+  arena.codec_scratch(1).inner.reserve(1024);
+  EXPECT_GE(arena.codec_scratch_bytes(), 1024u);
+  EXPECT_EQ(arena.bytes(),
+            arena.block_buffer_bytes() + arena.codec_scratch_bytes());
+}
+
 TEST(ScratchTest, SlotsAreDisjoint) {
   ScratchArena arena(3, 64);
   EXPECT_EQ(arena.bytes(), 3u * 2 * 64 * sizeof(double));

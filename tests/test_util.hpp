@@ -15,9 +15,16 @@
 #include <string>
 #include <vector>
 
+#include "common/fixtures.hpp"
 #include "common/rng.hpp"
 
 namespace cqs::test {
+
+// The seeded generators moved to common/fixtures.hpp so the benches and
+// golden-blob tests share exactly these inputs; the test-local names stay.
+using fixtures::dense_supremacy_like;
+using fixtures::sparse_like;
+using fixtures::spiky_qaoa_like;
 
 /// Tolerance-aware comparison of two raw states. Use tol = 0 for
 /// bit-identical (lossless / determinism tests).
@@ -73,49 +80,5 @@ class TempDirFixture : public ::testing::Test {
  private:
   std::filesystem::path dir_;
 };
-
-/// Spiky, wide-dynamic-range values mimicking the paper's QAOA datasets
-/// (Figure 9's high-spikiness regime). Deterministic in `seed`.
-inline std::vector<double> spiky_qaoa_like(std::size_t n,
-                                           std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<double> data(n);
-  for (auto& d : data) {
-    const double mag = std::exp2(-20.0 * rng.next_double());
-    d = (rng.next_bool() ? mag : -mag) * rng.next_double();
-  }
-  return data;
-}
-
-/// Dense, Porter-Thomas-like amplitudes mimicking the paper's supremacy
-/// datasets: every component Gaussian at the same scale, normalized so the
-/// values look like a legitimate 2^k-amplitude state.
-inline std::vector<double> dense_supremacy_like(std::size_t n,
-                                                std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<double> data(n);
-  double norm2 = 0.0;
-  for (auto& d : data) {
-    d = rng.next_normal();
-    norm2 += d * d;
-  }
-  if (norm2 > 0.0) {
-    const double scale = 1.0 / std::sqrt(norm2);
-    for (auto& d : data) d *= scale;
-  }
-  return data;
-}
-
-/// Mostly-zero early-simulation data: exercises the lossless fast path and
-/// exact-zero preservation of every codec.
-inline std::vector<double> sparse_like(std::size_t n, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<double> data(n, 0.0);
-  const std::size_t nonzero = std::max<std::size_t>(1, n / 64);
-  for (std::size_t i = 0; i < nonzero; ++i) {
-    data[rng.next_below(n)] = rng.next_normal();
-  }
-  return data;
-}
 
 }  // namespace cqs::test
