@@ -41,7 +41,7 @@ namespace {
                "usage: %s <circuit-file> [--ranks N] [--blocks N] "
                "[--codec NAME] [--policy fixed|adaptive] [--budget-frac F] "
                "[--fuse] [--no-batching] [--max-run N] [--checkpoint PATH] "
-               "[--samples N]\n",
+               "[--samples N] [--remap [lookahead|lru]]\n",
                argv0);
   std::exit(2);
 }
@@ -88,6 +88,12 @@ int main(int argc, char** argv) try {
       checkpoint_path = next();
     } else if (arg == "--samples") {
       samples = std::atoi(next());
+    } else if (arg == "--remap") {
+      config.enable_qubit_remap = true;
+      // Optional policy operand (defaults to the config's "lookahead").
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        config.remap_policy = argv[++i];
+      }
     } else {
       usage(argv[0]);
     }

@@ -90,6 +90,27 @@ struct SimConfig {
   /// effect when enable_run_batching is on; the per-gate path applies
   /// circuits verbatim).
   bool enable_fusion_prepass = true;
+
+  /// Logical->physical qubit remapping (Intel-QS-style relabeling over
+  /// Section 3.3's partitioning). When on, the scheduler's remap pre-pass
+  /// rewrites gates through the current qubit map, absorbs SWAPs into the
+  /// map, and trades each hot rank-segment qubit into the offset segment
+  /// with a single exchange sweep so later gates on it route block-locally
+  /// — instead of one compressed-block exchange per gate. Off by default:
+  /// the identity layout reproduces the paper's communication behavior.
+  bool enable_qubit_remap = false;
+
+  /// Cold-qubit selection when a remap must evict an offset-segment
+  /// resident. "lookahead" (default) plans with the remaining circuit:
+  /// last-touch rank gates are paid in place and evictions pick the
+  /// resident targeted furthest in the future. "lru" is the classic
+  /// history-only policy: always remap, evict the least-recently-used.
+  std::string remap_policy = "lookahead";
+
+  /// Absorb SWAP gates into the qubit map (free relabels) instead of
+  /// expanding them into three CX sweeps. Exact up to the sign of zero
+  /// components the skipped X kernels would have recomputed.
+  bool remap_relabel_swaps = true;
 };
 
 }  // namespace cqs::core

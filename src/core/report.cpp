@@ -76,7 +76,15 @@ void SimulationReport::print(std::ostream& os) const {
      << format_bytes(final_lossless_bytes) << ") / " << final_lossy_blocks
      << " lossy (" << format_bytes(final_lossy_bytes) << ")\n"
      << "communication:       " << format_bytes(comm_bytes) << " in "
-     << comm_messages << " messages\n"
+     << comm_messages << " messages\n";
+  if (qubit_remap_enabled) {
+    os << "qubit remap:         " << remap_sweeps << " remap sweeps, "
+       << swaps_relabeled << " swaps relabeled; " << rank_gates_localized
+       << " rank gates localized / " << rank_gates_in_place
+       << " in place (" << remap_exchanges_avoided
+       << " exchanges avoided, " << remap_policy << " policy)\n";
+  }
+  os
      << "cache:               " << cache.hits << " hits / " << cache.misses
      << " misses" << (cache.disabled ? " (disabled)" : "") << "\n";
 }

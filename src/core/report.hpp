@@ -80,6 +80,22 @@ struct SimulationReport {
   std::uint64_t comm_bytes = 0;
   std::uint64_t comm_messages = 0;
 
+  // Qubit remapping (logical->physical relabeling; runtime/qubit_map.hpp).
+  bool qubit_remap_enabled = false;
+  std::string remap_policy;
+  std::uint64_t remap_sweeps = 0;      ///< RemapOps executed (one exchange
+                                       ///< sweep of all block pairs each)
+  std::uint64_t swaps_relabeled = 0;   ///< SWAP gates absorbed into the map
+  std::uint64_t rank_gates_localized = 0;  ///< rank-target gates made local
+  std::uint64_t rank_gates_in_place = 0;   ///< still executed cross-rank
+  /// Cross-rank block-pair exchanges the identity layout would have paid
+  /// that the remapped run did not (remap sweeps already deducted).
+  /// Upper-bound estimate: avoided sweeps are costed as full sweeps, so
+  /// avoided gates with rank/block-segment controls — whose identity
+  /// sweeps only touch the control-satisfying units — are overcounted.
+  /// Comm's own counters carry the exact actuals.
+  std::uint64_t remap_exchanges_avoided = 0;
+
   runtime::CacheStats cache;
 
   double seconds_per_gate() const {

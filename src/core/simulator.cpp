@@ -143,6 +143,16 @@ CompressedStateSimulator::CompressedStateSimulator(SimConfig config)
         "simulator: lossless codec cannot start at a lossy level");
   }
 
+  // Remap knobs are validated whether or not remapping is on, so a bad
+  // config cannot lie dormant until a resume flips the feature.
+  try {
+    qsim::parse_remap_policy(config_.remap_policy);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string("simulator: ") + e.what());
+  }
+  map_ = runtime::QubitMap::identity(config_.num_qubits);
+  remap_last_use_.assign(static_cast<std::size_t>(config_.num_qubits), 0);
+
   runtime::ArbiterConfig arbiter_config;
   arbiter_config.policy = runtime::parse_codec_policy(config_.codec_policy);
   arbiter_config.zero_fraction_threshold = config_.adaptive_zero_fraction;
@@ -272,8 +282,86 @@ void CompressedStateSimulator::decompress_payload(
   }
 }
 
+qsim::GateOp CompressedStateSimulator::to_physical(
+    const qsim::GateOp& op) const {
+  return qsim::translated_through(op, map_);
+}
+
+void CompressedStateSimulator::apply_remap(const qsim::RemapStep& step) {
+  if (partition_.segment_of(step.phys_hot) != Partition::Segment::kRank ||
+      partition_.segment_of(step.phys_cold) != Partition::Segment::kOffset) {
+    throw std::logic_error("apply_remap: step does not pair rank x offset");
+  }
+  // Swapping physical bits (offset a, rank h) moves the amplitude at
+  // (a=1, h=0) to (a=0, h=1) and back, other bits unchanged: every block
+  // pairs with the same block index on the partner rank across bit h, and
+  // the pair trades its complementary bit-a halves. One Comm::exchange of
+  // the two compressed payloads per pair — the same wire cost as a single
+  // rank-target gate — and afterwards gates on the relabeled qubit are
+  // block-local.
+  const std::uint64_t cold_bit =
+      std::uint64_t{1} << partition_.local_bit(step.phys_cold);
+  const int hot_local = partition_.local_bit(step.phys_hot);
+  const int hot_rank_bit = 1 << hot_local;
+
+  std::vector<std::pair<int, int>> units;  // (rank with hot bit 0, block)
+  for (int r = 0; r < partition_.num_ranks(); ++r) {
+    if ((r >> hot_local) & 1) continue;
+    for (int b = 0; b < partition_.blocks_per_rank(); ++b) {
+      units.emplace_back(r, b);
+    }
+  }
+  std::atomic<std::uint64_t> lossy_writes{0};
+  pool_->parallel_for(units.size(), [&](std::size_t i, std::size_t worker) {
+    const auto [r0, b] = units[i];
+    const int r1 = r0 | hot_rank_bit;
+    auto& store_a = ranks_[r0];
+    auto& store_b = ranks_[r1];
+    auto& timers = worker_timers_[worker];
+    Bytes received_b;
+    {
+      ScopedPhase phase(timers, Phase::kCommunication);
+      Bytes from_a = store_a.block(b);
+      Bytes from_b = store_b.block(b);
+      comm_->exchange(r0, r1, from_a, from_b);
+      received_b = std::move(from_a);  // exchange left b's payload here
+    }
+    auto vx = scratch_->vector_x(worker);
+    auto vy = scratch_->vector_y(worker);
+    decompress_block(r0, b, vx, worker);
+    // The partner's block decodes from the bytes that came over the wire.
+    decompress_payload(received_b, store_b.meta(b), vy, worker);
+    {
+      ScopedPhase phase(timers, Phase::kComputation);
+      auto* a0 = as_complex(vx);
+      auto* a1 = as_complex(vy);
+      const std::uint64_t count = partition_.amplitudes_per_block();
+      for (std::uint64_t k = 0; k < count; ++k) {
+        if (k & cold_bit) std::swap(a0[k], a1[k ^ cold_bit]);
+      }
+    }
+    auto [ca, meta_a] = encode_block(vx, level_, r0, b, worker);
+    auto [cb, meta_b] = encode_block(vy, level_, r1, b, worker);
+    const std::uint64_t lossy =
+        (meta_a.codec != compression::kLosslessCodecId ? 1u : 0u) +
+        (meta_b.codec != compression::kLosslessCodecId ? 1u : 0u);
+    store_a.set_block(b, std::move(ca), meta_a);
+    store_b.set_block(b, std::move(cb), meta_b);
+    if (lossy > 0) {
+      lossy_writes.fetch_add(lossy, std::memory_order_relaxed);
+    }
+  });
+  // Like a gate run: the sweep recompressed each block once, so at most
+  // one lossy pass enters the fidelity ledger.
+  if (lossy_writes.load() > 0 && level_ > 0) {
+    fidelity_.record_lossy_pass(config_.error_ladder[level_ - 1]);
+  }
+}
+
 void CompressedStateSimulator::apply(const GateOp& op) {
-  apply_single_counted(op);
+  // Ad-hoc gates arrive in logical indices like everything else; rewrite
+  // through the layout (no remap planning for a single gate).
+  apply_single_counted(map_.is_identity() ? op : to_physical(op));
   // An ad-hoc gate diverges the state from whatever circuit the cursor
   // described, so the recorded resume position is void.
   gate_cursor_ = 0;
@@ -309,7 +397,13 @@ void CompressedStateSimulator::run_from_cursor(const qsim::Circuit& circuit) {
   const auto& ops = circuit.ops();
   if (gate_cursor_ >= ops.size()) return;
 
-  if (!config_.enable_run_batching) {
+  // The remap pre-pass must run whenever the layout is non-identity (ops
+  // arrive in logical indices and the blocks are stored physically), not
+  // just when remapping is on — a v4 resume with remapping disabled still
+  // needs every gate rewritten.
+  const bool remap_path = config_.enable_qubit_remap || !map_.is_identity();
+
+  if (!remap_path && !config_.enable_run_batching) {
     for (std::uint64_t i = gate_cursor_; i < ops.size(); ++i) {
       apply_single_counted(ops[i]);
       gate_cursor_ = i + 1;
@@ -323,6 +417,77 @@ void CompressedStateSimulator::run_from_cursor(const qsim::Circuit& circuit) {
   for (std::size_t i = gate_cursor_; i < ops.size(); ++i) {
     suffix.append(ops[i]);
   }
+
+  if (!remap_path) {
+    run_segment(suffix);
+    return;
+  }
+
+  // Fuse BEFORE planning (instead of per scheduled segment) so remap
+  // boundaries cannot change which gates fuse: remap-on then executes
+  // exactly the arithmetic remap-off executes, which is what keeps the
+  // two paths bit-identical at the lossless level.
+  const bool fuse =
+      config_.enable_run_batching && config_.enable_fusion_prepass;
+  std::vector<std::size_t> origins;
+  qsim::Circuit planned = fuse ? qsim::fuse_single_qubit_gates(
+                                     suffix, nullptr, &origins)
+                               : std::move(suffix);
+  if (!fuse) origins.assign(planned.size(), 1);
+
+  qsim::RemapOptions remap_options;
+  remap_options.enabled = config_.enable_qubit_remap;
+  remap_options.policy = qsim::parse_remap_policy(config_.remap_policy);
+  remap_options.relabel_swaps = config_.remap_relabel_swaps;
+  remap_options.num_qubits = config_.num_qubits;
+  remap_options.offset_bits = partition_.offset_bits;
+  remap_options.block_bits = partition_.block_bits;
+  const qsim::RemapProgram program =
+      qsim::plan_remaps(planned, map_, remap_options, &remap_last_use_,
+                        &remap_tick_, &origins);
+  remap_sweeps_ += program.stats.remaps;
+  swaps_relabeled_ += program.stats.swaps_relabeled;
+  rank_gates_localized_ += program.stats.rank_targets_localized;
+  rank_gates_in_place_ += program.stats.rank_targets_in_place;
+  remap_sweeps_avoided_ += program.stats.sweeps_avoided;
+
+  for (const qsim::RemapItem& item : program.items) {
+    switch (item.kind) {
+      case qsim::RemapItem::Kind::kRemap: {
+        WallTimer timer;
+        apply_remap(item.remap);
+        map_.swap_physical(item.remap.phys_hot, item.remap.phys_cold);
+        ++map_generation_;
+        note_gate_finished(timer.seconds());
+        break;
+      }
+      case qsim::RemapItem::Kind::kRelabel:
+        // A SWAP absorbed into the map: zero data movement, but still one
+        // source gate for the cursor and the gate count.
+        map_.relabel(item.relabel_a, item.relabel_b);
+        ++map_generation_;
+        gates_ += item.relabel_source_gates;
+        gate_cursor_ += item.relabel_source_gates;
+        break;
+      case qsim::RemapItem::Kind::kGates:
+        run_segment(item.ops, &item.source_gates);
+        break;
+    }
+  }
+}
+
+void CompressedStateSimulator::run_segment(
+    const qsim::Circuit& segment,
+    const std::vector<std::size_t>* origin_counts) {
+  if (!config_.enable_run_batching) {
+    for (std::size_t i = 0; i < segment.ops().size(); ++i) {
+      apply_single_counted(segment.ops()[i]);
+      gate_cursor_ +=
+          origin_counts != nullptr ? (*origin_counts)[i] : 1;
+    }
+    return;
+  }
+
   qsim::SchedulerOptions options;
   options.intra_qubits = partition_.offset_bits;
   options.max_run_length = config_.max_run_length;
@@ -335,7 +500,8 @@ void CompressedStateSimulator::run_from_cursor(const qsim::Circuit& circuit) {
     options.max_run_length = kBudgetedRunCap;
   }
   options.fuse = config_.enable_fusion_prepass;
-  const qsim::Schedule schedule = qsim::build_schedule(suffix, options);
+  const qsim::Schedule schedule =
+      qsim::build_schedule(segment, options, origin_counts);
 
   for (const qsim::GateRun& run : schedule.runs()) {
     WallTimer timer;
@@ -507,7 +673,8 @@ void CompressedStateSimulator::process_single(const GateRouting& routing,
     key = fnv1a_u64(
         unit_salt,
         runtime::BlockCache::make_key(routing.descriptor, store.block(block),
-                                      {}, store.meta(block).codec));
+                                      {}, store.meta(block).codec, 0,
+                                      map_generation_));
     Bytes out1;
     Bytes out2;
     std::uint8_t codec1 = compression::kLosslessCodecId;
@@ -638,7 +805,8 @@ void CompressedStateSimulator::process_run_single(const RunPlan& plan,
   if (cache != nullptr && cache->enabled()) {
     key = runtime::BlockCache::make_run_key(plan.descriptors,
                                             store.block(block),
-                                            store.meta(block).codec);
+                                            store.meta(block).codec,
+                                            map_generation_);
     Bytes out1;
     Bytes out2;
     std::uint8_t codec1 = compression::kLosslessCodecId;
@@ -704,7 +872,8 @@ void CompressedStateSimulator::process_pair(const GateRouting& routing,
   if (cache != nullptr && cache->enabled()) {
     key = runtime::BlockCache::make_key(
         routing.descriptor, store_a.block(block_a), store_b.block(block_b),
-        store_a.meta(block_a).codec, store_b.meta(block_b).codec);
+        store_a.meta(block_a).codec, store_b.meta(block_b).codec,
+        map_generation_);
     Bytes out1;
     Bytes out2;
     std::uint8_t codec1 = compression::kLosslessCodecId;
@@ -822,8 +991,10 @@ double CompressedStateSimulator::probability_one(int qubit) {
   if (qubit < 0 || qubit >= config_.num_qubits) {
     throw std::out_of_range("probability_one: bad qubit");
   }
-  const auto segment = partition_.segment_of(qubit);
-  const int local = partition_.local_bit(qubit);
+  // The caller speaks logical qubits; the blocks are laid out physically.
+  const int physical = map_.physical(qubit);
+  const auto segment = partition_.segment_of(physical);
+  const int local = partition_.local_bit(physical);
   std::vector<double> partials(pool_->size(), 0.0);
 
   std::vector<std::pair<int, int>> units;
@@ -889,14 +1060,34 @@ std::vector<double> CompressedStateSimulator::to_raw() {
   const std::size_t total_blocks =
       static_cast<std::size_t>(partition_.num_ranks()) *
       partition_.blocks_per_rank();
+  if (map_.is_identity()) {
+    pool_->parallel_for(total_blocks, [&](std::size_t i,
+                                          std::size_t worker) {
+      const int rank = static_cast<int>(i) / partition_.blocks_per_rank();
+      const int block = static_cast<int>(i) % partition_.blocks_per_rank();
+      const std::uint64_t base = partition_.global_index(rank, block, 0) * 2;
+      decompress_block(rank, block,
+                       std::span<double>(out.data() + base,
+                                         partition_.doubles_per_block()),
+                       worker);
+    });
+    return out;
+  }
+  // Remapped layout: decompress each block into scratch and scatter every
+  // amplitude to its logical index (a bijection, so the parallel writes
+  // are disjoint). The result is always in logical order — callers never
+  // see the physical layout.
   pool_->parallel_for(total_blocks, [&](std::size_t i, std::size_t worker) {
     const int rank = static_cast<int>(i) / partition_.blocks_per_rank();
     const int block = static_cast<int>(i) % partition_.blocks_per_rank();
-    const std::uint64_t base = partition_.global_index(rank, block, 0) * 2;
-    decompress_block(rank, block,
-                     std::span<double>(out.data() + base,
-                                       partition_.doubles_per_block()),
-                     worker);
+    auto vx = scratch_->vector_x(worker);
+    decompress_block(rank, block, vx, worker);
+    for (std::uint64_t k = 0; k < partition_.amplitudes_per_block(); ++k) {
+      const std::uint64_t logical =
+          map_.to_logical_index(partition_.global_index(rank, block, k));
+      out[2 * logical] = vx[2 * k];
+      out[2 * logical + 1] = vx[2 * k + 1];
+    }
   });
   return out;
 }
@@ -919,6 +1110,11 @@ double CompressedStateSimulator::expectation_pauli_z(
     std::uint64_t qubit_mask) {
   if (qubit_mask >> config_.num_qubits != 0) {
     throw std::out_of_range("expectation_pauli_z: mask exceeds qubits");
+  }
+  // Parity over a set of logical qubits is parity over their physical
+  // homes; translating the mask bit-by-bit reuses the layout-split sums.
+  if (!map_.is_identity()) {
+    qubit_mask = map_.to_physical_index(qubit_mask);
   }
   const std::uint64_t offset_mask =
       qubit_mask & (partition_.amplitudes_per_block() - 1);
@@ -1001,7 +1197,9 @@ std::uint64_t CompressedStateSimulator::sample(Rng& rng) {
       break;
     }
   }
-  return partition_.global_index(rank, block, offset);
+  const std::uint64_t physical =
+      partition_.global_index(rank, block, offset);
+  return map_.is_identity() ? physical : map_.to_logical_index(physical);
 }
 
 int CompressedStateSimulator::measure(int qubit, Rng& rng) {
@@ -1010,8 +1208,10 @@ int CompressedStateSimulator::measure(int qubit, Rng& rng) {
   const double keep = outcome == 1 ? p1 : 1.0 - p1;
   const double scale = keep > 0.0 ? 1.0 / std::sqrt(keep) : 0.0;
 
-  const auto segment = partition_.segment_of(qubit);
-  const int local = partition_.local_bit(qubit);
+  // Collapse along the measured qubit's *physical* bit.
+  const int physical = map_.physical(qubit);
+  const auto segment = partition_.segment_of(physical);
+  const int local = partition_.local_bit(physical);
   const std::size_t total_blocks =
       static_cast<std::size_t>(partition_.num_ranks()) *
       partition_.blocks_per_rank();
@@ -1088,6 +1288,7 @@ void CompressedStateSimulator::save_checkpoint(
   header.fidelity_bound = fidelity_.bound();
   header.lossy_passes = fidelity_.lossy_passes();
   header.codec_name = config_.codec;
+  header.qubit_map = map_;
   runtime::save_checkpoint(path, header, ranks_);
 }
 
@@ -1108,6 +1309,19 @@ CompressedStateSimulator CompressedStateSimulator::load_checkpoint(
   sim.ranks_ = std::move(stores);
   sim.level_ = static_cast<int>(header.ladder_level);
   sim.gate_cursor_ = header.next_gate_index;
+  // Pre-v4 files carry no map (identity, which the constructor set). A v4
+  // map must cover exactly this simulation's qubits. kLru recency is not
+  // persisted — a resumed LRU plan starts from a cold history, which only
+  // shifts future eviction choices, never correctness.
+  if (!header.qubit_map.empty()) {
+    if (header.qubit_map.size() != config.num_qubits) {
+      throw std::invalid_argument(
+          "load_checkpoint: qubit map covers " +
+          std::to_string(header.qubit_map.size()) + " qubits, state has " +
+          std::to_string(config.num_qubits));
+    }
+    sim.map_ = header.qubit_map;
+  }
   // Validate every block's codec id up front (decompression happens on
   // worker threads, where a bad id could not throw usefully), and seed the
   // arbiter's hysteresis from the persisted codec so the first pass after
@@ -1187,6 +1401,17 @@ SimulationReport CompressedStateSimulator::report() const {
   const auto comm_stats = comm_->stats();
   rep.comm_bytes = comm_stats.bytes_moved;
   rep.comm_messages = comm_stats.messages;
+  rep.qubit_remap_enabled = config_.enable_qubit_remap;
+  rep.remap_policy = config_.remap_policy;
+  rep.remap_sweeps = remap_sweeps_;
+  rep.swaps_relabeled = swaps_relabeled_;
+  rep.rank_gates_localized = rank_gates_localized_;
+  rep.rank_gates_in_place = rank_gates_in_place_;
+  // One avoided sweep = one paired exchange per (rank pair, block).
+  rep.remap_exchanges_avoided =
+      remap_sweeps_avoided_ *
+      (static_cast<std::uint64_t>(partition_.num_ranks()) / 2 *
+       partition_.blocks_per_rank());
   for (const auto& cache : caches_) {
     const auto stats = cache->stats();
     rep.cache.hits += stats.hits;

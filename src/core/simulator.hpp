@@ -36,6 +36,7 @@
 #include "runtime/codec_arbiter.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/partition.hpp"
+#include "runtime/qubit_map.hpp"
 #include "runtime/scratch.hpp"
 
 namespace cqs::core {
@@ -46,6 +47,12 @@ class CompressedStateSimulator {
 
   const SimConfig& config() const { return config_; }
   const runtime::Partition& partition() const { return partition_; }
+
+  /// Current logical->physical qubit layout. Identity unless qubit
+  /// remapping has relabeled or exchanged positions (or a v4 checkpoint
+  /// restored a remapped layout). All public APIs speak logical indices;
+  /// the map is exposed for tests and benches.
+  const runtime::QubitMap& qubit_map() const { return map_; }
 
   /// Applies one ad-hoc gate (counts toward the per-gate statistics).
   /// Ad-hoc gates invalidate any recorded circuit position: the gate
@@ -168,9 +175,23 @@ class CompressedStateSimulator {
                           std::span<double> out, std::size_t worker) const;
 
   /// Shared tail of apply_circuit / resume_circuit: applies the ops of
-  /// `circuit` from gate_cursor_ to the end, batched through the gate-run
-  /// scheduler when enabled, advancing the cursor in source-gate units.
+  /// `circuit` from gate_cursor_ to the end — through the qubit-remap
+  /// pre-pass whenever remapping is on or the layout is already
+  /// non-identity — batched through the gate-run scheduler when enabled,
+  /// advancing the cursor in source-gate units.
   void run_from_cursor(const qsim::Circuit& circuit);
+  /// Applies one contiguous stretch of already-physical ops, batched or
+  /// per-gate, advancing the cursor. `origin_counts` carries per-op
+  /// source-gate weights when the ops were fused before planning (null =
+  /// every op weighs 1 and the scheduler may fuse internally).
+  void run_segment(const qsim::Circuit& segment,
+                   const std::vector<std::size_t>* origin_counts = nullptr);
+  /// One physical exchange sweep trading a rank-segment position for an
+  /// offset-segment position (the data half of a RemapOp; the caller
+  /// mirrors the swap into map_).
+  void apply_remap(const qsim::RemapStep& step);
+  /// `op` with its qubits rewritten into the current physical layout.
+  qsim::GateOp to_physical(const qsim::GateOp& op) const;
   void apply_single_counted(const qsim::GateOp& op);
 
   void apply_impl(const qsim::GateOp& op);
@@ -224,10 +245,23 @@ class CompressedStateSimulator {
   FidelityTracker fidelity_;
   std::uint64_t gate_cursor_ = 0;
 
+  // Qubit remapping (logical->physical relabeling).
+  runtime::QubitMap map_;
+  /// Bumped on every map mutation; joins cache keys so cached outputs
+  /// stay pure functions of their inputs across relabels.
+  std::uint64_t map_generation_ = 0;
+  std::vector<std::uint64_t> remap_last_use_;  ///< kLru recency, by logical
+  std::uint64_t remap_tick_ = 0;
+
   // Statistics.
   std::uint64_t gates_ = 0;
   std::uint64_t batched_runs_ = 0;
   std::uint64_t batched_gates_ = 0;  ///< scheduled ops applied inside runs
+  std::uint64_t remap_sweeps_ = 0;
+  std::uint64_t swaps_relabeled_ = 0;
+  std::uint64_t rank_gates_localized_ = 0;
+  std::uint64_t rank_gates_in_place_ = 0;
+  std::uint64_t remap_sweeps_avoided_ = 0;
   InvocationCounter compress_calls_;
   InvocationCounter decompress_calls_;
   double wall_seconds_ = 0.0;

@@ -1,6 +1,7 @@
 #include "qsim/scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -20,16 +21,24 @@ bool is_block_local(const GateOp& op, int intra_qubits) {
 }
 
 Schedule build_schedule(const Circuit& circuit,
-                        const SchedulerOptions& options) {
+                        const SchedulerOptions& options,
+                        const std::vector<std::size_t>* origin_counts) {
   if (options.intra_qubits < 0) {
     throw std::invalid_argument("build_schedule: negative intra_qubits");
   }
+  if (origin_counts != nullptr && origin_counts->size() != circuit.size()) {
+    throw std::invalid_argument(
+        "build_schedule: origin counts must cover every op");
+  }
   FusionStats fusion;
   std::vector<std::size_t> origins;
-  Schedule schedule(options.fuse
+  const bool fuse_here = options.fuse && origin_counts == nullptr;
+  Schedule schedule(fuse_here
                         ? fuse_single_qubit_gates(circuit, &fusion, &origins)
                         : circuit);
-  if (!options.fuse) {
+  if (origin_counts != nullptr) {
+    origins = *origin_counts;
+  } else if (!fuse_here) {
     origins.assign(circuit.size(), 1);
   }
   schedule.stats_.fusion = fusion;
@@ -68,6 +77,264 @@ Schedule build_schedule(const Circuit& circuit,
   }
   close();
   return schedule;
+}
+
+RemapPolicy parse_remap_policy(const std::string& name) {
+  if (name == "lookahead") return RemapPolicy::kLookahead;
+  if (name == "lru") return RemapPolicy::kLru;
+  throw std::invalid_argument(
+      "remap policy must be 'lookahead' or 'lru', got '" + name + "'");
+}
+
+GateOp translated_through(const GateOp& op, const runtime::QubitMap& map) {
+  GateOp out = op;
+  out.target = map.physical(op.target);
+  for (int& c : out.controls) {
+    if (c >= 0) c = map.physical(c);
+  }
+  return out;
+}
+
+namespace {
+
+constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+
+/// Positions at which each logical qubit is the target of a non-diagonal
+/// gate — the only events that can force an exchange sweep and therefore
+/// the only ones the lookahead policy plans around. SWAP counts for both
+/// of its qubits unless relabeling makes it free.
+struct TargetEvents {
+  std::vector<std::vector<std::size_t>> at;  // per logical qubit, ascending
+  std::vector<std::size_t> next;             // scan cursor per qubit
+
+  TargetEvents(const Circuit& circuit, const RemapOptions& options)
+      : at(options.num_qubits), next(options.num_qubits, 0) {
+    const auto& ops = circuit.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const GateOp& op = ops[i];
+      if (op.kind == GateKind::kSwap) {
+        if (!options.relabel_swaps) {
+          at[op.target].push_back(i);
+          at[op.controls[0]].push_back(i);
+        }
+        continue;
+      }
+      if (!is_diagonal(op.kind)) at[op.target].push_back(i);
+    }
+  }
+
+  /// First event of `logical` strictly after position `i` (kNever if none).
+  std::size_t next_after(int logical, std::size_t i) {
+    auto& cursor = next[logical];
+    const auto& events = at[logical];
+    while (cursor < events.size() && events[cursor] <= i) ++cursor;
+    return cursor < events.size() ? events[cursor] : kNever;
+  }
+
+  /// Events of `logical` strictly after position `i` — the sweeps the
+  /// qubit would pay over the rest of the circuit if it sat at rank the
+  /// whole time, which is the lookahead policy's cost proxy.
+  std::size_t remaining_after(int logical, std::size_t i) {
+    next_after(logical, i);  // advance the cursor past <= i
+    return at[logical].size() - next[logical];
+  }
+};
+
+/// Exchange sweeps the identity (remap-off) layout pays for one logical
+/// op: one per non-diagonal rank-segment target, with SWAP expanded into
+/// its three CX legs (targets b, a, b).
+std::size_t identity_sweeps(const GateOp& op, int rank_start) {
+  if (op.kind == GateKind::kSwap) {
+    std::size_t sweeps = 0;
+    if (op.controls[0] >= rank_start) sweeps += 2;
+    if (op.target >= rank_start) sweeps += 1;
+    return sweeps;
+  }
+  return !is_diagonal(op.kind) && op.target >= rank_start ? 1 : 0;
+}
+
+}  // namespace
+
+RemapProgram plan_remaps(const Circuit& circuit,
+                         const runtime::QubitMap& map,
+                         const RemapOptions& options,
+                         std::vector<std::uint64_t>* last_use,
+                         std::uint64_t* tick,
+                         const std::vector<std::size_t>* origin_counts) {
+  if (options.num_qubits != circuit.num_qubits() ||
+      options.num_qubits != map.size()) {
+    throw std::invalid_argument("plan_remaps: qubit count mismatch");
+  }
+  if (origin_counts != nullptr && origin_counts->size() != circuit.size()) {
+    throw std::invalid_argument(
+        "plan_remaps: origin counts must cover every op");
+  }
+  if (options.offset_bits < 1 ||
+      options.offset_bits + options.block_bits > options.num_qubits) {
+    throw std::invalid_argument("plan_remaps: bad segment split");
+  }
+  const int rank_start = options.offset_bits + options.block_bits;
+  const bool lru = options.policy == RemapPolicy::kLru;
+  if (options.enabled && lru &&
+      (last_use == nullptr || tick == nullptr ||
+       last_use->size() != static_cast<std::size_t>(options.num_qubits))) {
+    throw std::invalid_argument("plan_remaps: lru policy needs recency state");
+  }
+
+  RemapProgram program;
+  runtime::QubitMap working = map;
+  TargetEvents events(circuit, options);
+
+  auto append_gate = [&](const GateOp& op, std::size_t weight) {
+    if (program.items.empty() ||
+        program.items.back().kind != RemapItem::Kind::kGates) {
+      RemapItem item;
+      item.kind = RemapItem::Kind::kGates;
+      item.ops = Circuit(options.num_qubits);
+      program.items.push_back(std::move(item));
+    }
+    program.items.back().ops.append(op);
+    program.items.back().source_gates.push_back(weight);
+  };
+
+  /// Best eviction victim: the offset-segment physical position whose
+  /// logical occupant would pay the fewest future sweeps at rank —
+  /// lookahead minimizes the remaining non-diagonal target count (dead
+  /// qubits first), with the furthest next use breaking ties; LRU takes
+  /// the least recently touched. Remaining ties break toward the lowest
+  /// physical position so plans are deterministic.
+  struct Victim {
+    int position = -1;  ///< -1: no eligible candidate
+    std::size_t remaining = 0;  ///< future sweeps the victim would pay
+    std::size_t next_use = 0;
+  };
+  auto pick_cold = [&](std::size_t i, int exclude_logical = -1) {
+    Victim best;
+    bool have = false;
+    std::uint64_t best_age = 0;
+    for (int p = 0; p < options.offset_bits; ++p) {
+      const int resident = working.logical(p);
+      if (resident == exclude_logical) continue;
+      if (lru) {
+        const std::uint64_t age = (*last_use)[resident];
+        if (!have || age < best_age) {
+          best.position = p;
+          best_age = age;
+          have = true;
+        }
+      } else {
+        const std::size_t remaining = events.remaining_after(resident, i);
+        const std::size_t when = events.next_after(resident, i);
+        if (!have || remaining < best.remaining ||
+            (remaining == best.remaining && when > best.next_use)) {
+          best.position = p;
+          best.remaining = remaining;
+          best.next_use = when;
+          have = true;
+        }
+      }
+    }
+    return best;
+  };
+
+  auto emit_remap = [&](int phys_hot, int phys_cold) {
+    RemapItem item;
+    item.kind = RemapItem::Kind::kRemap;
+    item.remap = RemapStep{phys_hot, phys_cold};
+    working.swap_physical(item.remap.phys_hot, item.remap.phys_cold);
+    program.items.push_back(item);
+    ++program.stats.remaps;
+  };
+
+  std::size_t gross_avoided = 0;
+  std::size_t added_cost = 0;
+  const auto& ops = circuit.ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const GateOp& op = ops[i];
+    const std::size_t weight =
+        origin_counts != nullptr ? (*origin_counts)[i] : 1;
+    if (options.enabled && lru) {
+      ++*tick;
+      (*last_use)[op.target] = *tick;
+      for (int c : op.controls) {
+        if (c >= 0) (*last_use)[c] = *tick;
+      }
+    }
+
+    if (options.enabled && op.kind == GateKind::kSwap &&
+        options.relabel_swaps) {
+      RemapItem item;
+      item.kind = RemapItem::Kind::kRelabel;
+      item.relabel_a = op.target;
+      item.relabel_b = op.controls[0];
+      item.relabel_source_gates = weight;
+      working.relabel(item.relabel_a, item.relabel_b);
+      program.items.push_back(item);
+      ++program.stats.swaps_relabeled;
+      gross_avoided += identity_sweeps(op, rank_start);
+      continue;
+    }
+
+    GateOp phys = translated_through(op, working);
+    if (options.enabled) {
+      if (op.kind == GateKind::kSwap) {
+        // The b leg of the expansion pays two sweeps at rank and the a leg
+        // one, so remapping always at least breaks even — and leaves both
+        // qubits block-local for everything that follows. The swap's own
+        // partner is never the victim (evicting it to rank would hand its
+        // legs the cost just saved).
+        for (int q : {op.controls[0], op.target}) {
+          const int other = q == op.target ? op.controls[0] : op.target;
+          if (working.physical(q) >= rank_start) {
+            const Victim victim = pick_cold(i, other);
+            // No eligible slot (a 1-qubit offset segment holding the
+            // partner): leave the leg at rank rather than churn the map.
+            if (victim.position >= 0) {
+              emit_remap(working.physical(q), victim.position);
+            }
+          }
+        }
+        phys = translated_through(op, working);
+        gross_avoided += identity_sweeps(op, rank_start);
+      } else if (!is_diagonal(op.kind) && phys.target >= rank_start) {
+        // Trade-gain rule: remapping costs the same single sweep as
+        // applying in place, then hands the hot position's future to the
+        // evicted resident. Lookahead therefore only trades when a truly
+        // cold victim exists — zero remaining targets, so the remap
+        // deletes every future sweep of the hot qubit and adds none —
+        // and the hot qubit has a future at all (a last-touch gate pays
+        // its one sweep in place). Evicting a merely-cooler qubit is a
+        // loss in bytes even when it wins on counts: its deferred sweeps
+        // land on a denser, worse-compressing state.
+        const std::size_t hot_remaining =
+            events.remaining_after(op.target, i);
+        const Victim victim = pick_cold(i);
+        if (lru || (victim.remaining == 0 && hot_remaining > 0)) {
+          emit_remap(phys.target, victim.position);
+          phys = translated_through(op, working);
+        } else {
+          ++program.stats.rank_targets_in_place;
+          // An evicted logical targeted at rank is remap-added cost the
+          // identity layout never paid.
+          if (identity_sweeps(op, rank_start) == 0) ++added_cost;
+        }
+      }
+      if (op.kind != GateKind::kSwap && !is_diagonal(op.kind) &&
+          phys.target < rank_start &&
+          identity_sweeps(op, rank_start) > 0) {
+        ++program.stats.rank_targets_localized;
+        ++gross_avoided;
+      }
+    }
+    append_gate(phys, weight);
+  }
+  // Every emitted RemapStep is itself one sweep the identity layout never
+  // paid; net the ledger so `sweeps_avoided` is directly comparable to
+  // the remap-off exchange count.
+  const std::size_t penalty = program.stats.remaps + added_cost;
+  program.stats.sweeps_avoided =
+      gross_avoided > penalty ? gross_avoided - penalty : 0;
+  return program;
 }
 
 }  // namespace cqs::qsim

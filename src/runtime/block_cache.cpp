@@ -8,7 +8,8 @@ BlockCache::BlockCache(std::size_t lines,
 
 std::uint64_t BlockCache::make_key(ByteSpan op_descriptor, ByteSpan cb1,
                                    ByteSpan cb2, std::uint8_t cb1_codec,
-                                   std::uint8_t cb2_codec) {
+                                   std::uint8_t cb2_codec,
+                                   std::uint64_t map_generation) {
   std::uint64_t h = fnv1a(op_descriptor);
   h = fnv1a(cb1, h);
   h = fnv1a_u64(cb1.size(), h);
@@ -16,12 +17,13 @@ std::uint64_t BlockCache::make_key(ByteSpan op_descriptor, ByteSpan cb1,
   h = fnv1a(cb2, h);
   h = fnv1a_u64(cb2.size(), h);
   h = fnv1a_u64(cb2_codec, h);
+  if (map_generation != 0) h = fnv1a_u64(map_generation, h);
   return h;
 }
 
 std::uint64_t BlockCache::make_run_key(std::span<const Bytes> op_descriptors,
-                                       ByteSpan cb1,
-                                       std::uint8_t cb1_codec) {
+                                       ByteSpan cb1, std::uint8_t cb1_codec,
+                                       std::uint64_t map_generation) {
   std::uint64_t h = fnv1a_u64(op_descriptors.size(), 0xcbf29ce484222325ull);
   for (const Bytes& d : op_descriptors) {
     h = fnv1a(d, h);
@@ -30,6 +32,7 @@ std::uint64_t BlockCache::make_run_key(std::span<const Bytes> op_descriptors,
   h = fnv1a(cb1, h);
   h = fnv1a_u64(cb1.size(), h);
   h = fnv1a_u64(cb1_codec, h);
+  if (map_generation != 0) h = fnv1a_u64(map_generation, h);
   return h;
 }
 

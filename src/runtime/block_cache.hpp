@@ -40,17 +40,24 @@ class BlockCache {
   /// Key for (OP, CB1, CB2): hash of the op descriptor and input payloads,
   /// plus each input's codec id — byte-identical payloads produced by
   /// different codecs decode to different blocks, so the id must join the
-  /// identity.
+  /// identity. `map_generation` is the simulator's qubit-map version
+  /// counter: ops are cached in physical coordinates, and folding the
+  /// generation in keeps every cached block a pure function of its inputs
+  /// even across relabels that reuse a physical gate descriptor (0 = the
+  /// identity layout, which never changes).
   static std::uint64_t make_key(ByteSpan op_descriptor, ByteSpan cb1,
                                 ByteSpan cb2, std::uint8_t cb1_codec = 0,
-                                std::uint8_t cb2_codec = 0);
+                                std::uint8_t cb2_codec = 0,
+                                std::uint64_t map_generation = 0);
 
   /// Key for (RUN, CB1): a gate run is a first-class cache identity — the
   /// hash covers the descriptor count and each per-gate descriptor with
   /// its length, so ({"ab","c"}, ...) and ({"a","bc"}, ...) never collide,
-  /// plus the single input block a block-local run reads and its codec id.
+  /// plus the single input block a block-local run reads and its codec id,
+  /// plus the qubit-map generation (see make_key).
   static std::uint64_t make_run_key(std::span<const Bytes> op_descriptors,
-                                    ByteSpan cb1, std::uint8_t cb1_codec = 0);
+                                    ByteSpan cb1, std::uint8_t cb1_codec = 0,
+                                    std::uint64_t map_generation = 0);
 
   /// On hit, copies the cached output blocks into `out1` / `out2` (out2
   /// untouched for single-block entries), reports which codec produced

@@ -12,10 +12,13 @@ namespace {
 
 // The trailing magic byte is the format version; the reader accepts all
 // of them. v2 appended the lossy-pass count after the fidelity bound; v3
-// appends a codec id to every block's meta (adaptive per-block codecs).
+// appends a codec id to every block's meta (adaptive per-block codecs);
+// v4 appends the serialized logical->physical qubit map after the codec
+// name (qubit remapping).
 constexpr char kMagicV1[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '1'};
 constexpr char kMagicV2[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '2'};
 constexpr char kMagicV3[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '3'};
+constexpr char kMagicV4[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '4'};
 
 }  // namespace
 
@@ -23,8 +26,8 @@ void save_checkpoint(const std::string& path, const CheckpointHeader& header,
                      const std::vector<BlockStore>& ranks) {
   Bytes buffer;
   buffer.insert(buffer.end(),
-                reinterpret_cast<const std::byte*>(kMagicV3),
-                reinterpret_cast<const std::byte*>(kMagicV3) + 8);
+                reinterpret_cast<const std::byte*>(kMagicV4),
+                reinterpret_cast<const std::byte*>(kMagicV4) + 8);
   put_varint(buffer, header.num_qubits);
   put_varint(buffer, header.num_ranks);
   put_varint(buffer, header.blocks_per_rank);
@@ -36,6 +39,9 @@ void save_checkpoint(const std::string& path, const CheckpointHeader& header,
   for (char ch : header.codec_name) {
     buffer.push_back(static_cast<std::byte>(ch));
   }
+  // An empty map serializes as a zero count, which the loader reads as
+  // "identity layout" — same meaning pre-v4 files carry implicitly.
+  header.qubit_map.serialize(buffer);
   put_varint(buffer, ranks.size());
   for (const BlockStore& store : ranks) {
     put_varint(buffer, store.num_blocks());
@@ -69,7 +75,8 @@ std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
   const bool v1 = size >= 8 && std::memcmp(buffer.data(), kMagicV1, 8) == 0;
   const bool v2 = size >= 8 && std::memcmp(buffer.data(), kMagicV2, 8) == 0;
   const bool v3 = size >= 8 && std::memcmp(buffer.data(), kMagicV3, 8) == 0;
-  if (!v1 && !v2 && !v3) {
+  const bool v4 = size >= 8 && std::memcmp(buffer.data(), kMagicV4, 8) == 0;
+  if (!v1 && !v2 && !v3 && !v4) {
     throw std::runtime_error("checkpoint: bad magic");
   }
   std::size_t offset = 8;
@@ -92,11 +99,15 @@ std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
   header.codec_name.assign(
       reinterpret_cast<const char*>(buffer.data()) + offset, name_len);
   offset += name_len;
+  if (v4) {
+    // Rejects non-permutation tables (corruption) with runtime_error.
+    header.qubit_map = QubitMap::deserialize(buffer, offset);
+  }
 
   // Pre-v3 blocks never stored a codec id; level 0 was by construction
   // the lossless zx stage and every lossy level used the header codec.
   const std::uint8_t legacy_lossy_codec =
-      v3 ? 0 : compression::codec_id(header.codec_name);
+      (v3 || v4) ? 0 : compression::codec_id(header.codec_name);
 
   const std::uint64_t rank_count = get_varint(buffer, offset);
   std::vector<BlockStore> ranks;
@@ -105,13 +116,15 @@ std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
     const auto block_count = static_cast<int>(get_varint(buffer, offset));
     BlockStore store(block_count);
     for (int b = 0; b < block_count; ++b) {
-      if (offset + (v3 ? 1u : 0u) >= buffer.size()) {
+      const bool has_codec_byte = v3 || v4;
+      if (offset + (has_codec_byte ? 1u : 0u) >= buffer.size()) {
         throw std::runtime_error("checkpoint: truncated block meta");
       }
       BlockMeta meta{static_cast<std::uint8_t>(buffer[offset++])};
-      meta.codec = v3 ? static_cast<std::uint8_t>(buffer[offset++])
-                      : (meta.level == 0 ? compression::kLosslessCodecId
-                                         : legacy_lossy_codec);
+      meta.codec = has_codec_byte
+                       ? static_cast<std::uint8_t>(buffer[offset++])
+                       : (meta.level == 0 ? compression::kLosslessCodecId
+                                          : legacy_lossy_codec);
       const std::uint64_t block_size = get_varint(buffer, offset);
       if (offset + block_size > buffer.size()) {
         throw std::runtime_error("checkpoint: truncated block payload");

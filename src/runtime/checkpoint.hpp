@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "runtime/block_store.hpp"
+#include "runtime/qubit_map.hpp"
 
 namespace cqs::runtime {
 
@@ -25,18 +26,26 @@ struct CheckpointHeader {
   /// thing it can — one synthetic pass when the bound is below 1.
   std::uint64_t lossy_passes = 0;
   std::string codec_name;
+  /// Logical->physical layout of the saved blocks (format v4). Pre-v4
+  /// files never remapped, so the loader leaves this empty and the
+  /// simulator derives the identity map.
+  QubitMap qubit_map;
 };
 
-/// Writes header + every rank's compressed blocks to `path` in format v3:
+/// Writes header + every rank's compressed blocks to `path` in format v4:
 /// each block carries its ladder level AND the codec id that produced its
-/// payload, so per-block adaptive codec choices survive a resume.
+/// payload (v3), and the header carries the logical->physical qubit map
+/// the blocks are laid out under (v4), so per-block adaptive codec
+/// choices and the remapped layout both survive a resume.
 /// Throws std::runtime_error on I/O failure.
 void save_checkpoint(const std::string& path, const CheckpointHeader& header,
                      const std::vector<BlockStore>& ranks);
 
-/// Reads a checkpoint written by save_checkpoint. Accepts formats v1-v3;
+/// Reads a checkpoint written by save_checkpoint. Accepts formats v1-v4;
 /// v1/v2 blocks never stored a codec id, so the reader derives it from the
-/// block's level (0 = lossless zx, otherwise the header codec).
+/// block's level (0 = lossless zx, otherwise the header codec), and
+/// pre-v4 headers carry no qubit map (identity layout). A v4 map that is
+/// not a permutation is rejected with std::runtime_error.
 std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
     const std::string& path);
 

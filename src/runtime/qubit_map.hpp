@@ -1,0 +1,99 @@
+// Logical->physical qubit map (the Intel-QS trick applied to Section 3.3's
+// partitioning). The simulator stores amplitudes in a *physical* bit
+// layout; a QubitMap is the permutation that says where each logical
+// qubit's index bit currently lives. Relabeling two qubits — swapping
+// their physical homes — costs one map update instead of moving
+// amplitudes, which turns most cross-rank gate traffic into bookkeeping:
+// a hot rank-segment qubit is exchanged into the offset segment once and
+// every later gate on it routes block-locally.
+//
+// The map is a permutation over [0, n): physical(l) is the physical bit
+// of logical qubit l, logical(p) its inverse. Both directions are stored
+// so queries are O(1); every mutation keeps them consistent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "runtime/partition.hpp"
+
+namespace cqs::runtime {
+
+class QubitMap {
+ public:
+  /// Empty map (size 0). Stands for "identity over however many qubits" in
+  /// contexts that carry the count elsewhere (pre-v4 checkpoints).
+  QubitMap() = default;
+
+  /// Identity over `num_qubits` qubits.
+  explicit QubitMap(int num_qubits);
+
+  static QubitMap identity(int num_qubits) { return QubitMap(num_qubits); }
+
+  /// Builds a map from an explicit physical-of-logical table. Throws
+  /// std::invalid_argument unless the table is a permutation of [0, n).
+  static QubitMap from_physical(std::vector<int> physical_of_logical);
+
+  int size() const { return static_cast<int>(physical_.size()); }
+  bool empty() const { return physical_.empty(); }
+  bool is_identity() const;
+
+  int physical(int logical) const { return physical_[logical]; }
+  int logical(int physical) const { return logical_[physical]; }
+  const std::vector<int>& physical_table() const { return physical_; }
+
+  /// Relabels the two *logical* qubits: their physical homes swap. This is
+  /// the zero-cost SWAP gate — no amplitude moves.
+  void relabel(int logical_a, int logical_b);
+
+  /// Swaps the logical occupants of two *physical* positions — the map
+  /// update that accompanies a physical amplitude exchange (RemapOp).
+  void swap_physical(int phys_a, int phys_b);
+
+  /// Composition: the map that results from applying `next` after this
+  /// one, i.e. result.physical(l) == next.physical(this->physical(l)).
+  /// Sizes must match.
+  QubitMap composed(const QubitMap& next) const;
+
+  /// The inverse permutation: inverted().physical(p) == logical(p).
+  QubitMap inverted() const;
+
+  // --- Segment queries (Section 3.3 routing through the map) ---
+
+  Partition::Segment segment_of(const Partition& p, int logical) const {
+    return p.segment_of(physical(logical));
+  }
+  int local_bit(const Partition& p, int logical) const {
+    return p.local_bit(physical(logical));
+  }
+
+  // --- Index translation ---
+
+  /// Physical amplitude index of a logical basis state: bit l of `logical`
+  /// moves to bit physical(l).
+  std::uint64_t to_physical_index(std::uint64_t logical_index) const;
+
+  /// Inverse of to_physical_index.
+  std::uint64_t to_logical_index(std::uint64_t physical_index) const;
+
+  // --- Serialized form (checkpoint v4) ---
+
+  /// Appends varint(n) followed by n varint physical positions.
+  void serialize(Bytes& out) const;
+
+  /// Reads a serialized map at `offset`, advancing it. Throws
+  /// std::runtime_error on truncation or when the decoded table is not a
+  /// permutation.
+  static QubitMap deserialize(ByteSpan in, std::size_t& offset);
+
+  bool operator==(const QubitMap& other) const {
+    return physical_ == other.physical_;
+  }
+
+ private:
+  std::vector<int> physical_;  ///< physical_[logical]
+  std::vector<int> logical_;   ///< logical_[physical], kept in sync
+};
+
+}  // namespace cqs::runtime

@@ -46,14 +46,19 @@ SimConfig mixed_config(int qubits) {
   return config;
 }
 
-/// Writes a legacy (v1 or v2) checkpoint holding a REAL simulator state:
-/// `raw` chopped into 2 ranks x 2 blocks, each block zx-compressed at
-/// level 0 — exactly what the old writers produced for a lossless run
-/// whose `gates_done` gates of a circuit had been applied.
+/// Writes a legacy (v1, v2, or v3) checkpoint holding a REAL simulator
+/// state: `raw` chopped into 2 ranks x 2 blocks, each block zx-compressed
+/// at level 0 — exactly what the old writers produced for a lossless run
+/// whose `gates_done` gates of a circuit had been applied. v3 adds the
+/// per-block codec byte; none of them carry a qubit map. For corruption
+/// tests, `qubit_map_override` injects an arbitrary map table into a v4
+/// file (empty = omit the map section entirely, i.e. stay legacy).
 void write_legacy_checkpoint(const std::string& path, int version,
                              const std::vector<double>& raw, int num_qubits,
                              std::uint64_t gates_done,
-                             std::uint64_t lossy_passes) {
+                             std::uint64_t lossy_passes,
+                             const std::vector<int>& qubit_map_override =
+                                 {}) {
   Bytes buffer;
   const char magic[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T',
                          static_cast<char>('0' + version)};
@@ -69,6 +74,12 @@ void write_legacy_checkpoint(const std::string& path, int version,
   const std::string codec_name = "qzc";
   put_varint(buffer, codec_name.size());
   for (char ch : codec_name) buffer.push_back(static_cast<std::byte>(ch));
+  if (version >= 4) {
+    put_varint(buffer, qubit_map_override.size());
+    for (int p : qubit_map_override) {
+      put_varint(buffer, static_cast<std::uint64_t>(p));
+    }
+  }
 
   const auto codec = compression::make_compressor("zstd");
   const std::size_t doubles_per_block = raw.size() / 4;
@@ -81,6 +92,9 @@ void write_legacy_checkpoint(const std::string& path, int version,
           std::span<const double>(raw.data() + base, doubles_per_block),
           compression::ErrorBound::lossless());
       buffer.push_back(std::byte{0});  // meta level (no codec byte pre-v3)
+      if (version >= 3) {
+        buffer.push_back(std::byte{0});  // codec id: lossless zx
+      }
       put_varint(buffer, payload.size());
       buffer.insert(buffer.end(), payload.begin(), payload.end());
     }
@@ -92,7 +106,7 @@ void write_legacy_checkpoint(const std::string& path, int version,
 
 using CheckpointMatrixTest = test::TempDirFixture;
 
-TEST_F(CheckpointMatrixTest, V1AndV2FilesResumeCorrectly) {
+TEST_F(CheckpointMatrixTest, LegacyV1V2V3FilesResumeWithIdentityMaps) {
   const auto circuit =
       circuits::qft_circuit({.num_qubits = 8, .random_input = false});
 
@@ -111,13 +125,17 @@ TEST_F(CheckpointMatrixTest, V1AndV2FilesResumeCorrectly) {
   first.apply_circuit(head);
   const auto half_state = first.to_raw();
 
-  for (int version : {1, 2}) {
+  for (int version : {1, 2, 3}) {
     const std::string path =
         this->path("legacy_v" + std::to_string(version) + ".bin");
     write_legacy_checkpoint(path, version, half_state, 8, half,
                             /*lossy_passes=*/0);
+    // Pre-v4 files carry no qubit map: the loader must derive identity.
+    EXPECT_TRUE(runtime::load_checkpoint(path).first.qubit_map.empty())
+        << "v" << version;
     auto resumed =
         CompressedStateSimulator::load_checkpoint(path, matrix_config(8));
+    EXPECT_TRUE(resumed.qubit_map().is_identity()) << "v" << version;
     EXPECT_EQ(resumed.gate_cursor(), half) << "v" << version;
     resumed.resume_circuit(circuit);
     EXPECT_NEAR(qsim::state_fidelity(resumed.to_raw(), reference), 1.0,
@@ -220,6 +238,129 @@ TEST_F(CheckpointMatrixTest, SplitAdaptiveRunMatchesUninterruptedRun) {
   CQS_EXPECT_STATES_CLOSE(resumed.to_raw(), full.to_raw(), 0.0);
   EXPECT_EQ(resumed.report().final_lossy_blocks,
             full.report().final_lossy_blocks);
+}
+
+TEST_F(CheckpointMatrixTest, V4RoundTripsMixedQubitMap) {
+  // A remapped QFT run ends with a non-identity layout (relabeled
+  // reversal swaps). v4 must persist the map byte-exactly, and the
+  // reloaded simulator must answer every logical-index query as if the
+  // run had never been interrupted.
+  const auto circuit = circuits::qft_circuit({.num_qubits = 8});
+  SimConfig config = matrix_config(8);
+  config.enable_qubit_remap = true;
+  CompressedStateSimulator sim(config);
+  sim.apply_circuit(circuit);
+  ASSERT_FALSE(sim.qubit_map().is_identity())
+      << "fixture circuit no longer leaves a remapped layout";
+
+  const std::string path = this->path("mixed_map_v4.bin");
+  sim.save_checkpoint(path);
+
+  // Raw reload: the serialized map round-trips.
+  const auto [header, stores] = runtime::load_checkpoint(path);
+  EXPECT_EQ(header.qubit_map, sim.qubit_map());
+
+  // Simulator reload: same layout, same logical state, and the restored
+  // map keeps translating (a further remapped circuit still agrees with
+  // an uninterrupted remap-off run).
+  auto resumed = CompressedStateSimulator::load_checkpoint(path, config);
+  EXPECT_EQ(resumed.qubit_map(), sim.qubit_map());
+  CQS_EXPECT_STATES_CLOSE(resumed.to_raw(), sim.to_raw(), 0.0);
+}
+
+TEST_F(CheckpointMatrixTest, V4MapHonoredEvenWithRemapDisabledOnResume) {
+  // Resuming a remapped checkpoint with enable_qubit_remap=false must
+  // still translate gates through the persisted layout — the blocks are
+  // physically permuted whether or not new remaps are allowed.
+  const auto circuit = circuits::qft_circuit({.num_qubits = 8});
+  SimConfig remap_config = matrix_config(8);
+  remap_config.enable_qubit_remap = true;
+
+  CompressedStateSimulator first(remap_config);
+  qsim::Circuit head(8);
+  const std::uint64_t half = circuit.size() / 2;
+  for (std::uint64_t i = 0; i < half; ++i) head.append(circuit.ops()[i]);
+  first.apply_circuit(head);
+  const std::string path = this->path("map_remap_off_resume.bin");
+  first.save_checkpoint(path);
+
+  auto resumed =
+      CompressedStateSimulator::load_checkpoint(path, matrix_config(8));
+  resumed.resume_circuit(circuit);
+
+  CompressedStateSimulator reference(matrix_config(8));
+  reference.apply_circuit(circuit);
+  CQS_EXPECT_STATES_CLOSE(resumed.to_raw(), reference.to_raw(), 0.0);
+}
+
+TEST_F(CheckpointMatrixTest, SplitRemappedRunMatchesUninterruptedRun) {
+  // Save mid-circuit with remapping on, resume, and compare with the
+  // uninterrupted remapped run: the final logical state must agree
+  // bit-exactly. (The resumed planner only sees the remaining suffix, so
+  // its layout choices may differ from the uninterrupted plan's — the
+  // logical state must not.)
+  const auto circuit = circuits::qft_circuit({.num_qubits = 8});
+  SimConfig config = matrix_config(8);
+  config.enable_qubit_remap = true;
+  // Per-gate mode, as in SplitAdaptiveRunMatchesUninterruptedRun: batched
+  // runs may not span the save point.
+  config.enable_run_batching = false;
+  config.enable_fusion_prepass = false;
+
+  CompressedStateSimulator full{config};
+  full.apply_circuit(circuit);
+
+  for (const std::uint64_t cut : {circuit.size() / 3, circuit.size() / 2,
+                                  circuit.size() - 2}) {
+    CompressedStateSimulator first{config};
+    qsim::Circuit head(8);
+    for (std::uint64_t i = 0; i < cut; ++i) {
+      head.append(circuit.ops()[i]);
+    }
+    first.apply_circuit(head);
+    const std::string path =
+        this->path("split_remap_" + std::to_string(cut) + ".bin");
+    first.save_checkpoint(path);
+
+    auto resumed = CompressedStateSimulator::load_checkpoint(path, config);
+    EXPECT_EQ(resumed.gate_cursor(), cut);
+    resumed.resume_circuit(circuit);
+    EXPECT_EQ(resumed.gate_cursor(), circuit.size());
+    CQS_EXPECT_STATES_CLOSE(resumed.to_raw(), full.to_raw(), 0.0)
+        << "cut at " << cut;
+  }
+}
+
+TEST_F(CheckpointMatrixTest, V4RejectsCorruptQubitMaps) {
+  const std::vector<double> raw(1 << 9, 0.0);  // 8 qubits of zeros
+
+  // Non-permutation tables must fail at load, before any decompression.
+  const std::string dup = this->path("map_dup.bin");
+  write_legacy_checkpoint(dup, 4, raw, 8, 0, 0,
+                          {0, 1, 2, 3, 4, 5, 6, 6});
+  EXPECT_THROW(runtime::load_checkpoint(dup), std::runtime_error);
+
+  const std::string oob = this->path("map_oob.bin");
+  write_legacy_checkpoint(oob, 4, raw, 8, 0, 0,
+                          {0, 1, 2, 3, 4, 5, 6, 63});
+  EXPECT_THROW(runtime::load_checkpoint(oob), std::runtime_error);
+
+  // A valid permutation of the wrong width fails at simulator load: the
+  // map must cover exactly the checkpoint's qubits.
+  const std::string narrow = this->path("map_narrow.bin");
+  write_legacy_checkpoint(narrow, 4, raw, 8, 0, 0, {3, 2, 1, 0});
+  EXPECT_NO_THROW(runtime::load_checkpoint(narrow));
+  EXPECT_THROW(
+      CompressedStateSimulator::load_checkpoint(narrow, matrix_config(8)),
+      std::invalid_argument);
+
+  // A correct-width permutation loads fine (control case).
+  const std::string good = this->path("map_good.bin");
+  write_legacy_checkpoint(good, 4, raw, 8, 0, 0,
+                          {7, 6, 5, 4, 3, 2, 1, 0});
+  auto sim = CompressedStateSimulator::load_checkpoint(good,
+                                                       matrix_config(8));
+  EXPECT_EQ(sim.qubit_map().physical(0), 7);
 }
 
 TEST_F(CheckpointMatrixTest, V3RejectsForeignCodecIdAtLoad) {

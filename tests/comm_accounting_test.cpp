@@ -1,0 +1,190 @@
+// Pins the Comm counters (Table 2's communication row) for QFT across
+// rank configurations so scheduler changes cannot silently regress
+// cross-rank traffic. The expected exchange count is derived from an
+// independent walk of the circuit against the Section 3.3 routing rules
+// (one paired block exchange per unit of every non-diagonal rank-target
+// sweep); the simulator's counters must match it exactly with remapping
+// off, stay reproducible across runs and thread counts, and never exceed
+// it with remapping on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "circuits/qft.hpp"
+#include "core/simulator.hpp"
+#include "qsim/gates.hpp"
+#include "runtime/partition.hpp"
+#include "test_util.hpp"
+
+namespace cqs {
+namespace {
+
+using core::CompressedStateSimulator;
+using core::SimConfig;
+using qsim::GateKind;
+using qsim::GateOp;
+using runtime::Partition;
+
+SimConfig comm_config(int qubits, int ranks, bool remap) {
+  SimConfig config;
+  config.num_qubits = qubits;
+  config.num_ranks = ranks;
+  config.blocks_per_rank = 4;
+  config.threads = 2;
+  config.enable_qubit_remap = remap;
+  // Fusion would fold prelude X gates into the H ladder and change how
+  // many rank-target sweeps run; the reference walk below models the
+  // unfused circuit, so pin it off.
+  config.enable_fusion_prepass = false;
+  // Cache hits skip the exchange inside process_pair only for same-rank
+  // pairs; cross-rank exchanges always happen. Keep the cache off anyway
+  // so the counters are a pure function of the circuit.
+  config.enable_cache = false;
+  return config;
+}
+
+/// Paired block exchanges one non-diagonal gate with a rank-segment
+/// target costs: the unit enumeration of run_rank_target — ranks with the
+/// target bit clear and every control bit set, times the blocks every
+/// block-segment control bit allows.
+std::uint64_t exchanges_for(const Partition& partition, const GateOp& op) {
+  if (qsim::is_diagonal(op.kind)) return 0;
+  if (partition.segment_of(op.target) != Partition::Segment::kRank) {
+    return 0;
+  }
+  const int target_bit = partition.local_bit(op.target);
+  int rank_ctrl = 0;
+  int block_ctrl = 0;
+  for (int c : op.controls) {
+    if (c < 0) continue;
+    switch (partition.segment_of(c)) {
+      case Partition::Segment::kRank:
+        rank_ctrl |= 1 << partition.local_bit(c);
+        break;
+      case Partition::Segment::kBlock:
+        block_ctrl |= 1 << partition.local_bit(c);
+        break;
+      case Partition::Segment::kOffset:
+        break;  // offset controls filter amplitudes, not units
+    }
+  }
+  std::uint64_t units = 0;
+  for (int r = 0; r < partition.num_ranks(); ++r) {
+    if ((r >> target_bit) & 1) continue;
+    if ((r & rank_ctrl) != rank_ctrl) continue;
+    for (int b = 0; b < partition.blocks_per_rank(); ++b) {
+      if ((b & block_ctrl) != block_ctrl) continue;
+      ++units;
+    }
+  }
+  return units;
+}
+
+/// Reference model of the seed (remap-off) path: SWAP expands into three
+/// CX legs exactly as apply_impl does; everything else exchanges per its
+/// own routing.
+std::uint64_t expected_exchanges(const Partition& partition,
+                                 const qsim::Circuit& circuit) {
+  std::uint64_t total = 0;
+  for (const GateOp& op : circuit.ops()) {
+    if (op.kind == GateKind::kSwap) {
+      const int a = op.target;
+      const int b = op.controls[0];
+      total += exchanges_for(partition, {GateKind::kCX, b, {a, -1}});
+      total += exchanges_for(partition, {GateKind::kCX, a, {b, -1}});
+      total += exchanges_for(partition, {GateKind::kCX, b, {a, -1}});
+    } else {
+      total += exchanges_for(partition, op);
+    }
+  }
+  return total;
+}
+
+TEST(CommAccountingTest, QftExchangesMatchTheRoutingModelAcrossRanks) {
+  const auto circuit = circuits::qft_circuit({.num_qubits = 10});
+  for (int ranks : {1, 2, 4}) {
+    CompressedStateSimulator sim(comm_config(10, ranks, /*remap=*/false));
+    sim.apply_circuit(circuit);
+    const auto report = sim.report();
+    const std::uint64_t exchanges =
+        expected_exchanges(sim.partition(), circuit);
+    // One paired exchange = two messages (Comm::exchange counts both
+    // directions of the buffered sendrecv).
+    EXPECT_EQ(report.comm_messages, 2 * exchanges) << ranks << " ranks";
+    if (ranks == 1) {
+      EXPECT_EQ(report.comm_bytes, 0u);
+    } else {
+      EXPECT_GT(report.comm_bytes, 0u) << ranks << " ranks";
+    }
+  }
+}
+
+TEST(CommAccountingTest, QftCountersReproducibleAcrossRunsAndThreads) {
+  const auto circuit = circuits::qft_circuit({.num_qubits = 10});
+  for (const bool remap : {false, true}) {
+    std::uint64_t reference_bytes = 0;
+    std::uint64_t reference_messages = 0;
+    bool have_reference = false;
+    for (int threads : {1, 2, 4}) {
+      for (int rep = 0; rep < 2; ++rep) {
+        auto config = comm_config(10, 4, remap);
+        config.threads = threads;
+        CompressedStateSimulator sim(config);
+        sim.apply_circuit(circuit);
+        const auto report = sim.report();
+        if (!have_reference) {
+          reference_bytes = report.comm_bytes;
+          reference_messages = report.comm_messages;
+          have_reference = true;
+        } else {
+          EXPECT_EQ(report.comm_bytes, reference_bytes)
+              << "remap=" << remap << " threads=" << threads;
+          EXPECT_EQ(report.comm_messages, reference_messages)
+              << "remap=" << remap << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(CommAccountingTest, RemapMessagesAccountedBySweepLedger) {
+  // With remapping on, every exchange belongs to either a remap sweep or
+  // an in-place rank gate; the planner's ledger and Comm's message
+  // counter must agree exactly: 2 messages per block pair per sweep.
+  const auto circuit = circuits::qft_circuit({.num_qubits = 10});
+  for (int ranks : {2, 4}) {
+    CompressedStateSimulator sim(comm_config(10, ranks, /*remap=*/true));
+    sim.apply_circuit(circuit);
+    const auto report = sim.report();
+    const auto& partition = sim.partition();
+    const std::uint64_t pairs_per_sweep =
+        static_cast<std::uint64_t>(partition.num_ranks() / 2) *
+        partition.blocks_per_rank();
+    // QFT's in-place rank gates are uncontrolled (H / X prelude), so each
+    // pays a full sweep; remap sweeps always run full sweeps.
+    EXPECT_EQ(report.comm_messages,
+              2 * pairs_per_sweep *
+                  (report.remap_sweeps + report.rank_gates_in_place))
+        << ranks << " ranks";
+  }
+}
+
+TEST(CommAccountingTest, RemapNeverExceedsTheSeedPathOnQft) {
+  const auto circuit = circuits::qft_circuit({.num_qubits = 10});
+  for (int ranks : {2, 4}) {
+    CompressedStateSimulator off(comm_config(10, ranks, false));
+    CompressedStateSimulator on(comm_config(10, ranks, true));
+    off.apply_circuit(circuit);
+    on.apply_circuit(circuit);
+    EXPECT_LT(on.report().comm_bytes, off.report().comm_bytes)
+        << ranks << " ranks";
+    EXPECT_LT(on.report().comm_messages, off.report().comm_messages)
+        << ranks << " ranks";
+    // Same logical result on both layouts.
+    CQS_EXPECT_STATES_CLOSE(on.to_raw(), off.to_raw(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cqs

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "circuits/qaoa.hpp"
+#include "circuits/qft.hpp"
 #include "circuits/supremacy.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -307,6 +308,94 @@ TEST(ConcurrencyTest, PerCodecInvocationCountsDeterministicAcrossThreads) {
         EXPECT_EQ(counts[i], ref_counts[i]) << "threads " << threads
                                             << " field " << i;
       }
+    }
+  }
+}
+
+TEST(ConcurrencyTest, RemappedRunsBitIdenticalAcrossThreadCounts) {
+  // The qubit-remap pre-pass plans single-threaded and the remap sweep
+  // touches disjoint block pairs, so remap-on runs — including relabeled
+  // swaps, remap exchanges, and the remapped comm/stat counters — must be
+  // bit-identical across worker counts on every circuit family, and the
+  // remapped layout itself must not depend on the thread count.
+  const int hw = static_cast<int>(
+      std::max(2u, std::thread::hardware_concurrency()));
+  const auto circuits_under_test = {
+      circuits::qft_circuit({.num_qubits = 11}),
+      random_circuit(11, 90, 23),  // SWAP-heavy randomized mix
+  };
+  for (const auto& circuit : circuits_under_test) {
+    std::vector<double> reference;
+    DeterministicReport reference_report{};
+    std::uint64_t reference_comm_bytes = 0;
+    std::uint64_t reference_remaps[4] = {0, 0, 0, 0};
+    std::vector<int> reference_map;
+    for (int threads : {1, 2, hw}) {
+      core::SimConfig config;
+      config.num_qubits = 11;
+      config.num_ranks = 4;
+      config.blocks_per_rank = 4;
+      config.threads = threads;
+      config.enable_qubit_remap = true;
+      core::CompressedStateSimulator sim(config);
+      sim.apply_circuit(circuit);
+      const auto report = sim.report();
+      const auto fields = deterministic_fields(report);
+      const std::uint64_t remaps[4] = {report.remap_sweeps,
+                                       report.swaps_relabeled,
+                                       report.rank_gates_localized,
+                                       report.remap_exchanges_avoided};
+      const auto raw = sim.to_raw();
+      if (reference.empty()) {
+        reference = raw;
+        reference_report = fields;
+        reference_comm_bytes = report.comm_bytes;
+        for (int i = 0; i < 4; ++i) reference_remaps[i] = remaps[i];
+        reference_map = sim.qubit_map().physical_table();
+      } else {
+        CQS_EXPECT_STATES_CLOSE(raw, reference, 0.0);
+        EXPECT_EQ(fields, reference_report) << "threads " << threads;
+        EXPECT_EQ(report.comm_bytes, reference_comm_bytes)
+            << "threads " << threads;
+        for (int i = 0; i < 4; ++i) {
+          EXPECT_EQ(remaps[i], reference_remaps[i])
+              << "threads " << threads << " field " << i;
+        }
+        EXPECT_EQ(sim.qubit_map().physical_table(), reference_map)
+            << "threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(ConcurrencyTest, RemappedLossyRunsDeterministicAcrossThreadCounts) {
+  // Same property at a lossy ladder level with the adaptive arbiter:
+  // remap sweeps recompress through the same per-block decision machinery
+  // as gates, so worker count must not leak into codec choices either.
+  const int hw = static_cast<int>(
+      std::max(2u, std::thread::hardware_concurrency()));
+  const auto circuit = random_circuit(11, 90, 31);
+  std::vector<double> reference;
+  DeterministicReport reference_report{};
+  for (int threads : {1, 2, hw}) {
+    core::SimConfig config;
+    config.num_qubits = 11;
+    config.num_ranks = 4;
+    config.blocks_per_rank = 4;
+    config.threads = threads;
+    config.initial_level = 2;
+    config.codec_policy = "adaptive";
+    config.enable_qubit_remap = true;
+    core::CompressedStateSimulator sim(config);
+    sim.apply_circuit(circuit);
+    const auto report = deterministic_fields(sim.report());
+    const auto raw = sim.to_raw();
+    if (reference.empty()) {
+      reference = raw;
+      reference_report = report;
+    } else {
+      CQS_EXPECT_STATES_CLOSE(raw, reference, 0.0);
+      EXPECT_EQ(report, reference_report) << "threads " << threads;
     }
   }
 }

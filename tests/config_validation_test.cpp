@@ -154,5 +154,31 @@ TEST(ConfigValidationTest, RejectsQubitCountsOutsideSupportedRange) {
   expect_rejected(config, "qubits");
 }
 
+TEST(ConfigValidationTest, RejectsUnknownRemapPolicy) {
+  SimConfig config = base_config();
+  config.enable_qubit_remap = true;
+  config.remap_policy = "soonest";
+  expect_rejected(config, "remap policy");
+}
+
+TEST(ConfigValidationTest, RemapPolicyValidatedEvenWhenRemapDisabled) {
+  // Same reasoning as the adaptive knobs: a config that would explode the
+  // moment remapping (or a v4 resume) turns it on is rejected up front.
+  SimConfig config = base_config();
+  config.enable_qubit_remap = false;
+  config.remap_policy = "";
+  expect_rejected(config, "remap policy");
+}
+
+TEST(ConfigValidationTest, AcceptsBothRemapPolicies) {
+  for (const char* policy : {"lookahead", "lru"}) {
+    SimConfig config = base_config();
+    config.enable_qubit_remap = true;
+    config.remap_policy = policy;
+    config.remap_relabel_swaps = false;
+    EXPECT_NO_THROW(CompressedStateSimulator{config}) << policy;
+  }
+}
+
 }  // namespace
 }  // namespace cqs

@@ -5,12 +5,14 @@
 // regressions (second circuit skipped / ad-hoc apply drift).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 
 #include "circuits/qaoa.hpp"
 #include "core/simulator.hpp"
 #include "qsim/scheduler.hpp"
 #include "qsim/state_vector.hpp"
+#include "runtime/qubit_map.hpp"
 #include "test_util.hpp"
 
 namespace cqs {
@@ -23,6 +25,7 @@ using qsim::Circuit;
 using qsim::GateKind;
 using qsim::GateRun;
 using qsim::is_block_local;
+using qsim::plan_remaps;
 using qsim::SchedulerOptions;
 
 // ---------------------------------------------------------------- scheduler
@@ -304,6 +307,239 @@ TEST(CircuitCursorTest, ResumeCircuitRejectsCursorBeyondCircuit) {
   CompressedStateSimulator sim(batched_config(10));
   sim.apply_circuit(big);
   EXPECT_THROW(sim.resume_circuit(small), std::invalid_argument);
+}
+
+// ------------------------------------------------------- remap pre-pass
+//
+// Planner fixtures use 8 qubits split as offset [0,4), block {4,5}, rank
+// {6,7} — small enough to enumerate decisions by hand.
+
+qsim::RemapOptions remap_options(bool enabled = true) {
+  qsim::RemapOptions options;
+  options.enabled = enabled;
+  options.num_qubits = 8;
+  options.offset_bits = 4;
+  options.block_bits = 2;
+  return options;
+}
+
+std::size_t count_kind(const qsim::RemapProgram& program,
+                       qsim::RemapItem::Kind kind) {
+  std::size_t n = 0;
+  for (const auto& item : program.items) {
+    if (item.kind == kind) ++n;
+  }
+  return n;
+}
+
+/// All physical ops of the program's kGates items, in order.
+std::vector<qsim::GateOp> program_ops(const qsim::RemapProgram& program) {
+  std::vector<qsim::GateOp> ops;
+  for (const auto& item : program.items) {
+    if (item.kind != qsim::RemapItem::Kind::kGates) continue;
+    ops.insert(ops.end(), item.ops.ops().begin(), item.ops.ops().end());
+  }
+  return ops;
+}
+
+TEST(RemapPlanTest, DisabledPassOnlyTranslates) {
+  Circuit c(8);
+  c.h(7).cx(6, 0).swap(0, 7);
+  auto map = runtime::QubitMap::identity(8);
+  map.relabel(0, 3);  // as if a previous run had relabeled
+  const auto program = plan_remaps(c, map, remap_options(false));
+  EXPECT_EQ(program.items.size(), 1u);
+  EXPECT_EQ(program.stats.remaps, 0u);
+  EXPECT_EQ(program.stats.swaps_relabeled, 0u);
+  const auto ops = program_ops(program);
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].target, 7);
+  EXPECT_EQ(ops[1].controls[0], 6);
+  EXPECT_EQ(ops[1].target, 3);  // logical 0 lives at physical 3
+  EXPECT_EQ(ops[2].target, 3);  // SWAP stays a gate when disabled
+  EXPECT_EQ(ops[2].controls[0], 7);
+}
+
+TEST(RemapPlanTest, SwapBecomesRelabelItem) {
+  Circuit c(8);
+  c.swap(1, 7).h(7);
+  const auto program =
+      plan_remaps(c, runtime::QubitMap::identity(8), remap_options());
+  ASSERT_EQ(program.items.size(), 2u);
+  EXPECT_EQ(program.items[0].kind, qsim::RemapItem::Kind::kRelabel);
+  EXPECT_EQ(program.items[0].relabel_a, 1);
+  EXPECT_EQ(program.items[0].relabel_b, 7);
+  EXPECT_EQ(program.stats.swaps_relabeled, 1u);
+  // After the relabel, logical 7 lives at physical 1: H(7) is block-local
+  // and needs no remap.
+  EXPECT_EQ(program.stats.remaps, 0u);
+  const auto ops = program_ops(program);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].target, 1);
+  EXPECT_EQ(program.stats.rank_targets_localized, 1u);
+}
+
+TEST(RemapPlanTest, LastTouchRankGateAppliesInPlace) {
+  Circuit c(8);
+  c.h(7);  // the only gate ever touching qubit 7
+  const auto program =
+      plan_remaps(c, runtime::QubitMap::identity(8), remap_options());
+  EXPECT_EQ(program.stats.remaps, 0u);
+  EXPECT_EQ(program.stats.rank_targets_in_place, 1u);
+  const auto ops = program_ops(program);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].target, 7);
+}
+
+TEST(RemapPlanTest, RepeatedRankTargetRemapsOnceThenRoutesLocally) {
+  Circuit c(8);
+  c.h(7).t(7).h(7).h(7);
+  const auto program =
+      plan_remaps(c, runtime::QubitMap::identity(8), remap_options());
+  EXPECT_EQ(program.stats.remaps, 1u);
+  ASSERT_GE(program.items.size(), 1u);
+  EXPECT_EQ(program.items[0].kind, qsim::RemapItem::Kind::kRemap);
+  EXPECT_EQ(program.items[0].remap.phys_hot, 7);
+  EXPECT_LT(program.items[0].remap.phys_cold, 4);
+  // All three H's (and the diagonal T) execute at the cold offset home.
+  EXPECT_EQ(program.stats.rank_targets_localized, 3u);
+  EXPECT_EQ(program.stats.rank_targets_in_place, 0u);
+  for (const auto& op : program_ops(program)) {
+    EXPECT_EQ(op.target, program.items[0].remap.phys_cold);
+  }
+}
+
+TEST(RemapPlanTest, LookaheadEvictsFurthestNextUse) {
+  Circuit c(8);
+  // Offset residents 0..3: qubit 2 is touched furthest in the future
+  // (never), so the remap for H(6)H(6) must evict it.
+  c.h(6).x(0).x(1).x(3).h(6);
+  const auto program =
+      plan_remaps(c, runtime::QubitMap::identity(8), remap_options());
+  ASSERT_EQ(program.stats.remaps, 1u);
+  EXPECT_EQ(program.items[0].remap.phys_hot, 6);
+  EXPECT_EQ(program.items[0].remap.phys_cold, 2);
+}
+
+TEST(RemapPlanTest, LruEvictsLeastRecentlyUsed) {
+  Circuit c(8);
+  c.x(0).x(2).x(3).x(1).h(6);
+  auto options = remap_options();
+  options.policy = qsim::RemapPolicy::kLru;
+  std::vector<std::uint64_t> last_use(8, 0);
+  std::uint64_t tick = 0;
+  const auto program = plan_remaps(c, runtime::QubitMap::identity(8),
+                                   options, &last_use, &tick);
+  // LRU always remaps a hot rank target (no lookahead), evicting the
+  // stalest offset resident — qubit 0 here.
+  ASSERT_EQ(program.stats.remaps, 1u);
+  const auto remap_item = std::find_if(
+      program.items.begin(), program.items.end(), [](const auto& item) {
+        return item.kind == qsim::RemapItem::Kind::kRemap;
+      });
+  ASSERT_NE(remap_item, program.items.end());
+  EXPECT_EQ(remap_item->remap.phys_hot, 6);
+  EXPECT_EQ(remap_item->remap.phys_cold, 0);
+  EXPECT_EQ(tick, 5u);
+
+  // The recency state carries across calls: qubit 0 was just relocated,
+  // another hot gate now evicts the next-stalest resident (qubit 2).
+  Circuit c2(8);
+  c2.h(7);
+  runtime::QubitMap map = runtime::QubitMap::identity(8);
+  map.swap_physical(6, 0);
+  const auto program2 = plan_remaps(c2, map, options, &last_use, &tick);
+  ASSERT_EQ(program2.stats.remaps, 1u);
+  EXPECT_EQ(program2.items[0].remap.phys_hot, 7);
+  EXPECT_EQ(program2.items[0].remap.phys_cold, 2);
+}
+
+TEST(RemapPlanTest, DiagonalAndControlOnlyRankUseNeverRemaps) {
+  Circuit c(8);
+  c.z(7).cphase(7, 6, 0.25).cx(7, 0).t(6).cz(6, 7);
+  const auto program =
+      plan_remaps(c, runtime::QubitMap::identity(8), remap_options());
+  EXPECT_EQ(program.stats.remaps, 0u);
+  EXPECT_EQ(program.stats.rank_targets_in_place, 0u);
+  EXPECT_EQ(count_kind(program, qsim::RemapItem::Kind::kGates), 1u);
+}
+
+TEST(RemapPlanTest, SweepsAvoidedNetsOutRemapCost) {
+  Circuit c(8);
+  // X(7) then H(7): remap at X (1 sweep paid), X and H localized (2
+  // sweeps avoided), net 1. The relabeled swap(0, 7) would have cost two
+  // rank CX legs: net 3 total.
+  c.x(7).h(7).swap(0, 7);
+  const auto program =
+      plan_remaps(c, runtime::QubitMap::identity(8), remap_options());
+  EXPECT_EQ(program.stats.remaps, 1u);
+  EXPECT_EQ(program.stats.swaps_relabeled, 1u);
+  EXPECT_EQ(program.stats.sweeps_avoided, 3u);
+}
+
+TEST(RemapPlanTest, UnrelabeledSwapNeverEvictsItsOwnPartner) {
+  // With relabeling off, a rank-spanning SWAP forces its rank qubit into
+  // the offset segment; the evicted resident must never be the swap's
+  // other qubit (that would hand the CX legs the cost just saved), even
+  // when that qubit is the coldest candidate.
+  Circuit c(8);
+  c.swap(0, 7);  // qubit 0 is otherwise never used: coldest candidate
+  auto options = remap_options();
+  options.relabel_swaps = false;
+  const auto program =
+      plan_remaps(c, runtime::QubitMap::identity(8), options);
+  ASSERT_EQ(program.stats.remaps, 1u);
+  EXPECT_EQ(program.items[0].kind, qsim::RemapItem::Kind::kRemap);
+  EXPECT_EQ(program.items[0].remap.phys_hot, 7);
+  EXPECT_EQ(program.items[0].remap.phys_cold, 1)
+      << "victim must skip the swap partner at physical 0";
+  EXPECT_EQ(program.stats.swaps_relabeled, 0u);
+}
+
+TEST(RemapPlanTest, SwapWithNoEligibleVictimStaysAtRank) {
+  // A 1-qubit offset segment whose only resident is the swap's partner:
+  // no eviction is possible without self-defeat, so the leg stays at
+  // rank and no remap churns the map.
+  Circuit c(3);
+  c.swap(0, 2);
+  qsim::RemapOptions options;
+  options.enabled = true;
+  options.relabel_swaps = false;
+  options.num_qubits = 3;
+  options.offset_bits = 1;
+  options.block_bits = 1;
+  const auto program =
+      plan_remaps(c, runtime::QubitMap::identity(3), options);
+  EXPECT_EQ(program.stats.remaps, 0u);
+  const auto ops = program_ops(program);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].kind, GateKind::kSwap);
+  EXPECT_EQ(ops[0].target, 0);
+  EXPECT_EQ(ops[0].controls[0], 2);
+}
+
+TEST(RemapPlanTest, RejectsInvalidInputs) {
+  Circuit c(8);
+  c.h(0);
+  EXPECT_THROW(
+      plan_remaps(c, runtime::QubitMap::identity(7), remap_options()),
+      std::invalid_argument);
+  auto bad = remap_options();
+  bad.offset_bits = 0;
+  EXPECT_THROW(plan_remaps(c, runtime::QubitMap::identity(8), bad),
+               std::invalid_argument);
+  auto lru = remap_options();
+  lru.policy = qsim::RemapPolicy::kLru;
+  EXPECT_THROW(plan_remaps(c, runtime::QubitMap::identity(8), lru),
+               std::invalid_argument)
+      << "lru without recency state must be rejected";
+}
+
+TEST(RemapPlanTest, ParsePolicyNames) {
+  EXPECT_EQ(qsim::parse_remap_policy("lookahead"),
+            qsim::RemapPolicy::kLookahead);
+  EXPECT_EQ(qsim::parse_remap_policy("lru"), qsim::RemapPolicy::kLru);
+  EXPECT_THROW(qsim::parse_remap_policy("belady"), std::invalid_argument);
 }
 
 }  // namespace

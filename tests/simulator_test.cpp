@@ -8,6 +8,7 @@
 #include <filesystem>
 
 #include "circuits/grover.hpp"
+#include "circuits/phase_estimation.hpp"
 #include "circuits/qaoa.hpp"
 #include "circuits/qft.hpp"
 #include "circuits/supremacy.hpp"
@@ -345,6 +346,211 @@ TEST(SimulatorTest, ZstdOnlySimulationStaysLossless) {
   sim.apply_circuit(c);
   EXPECT_DOUBLE_EQ(sim.fidelity_bound(), 1.0);
   EXPECT_TRUE(sim.report().budget_exceeded);
+}
+
+// ------------------------------------------------ qubit-remap differential
+//
+// Every bundled circuit family runs remap-on against remap-off (and the
+// per-gate seed path): at the lossless level the final logical states must
+// be bit-identical — remapping only moves where amplitudes live, never
+// what they are — and on rank-heavy circuits the remapped run must move
+// strictly fewer bytes through Comm.
+
+struct RemapCase {
+  const char* name;
+  qsim::Circuit circuit;
+};
+
+std::vector<RemapCase> remap_cases() {
+  std::vector<RemapCase> cases;
+  cases.push_back({"qft", circuits::qft_circuit({.num_qubits = 10})});
+  cases.push_back(
+      {"grover", circuits::grover_circuit(
+                     {.data_qubits = 5, .marked_state = 0b10110,
+                      .iterations = 2})});  // 9 qubits
+  cases.push_back({"qaoa", circuits::qaoa_maxcut_circuit({.num_qubits = 9})});
+  cases.push_back(
+      {"phase_estimation",
+       circuits::phase_estimation_circuit({.counting_qubits = 8})});
+  cases.push_back({"supremacy", circuits::supremacy_circuit(
+                                    {.rows = 3, .cols = 3, .depth = 8})});
+  return cases;
+}
+
+TEST(QubitRemapTest, RemapOnMatchesRemapOffBitwiseOnAllCircuits) {
+  for (auto& test_case : remap_cases()) {
+    SimConfig off = small_config(test_case.circuit.num_qubits());
+    SimConfig on = off;
+    on.enable_qubit_remap = true;
+
+    CompressedStateSimulator sim_off(off);
+    CompressedStateSimulator sim_on(on);
+    sim_off.apply_circuit(test_case.circuit);
+    sim_on.apply_circuit(test_case.circuit);
+    CQS_EXPECT_STATES_CLOSE(sim_on.to_raw(), sim_off.to_raw(), 0.0)
+        << test_case.name;
+
+    // Identical logical gate accounting and fidelity (lossless run).
+    const auto rep_off = sim_off.report();
+    const auto rep_on = sim_on.report();
+    EXPECT_EQ(rep_on.gates, rep_off.gates) << test_case.name;
+    EXPECT_DOUBLE_EQ(rep_on.fidelity_bound, 1.0) << test_case.name;
+    EXPECT_LE(rep_on.comm_bytes, rep_off.comm_bytes) << test_case.name;
+  }
+}
+
+TEST(QubitRemapTest, RemapMatchesSeedPerGatePathAndLruPolicy) {
+  // Bitwise equality holds against the reference with the same fusion
+  // setting: fusion itself reorders single-qubit arithmetic (a PR 2
+  // property independent of remapping), so the per-gate seed path is the
+  // reference for unbatched runs and the batched remap-off path for
+  // batched ones.
+  for (auto& test_case : remap_cases()) {
+    SimConfig seed = small_config(test_case.circuit.num_qubits());
+    seed.enable_run_batching = false;  // the pre-PR2 per-gate path
+    seed.enable_fusion_prepass = false;
+    CompressedStateSimulator per_gate_reference(seed);
+    per_gate_reference.apply_circuit(test_case.circuit);
+    const auto per_gate_expected = per_gate_reference.to_raw();
+
+    CompressedStateSimulator batched_reference(
+        small_config(test_case.circuit.num_qubits()));
+    batched_reference.apply_circuit(test_case.circuit);
+    const auto batched_expected = batched_reference.to_raw();
+
+    for (const char* policy : {"lookahead", "lru"}) {
+      for (const bool batching : {true, false}) {
+        SimConfig on = small_config(test_case.circuit.num_qubits());
+        on.enable_qubit_remap = true;
+        on.remap_policy = policy;
+        on.enable_run_batching = batching;
+        if (!batching) on.enable_fusion_prepass = false;
+        CompressedStateSimulator sim(on);
+        sim.apply_circuit(test_case.circuit);
+        CQS_EXPECT_STATES_CLOSE(
+            sim.to_raw(), batching ? batched_expected : per_gate_expected,
+            0.0)
+            << test_case.name << " policy=" << policy
+            << " batching=" << batching;
+      }
+    }
+  }
+}
+
+TEST(QubitRemapTest, RemapBitIdenticalAcrossRankConfigs) {
+  // Degenerate partitions included: at 1 rank there is no rank segment at
+  // all (relabeled swaps are the only map activity), at 8 ranks the rank
+  // segment is a third of the qubits.
+  const auto circuit = circuits::qft_circuit({.num_qubits = 9});
+  for (int ranks : {1, 2, 4, 8}) {
+    SimConfig off = small_config(9, ranks, 2);
+    SimConfig on = off;
+    on.enable_qubit_remap = true;
+    CompressedStateSimulator sim_off(off);
+    CompressedStateSimulator sim_on(on);
+    sim_off.apply_circuit(circuit);
+    sim_on.apply_circuit(circuit);
+    CQS_EXPECT_STATES_CLOSE(sim_on.to_raw(), sim_off.to_raw(), 0.0)
+        << ranks << " ranks";
+    EXPECT_LE(sim_on.report().comm_bytes, sim_off.report().comm_bytes)
+        << ranks << " ranks";
+  }
+}
+
+TEST(QubitRemapTest, RankHeavyCircuitMovesStrictlyFewerBytes) {
+  // QFT's random-X prelude, H ladder, and reversal swaps all hit the rank
+  // segment at 4 ranks: remap must strictly reduce exchanged bytes, with
+  // the reversal swaps absorbed as relabels.
+  const auto circuit = circuits::qft_circuit({.num_qubits = 10});
+  SimConfig off = small_config(10);
+  SimConfig on = off;
+  on.enable_qubit_remap = true;
+  CompressedStateSimulator sim_off(off);
+  CompressedStateSimulator sim_on(on);
+  sim_off.apply_circuit(circuit);
+  sim_on.apply_circuit(circuit);
+  const auto rep_off = sim_off.report();
+  const auto rep_on = sim_on.report();
+  ASSERT_GT(rep_off.comm_bytes, 0u);
+  EXPECT_LT(rep_on.comm_bytes, rep_off.comm_bytes);
+  EXPECT_LT(rep_on.comm_messages, rep_off.comm_messages);
+  EXPECT_GT(rep_on.swaps_relabeled, 0u);
+  EXPECT_GT(rep_on.remap_exchanges_avoided, 0u);
+  EXPECT_FALSE(sim_on.qubit_map().is_identity());
+}
+
+TEST(QubitRemapTest, LossyRemapStaysWithinTheFidelityBound) {
+  // At a lossy level remap-on and remap-off compress different block
+  // partitions of the same state, so bitwise equality no longer holds;
+  // the Eq. 11 product of both runs' bounds still floors their overlap.
+  const auto circuit = circuits::qft_circuit({.num_qubits = 10});
+  SimConfig off = small_config(10);
+  off.initial_level = 1;  // 1e-5 relative
+  SimConfig on = off;
+  on.enable_qubit_remap = true;
+  CompressedStateSimulator sim_off(off);
+  CompressedStateSimulator sim_on(on);
+  sim_off.apply_circuit(circuit);
+  sim_on.apply_circuit(circuit);
+  const double fidelity =
+      qsim::state_fidelity(sim_on.to_raw(), sim_off.to_raw());
+  const double floor = sim_on.report().fidelity_bound *
+                       sim_off.report().fidelity_bound;
+  EXPECT_GE(fidelity, floor - 1e-9);
+}
+
+TEST(QubitRemapTest, QueriesSpeakLogicalIndicesUnderRemap) {
+  // X gates + reversal swaps give a known basis state; with remap on, the
+  // swaps become relabels and the map goes non-identity, so
+  // probability_one / measure / sample / expectation answers must all be
+  // translated back to logical indices.
+  SimConfig config = small_config(8);
+  config.enable_qubit_remap = true;
+  CompressedStateSimulator sim(config);
+  qsim::Circuit c(8);
+  c.x(7).x(5).x(0);
+  for (int q = 0; q < 4; ++q) c.swap(q, 7 - q);
+  sim.apply_circuit(c);
+  ASSERT_FALSE(sim.qubit_map().is_identity());
+
+  // |10100001> reversed: bits 7,5,0 set, then reversal maps q -> 7-q.
+  const std::uint64_t expected = (1u << 0) | (1u << 2) | (1u << 7);
+  for (int q = 0; q < 8; ++q) {
+    const double expected_p = (expected >> q) & 1 ? 1.0 : 0.0;
+    EXPECT_NEAR(sim.probability_one(q), expected_p, 1e-12) << "qubit " << q;
+  }
+  Rng rng(11);
+  EXPECT_EQ(sim.sample(rng), expected);
+  EXPECT_NEAR(sim.expectation_pauli_z((1u << 0) | (1u << 1)), -1.0, 1e-12);
+  EXPECT_EQ(sim.measure(0, rng), 1);
+  EXPECT_EQ(sim.measure(1, rng), 0);
+}
+
+TEST(QubitRemapTest, AdHocApplyAndResumeTranslateThroughTheMap) {
+  // After a circuit whose swaps were relabeled, ad-hoc gates and resumed
+  // circuits still arrive in logical coordinates.
+  SimConfig config = small_config(8);
+  config.enable_qubit_remap = true;
+  CompressedStateSimulator remapped(config);
+  CompressedStateSimulator plain(small_config(8));
+
+  qsim::Circuit prelude(8);
+  prelude.h(0).cx(0, 4).swap(0, 7).swap(1, 6);
+  remapped.apply_circuit(prelude);
+  plain.apply_circuit(prelude);
+  ASSERT_FALSE(remapped.qubit_map().is_identity());
+
+  remapped.apply({GateKind::kH, 7});
+  plain.apply({GateKind::kH, 7});
+  remapped.apply({GateKind::kCX, 6, {7, -1}});
+  plain.apply({GateKind::kCX, 6, {7, -1}});
+  CQS_EXPECT_STATES_CLOSE(remapped.to_raw(), plain.to_raw(), 0.0);
+}
+
+TEST(QubitRemapTest, RejectsUnknownRemapPolicy) {
+  SimConfig config = small_config(8);
+  config.remap_policy = "clairvoyant";
+  EXPECT_THROW(CompressedStateSimulator{config}, std::invalid_argument);
 }
 
 }  // namespace
