@@ -4,6 +4,14 @@
 
 namespace cqs {
 
+namespace {
+// Which pool (if any) the current thread belongs to, and its worker id.
+// parallel_for consults these to run nested calls inline instead of
+// deadlocking on the shared job slot.
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_worker = 0;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -27,21 +35,35 @@ void ThreadPool::parallel_for(
     std::size_t count,
     const std::function<void(std::size_t, std::size_t)>& body) {
   if (count == 0) return;
+  if (tl_pool == this) {
+    // Nested call from inside one of our own bodies: run inline, serially,
+    // under the caller's worker id so per-worker scratch stays coherent.
+    for (std::size_t i = 0; i < count; ++i) body(i, tl_worker);
+    return;
+  }
   {
     std::lock_guard lock(mutex_);
     job_.count = count;
     job_.body = &body;
     job_.next = 0;
     job_.done = 0;
+    job_.error = nullptr;
     ++job_.generation;
   }
   work_cv_.notify_all();
   std::unique_lock lock(mutex_);
   done_cv_.wait(lock, [this] { return job_.done == job_.count; });
   job_.body = nullptr;
+  if (job_.error) {
+    std::exception_ptr error = std::exchange(job_.error, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop(std::size_t worker_id) {
+  tl_pool = this;
+  tl_worker = worker_id;
   std::size_t seen_generation = 0;
   while (true) {
     std::unique_lock lock(mutex_);
@@ -62,8 +84,16 @@ void ThreadPool::worker_loop(std::size_t worker_id) {
       job_.next = end;
       const auto* body = job_.body;
       lock.unlock();
-      for (std::size_t i = begin; i < end; ++i) (*body)(i, worker_id);
+      std::exception_ptr error;
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*body)(i, worker_id);
+      } catch (...) {
+        // Count the whole chunk as done (the rest of it is skipped); other
+        // chunks still run so the caller's wait stays exact.
+        error = std::current_exception();
+      }
       lock.lock();
+      if (error && !job_.error) job_.error = error;
       job_.done += end - begin;
       if (job_.done == job_.count) done_cv_.notify_all();
     }

@@ -1,13 +1,22 @@
 // A small fixed-size thread pool with a blocking parallel_for. Workers are
 // identified by a dense index so callers can keep per-worker scratch state
 // (the MCDRAM-style decompression buffers) without locking.
+//
+// StageChannel is the stage-handoff primitive of the block pipeline: a
+// bounded blocking MPMC queue that carries decoded blocks from the
+// prefetch stage to the apply stage. Capacity bounds the number of
+// in-flight staging buffers so the Eq. 8 memory charge stays fixed.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace cqs {
@@ -26,6 +35,14 @@ class ThreadPool {
   /// Runs body(index, worker_id) for index in [0, count), blocking until all
   /// iterations finish. Iterations are distributed by atomic work stealing
   /// of contiguous chunks. Safe to call from one thread at a time.
+  ///
+  /// If an iteration throws, the remaining iterations of its chunk are
+  /// skipped, every other claimed iteration still runs, and the first
+  /// exception is rethrown on the calling thread once the job drains.
+  ///
+  /// Reentrant: calling parallel_for from inside a body (i.e. from one of
+  /// this pool's workers) runs the nested loop inline on that worker,
+  /// serially, under the caller's worker id.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t index,
                                              std::size_t worker)>& body);
@@ -37,6 +54,7 @@ class ThreadPool {
     std::size_t next = 0;          // next index to hand out
     std::size_t done = 0;          // iterations completed
     std::size_t generation = 0;    // bumped per parallel_for call
+    std::exception_ptr error;      // first exception thrown by any iteration
   };
 
   void worker_loop(std::size_t worker_id);
@@ -47,6 +65,80 @@ class ThreadPool {
   std::condition_variable done_cv_;
   Job job_;
   bool stop_ = false;
+};
+
+/// Bounded blocking MPMC handoff queue between pipeline stages. Producers
+/// block while the channel is full; consumers block while it is empty and
+/// not yet closed. close() wakes everyone: pending pushes fail, pops drain
+/// the remaining items and then return nullopt.
+template <typename T>
+class StageChannel {
+ public:
+  explicit StageChannel(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  StageChannel(const StageChannel&) = delete;
+  StageChannel& operator=(const StageChannel&) = delete;
+
+  /// Blocks while full. Returns false if the channel is (or becomes) closed
+  /// before the item is accepted.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    space_cv_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; true if an item was ready.
+  bool try_pop(T& out) {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    space_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop. Returns nullopt once the channel is closed and drained.
+  /// `waited`, when given, reports whether the caller had to sleep — the
+  /// pipeline counts those as stalls.
+  std::optional<T> pop(bool* waited = nullptr) {
+    std::unique_lock lock(mutex_);
+    if (waited != nullptr) *waited = items_.empty() && !closed_;
+    item_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T out = std::move(items_.front());
+    items_.pop_front();
+    space_cv_.notify_one();
+    return out;
+  }
+
+  /// Closes the channel: blocked producers fail, consumers drain then stop.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable item_cv_;   // signalled when an item arrives / close
+  std::condition_variable space_cv_;  // signalled when space frees / close
+  std::deque<T> items_;
+  bool closed_ = false;
 };
 
 }  // namespace cqs

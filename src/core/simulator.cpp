@@ -6,6 +6,7 @@
 #include <cmath>
 #include <complex>
 #include <cstring>
+#include <functional>
 #include <stdexcept>
 
 #include "core/memory_model.hpp"
@@ -30,26 +31,16 @@ inline std::complex<double>* as_complex(std::span<double> raw) {
 /// Applies one offset-segment kernel to a decompressed block: the
 /// diagonal multiply or the classic strided pairs (Figure 1), restricted
 /// to amplitudes whose offset-segment control bits are all set. Shared by
-/// the single-gate path and the run executor so the hot loops exist once.
+/// the single-gate path and the run executor; the hot loops themselves
+/// live in qsim/gates.cpp behind runtime backend dispatch.
 void apply_offset_kernel(Amplitude* amps, std::uint64_t count,
                          const Mat2& m, bool diagonal,
-                         std::uint64_t target_bit, std::uint64_t ctrl) {
+                         std::uint64_t target_bit, std::uint64_t ctrl,
+                         qsim::KernelBackend backend) {
   if (diagonal) {
-    for (std::uint64_t i = 0; i < count; ++i) {
-      if ((i & ctrl) != ctrl) continue;
-      amps[i] *= (i & target_bit) ? m.u11 : m.u00;
-    }
-    return;
-  }
-  const std::uint64_t stride = target_bit;
-  for (std::uint64_t base = 0; base < count; base += 2 * stride) {
-    for (std::uint64_t i = base; i < base + stride; ++i) {
-      if ((i & ctrl) != ctrl) continue;
-      const Amplitude a0 = amps[i];
-      const Amplitude a1 = amps[i + stride];
-      amps[i] = m.u00 * a0 + m.u01 * a1;
-      amps[i + stride] = m.u10 * a0 + m.u11 * a1;
-    }
+    qsim::diag_kernel(amps, count, m, target_bit, ctrl, backend);
+  } else {
+    qsim::mix_kernel(amps, count, m, target_bit, ctrl, backend);
   }
 }
 
@@ -107,6 +98,23 @@ struct CompressedStateSimulator::RunPlan {
   InvocationCounter blocks_lossy;  ///< of those, ones the lossy codec wrote
 };
 
+/// One single-block unit task, shared by the sequential and the overlapped
+/// pipeline executors: how to identify the unit in the cache, what to
+/// compute on the decoded amplitudes, and where to account the
+/// recompression. Every field is safe to call from any worker.
+struct CompressedStateSimulator::UnitSpec {
+  int level = 0;
+  /// Cache key of one unit (called only when the cache is enabled; must
+  /// read the *current* stored payload, i.e. before decompression).
+  std::function<std::uint64_t(int rank, int block)> make_key;
+  /// Applies the unit's kernels to the decoded block.
+  std::function<void(qsim::Amplitude* amps, std::uint64_t count, int rank,
+                     int block)>
+      compute;
+  std::atomic<std::uint64_t>* blocks_compressed = nullptr;
+  std::atomic<std::uint64_t>* blocks_lossy = nullptr;
+};
+
 CompressedStateSimulator::CompressedStateSimulator(SimConfig config)
     : config_(std::move(config)),
       partition_(runtime::make_partition(config_.num_qubits,
@@ -150,6 +158,13 @@ CompressedStateSimulator::CompressedStateSimulator(SimConfig config)
   } catch (const std::invalid_argument& e) {
     throw std::invalid_argument(std::string("simulator: ") + e.what());
   }
+
+  // Pipeline knobs are likewise validated even when the pipeline is off.
+  if (config_.pipeline_depth < 1 || config_.pipeline_depth > 64) {
+    throw std::invalid_argument(
+        "simulator: pipeline_depth must be in [1, 64] staging buffers");
+  }
+  backend_ = qsim::detect_kernel_backend(config_.enable_simd_kernels);
   map_ = runtime::QubitMap::identity(config_.num_qubits);
   remap_last_use_.assign(static_cast<std::size_t>(config_.num_qubits), 0);
 
@@ -186,8 +201,14 @@ CompressedStateSimulator::CompressedStateSimulator(SimConfig config)
   pool_ = std::make_unique<ThreadPool>(threads);
   worker_timers_.resize(pool_->size());
   codec_stats_.resize(pool_->size());
+  // The pipeline needs a second worker to overlap with; with one worker
+  // the sequential path runs and no staging memory is charged to Eq. 8.
+  const std::size_t staging =
+      config_.enable_pipeline && pool_->size() >= 2
+          ? static_cast<std::size_t>(config_.pipeline_depth)
+          : 0;
   scratch_ = std::make_unique<runtime::ScratchArena>(
-      pool_->size(), partition_.doubles_per_block());
+      pool_->size(), partition_.doubles_per_block(), staging);
   comm_ = std::make_unique<runtime::Comm>(partition_.num_ranks());
   ranks_.assign(partition_.num_ranks(),
                 runtime::BlockStore(partition_.blocks_per_rank()));
@@ -586,9 +607,23 @@ void CompressedStateSimulator::run_offset_target(const GateRouting& routing) {
       if (controls_satisfied_block(routing, r, b)) units.emplace_back(r, b);
     }
   }
-  pool_->parallel_for(units.size(), [&](std::size_t i, std::size_t worker) {
-    process_single(routing, units[i].first, units[i].second, worker, 0);
-  });
+  UnitSpec spec;
+  spec.level = routing.level;
+  spec.make_key = [&](int rank, int block) {
+    const auto& store = ranks_[rank];
+    return runtime::BlockCache::make_key(routing.descriptor,
+                                         store.block(block), {},
+                                         store.meta(block).codec, 0,
+                                         map_generation_);
+  };
+  spec.compute = [&](Amplitude* amps, std::uint64_t count, int, int) {
+    apply_offset_kernel(amps, count, routing.m, routing.diagonal,
+                        std::uint64_t{1} << routing.target_local_bit,
+                        routing.offset_ctrl_mask, backend_);
+  };
+  spec.blocks_compressed = &routing.blocks_compressed;
+  spec.blocks_lossy = &routing.blocks_lossy;
+  run_units(units, spec);
 }
 
 void CompressedStateSimulator::run_block_target(const GateRouting& routing) {
@@ -646,63 +681,28 @@ void CompressedStateSimulator::run_diagonal(const GateRouting& routing) {
       units.emplace_back(r, b);
     }
   }
-  pool_->parallel_for(units.size(), [&](std::size_t i, std::size_t worker) {
-    const auto [r, b] = units[i];
+  UnitSpec spec;
+  spec.level = routing.level;
+  spec.make_key = [&](int rank, int block) {
     // The diagonal factor is selected by the target bit of the unit's
     // block/rank index; make that selection part of the cache identity.
     std::uint64_t salt = 0;
     if (routing.target_segment == Partition::Segment::kBlock) {
-      salt = 1 + ((static_cast<unsigned>(b) >> routing.target_local_bit) & 1);
+      salt = 1 + ((static_cast<unsigned>(block) >> routing.target_local_bit) &
+                  1);
     } else if (routing.target_segment == Partition::Segment::kRank) {
-      salt = 1 + ((static_cast<unsigned>(r) >> routing.target_local_bit) & 1);
+      salt = 1 + ((static_cast<unsigned>(rank) >> routing.target_local_bit) &
+                  1);
     }
-    process_single(routing, r, b, worker, salt);
-  });
-}
-
-void CompressedStateSimulator::process_single(const GateRouting& routing,
-                                              int rank, int block,
-                                              std::size_t worker,
-                                              std::uint64_t unit_salt) {
-  auto& store = ranks_[rank];
-  auto& timers = worker_timers_[worker];
-  runtime::BlockCache* cache =
-      config_.enable_cache ? caches_[rank].get() : nullptr;
-  std::uint64_t key = 0;
-  if (cache != nullptr && cache->enabled()) {
-    key = fnv1a_u64(
-        unit_salt,
-        runtime::BlockCache::make_key(routing.descriptor, store.block(block),
-                                      {}, store.meta(block).codec, 0,
-                                      map_generation_));
-    Bytes out1;
-    Bytes out2;
-    std::uint8_t codec1 = compression::kLosslessCodecId;
-    if (cache->lookup(key, out1, out2, &codec1)) {
-      store.set_block(block, std::move(out1),
-                      {static_cast<std::uint8_t>(routing.level), codec1});
-      // Keep the arbiter's hysteresis in step with the stored codec even
-      // though no decision ran — otherwise hit/miss interleavings would
-      // leak into later codec choices and break cross-thread determinism.
-      arbiter_->seed(global_block(rank, block),
-                     codec1 == compression::kLosslessCodecId);
-      routing.blocks_compressed.fetch_add(1, std::memory_order_relaxed);
-      if (codec1 != compression::kLosslessCodecId) {
-        routing.blocks_lossy.fetch_add(1, std::memory_order_relaxed);
-      }
-      return;
-    }
-  }
-
-  auto vx = scratch_->vector_x(worker);
-  decompress_block(rank, block, vx, worker);
-  {
-    ScopedPhase phase(timers, Phase::kComputation);
-    auto* amps = as_complex(vx);
-    const std::uint64_t count = partition_.amplitudes_per_block();
+    const auto& store = ranks_[rank];
+    return fnv1a_u64(salt, runtime::BlockCache::make_key(
+                               routing.descriptor, store.block(block), {},
+                               store.meta(block).codec, 0, map_generation_));
+  };
+  spec.compute = [&](Amplitude* amps, std::uint64_t count, int rank,
+                     int block) {
     const std::uint64_t ctrl = routing.offset_ctrl_mask;
-    if (routing.diagonal &&
-        routing.target_segment != Partition::Segment::kOffset) {
+    if (routing.target_segment != Partition::Segment::kOffset) {
       // The diagonal factor is constant across the block, selected by the
       // unit's block/rank index bit.
       const int index = routing.target_segment == Partition::Segment::kBlock
@@ -711,27 +711,189 @@ void CompressedStateSimulator::process_single(const GateRouting& routing,
       const Amplitude factor =
           ((index >> routing.target_local_bit) & 1) ? routing.m.u11
                                                     : routing.m.u00;
-      for (std::uint64_t i = 0; i < count; ++i) {
-        if ((i & ctrl) != ctrl) continue;
-        amps[i] *= factor;
-      }
+      qsim::scale_kernel(amps, count, factor, ctrl, backend_);
     } else {
-      apply_offset_kernel(amps, count, routing.m, routing.diagonal,
-                          std::uint64_t{1} << routing.target_local_bit,
-                          ctrl);
+      qsim::diag_kernel(amps, count, routing.m,
+                        std::uint64_t{1} << routing.target_local_bit, ctrl,
+                        backend_);
     }
+  };
+  spec.blocks_compressed = &routing.blocks_compressed;
+  spec.blocks_lossy = &routing.blocks_lossy;
+  run_units(units, spec);
+}
+
+// --- Single-block unit executors ---
+
+bool CompressedStateSimulator::pipeline_ready() const {
+  return config_.enable_pipeline && pool_->size() >= 2 &&
+         scratch_->staging_buffers() > 0;
+}
+
+bool CompressedStateSimulator::unit_cache_probe(const UnitSpec& spec,
+                                                int rank, int block,
+                                                std::uint64_t* key_out) {
+  *key_out = 0;
+  runtime::BlockCache* cache =
+      config_.enable_cache ? caches_[rank].get() : nullptr;
+  if (cache == nullptr || !cache->enabled()) return false;
+  auto& store = ranks_[rank];
+  const std::uint64_t key = spec.make_key(rank, block);
+  *key_out = key;
+  Bytes out1;
+  Bytes out2;
+  std::uint8_t codec1 = compression::kLosslessCodecId;
+  if (!cache->lookup(key, out1, out2, &codec1)) return false;
+  store.set_block(block, std::move(out1),
+                  {static_cast<std::uint8_t>(spec.level), codec1});
+  // Keep the arbiter's hysteresis in step with the stored codec even
+  // though no decision ran — otherwise hit/miss interleavings would
+  // leak into later codec choices and break cross-thread determinism.
+  arbiter_->seed(global_block(rank, block),
+                 codec1 == compression::kLosslessCodecId);
+  spec.blocks_compressed->fetch_add(1, std::memory_order_relaxed);
+  if (codec1 != compression::kLosslessCodecId) {
+    spec.blocks_lossy->fetch_add(1, std::memory_order_relaxed);
   }
-  auto [compressed, meta] =
-      encode_block(vx, routing.level, rank, block, worker);
+  return true;
+}
+
+void CompressedStateSimulator::unit_finish(const UnitSpec& spec, int rank,
+                                           int block, std::size_t worker,
+                                           std::span<double> amps,
+                                           std::uint64_t key) {
+  auto [compressed, meta] = encode_block(amps, spec.level, rank, block,
+                                         worker);
+  runtime::BlockCache* cache =
+      config_.enable_cache ? caches_[rank].get() : nullptr;
   if (cache != nullptr && cache->enabled()) {
     cache->insert(key, compressed, {}, meta.codec);
   }
   const bool lossy_write = meta.codec != compression::kLosslessCodecId;
-  store.set_block(block, std::move(compressed), meta);
-  routing.blocks_compressed.fetch_add(1, std::memory_order_relaxed);
+  ranks_[rank].set_block(block, std::move(compressed), meta);
+  spec.blocks_compressed->fetch_add(1, std::memory_order_relaxed);
   if (lossy_write) {
-    routing.blocks_lossy.fetch_add(1, std::memory_order_relaxed);
+    spec.blocks_lossy->fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void CompressedStateSimulator::run_units(
+    const std::vector<std::pair<int, int>>& units, const UnitSpec& spec) {
+  if (pipeline_ready() && units.size() >= 2) {
+    run_units_pipelined(units, spec);
+    return;
+  }
+  pool_->parallel_for(units.size(), [&](std::size_t i, std::size_t worker) {
+    const auto [rank, block] = units[i];
+    std::uint64_t key = 0;
+    if (unit_cache_probe(spec, rank, block, &key)) return;
+    auto vx = scratch_->vector_x(worker);
+    decompress_block(rank, block, vx, worker);
+    {
+      ScopedPhase phase(worker_timers_[worker], Phase::kComputation);
+      spec.compute(as_complex(vx), partition_.amplitudes_per_block(), rank,
+                   block);
+    }
+    unit_finish(spec, rank, block, worker, vx, key);
+  });
+}
+
+void CompressedStateSimulator::run_units_pipelined(
+    const std::vector<std::pair<int, int>>& units, const UnitSpec& spec) {
+  // Three overlapped stages on the shared pool: a block is decoded into a
+  // pooled staging buffer (prefetch), its kernels applied, and its
+  // recompression stored — with the handoff between decode and apply going
+  // through a bounded StageChannel. Every worker runs both roles: it
+  // prefers draining staged blocks (apply+recompress), decodes the next
+  // unit when a staging buffer is free, and only sleeps when neither is
+  // possible. That role-agnostic loop is what makes the executor
+  // deadlock-free: a worker holding the last staging buffer is by
+  // construction not blocked on the channel.
+  //
+  // Per-unit work is byte-identical to the sequential executor — only the
+  // assignment of units to workers and the buffer a block is decoded into
+  // change — so pipeline-on == pipeline-off bit-for-bit.
+  struct Staged {
+    std::size_t unit = 0;
+    int buffer = -1;
+    std::uint64_t key = 0;
+    std::size_t producer = 0;  ///< decoding worker (overlap accounting)
+  };
+  StageChannel<Staged> channel(scratch_->staging_buffers());
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::uint64_t> prefetched{0};
+  std::atomic<std::uint64_t> stalls{0};
+  const std::size_t total = units.size();
+
+  auto complete_one = [&] {
+    if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+      channel.close();  // wakes every sleeping worker: the run is done
+    }
+  };
+  auto apply_staged = [&](const Staged& staged, std::size_t worker) {
+    const auto [rank, block] = units[staged.unit];
+    if (staged.producer != worker) {
+      prefetched.fetch_add(1, std::memory_order_relaxed);
+    }
+    auto amps = scratch_->staging(staged.buffer);
+    {
+      ScopedPhase phase(worker_timers_[worker], Phase::kComputation);
+      spec.compute(as_complex(amps), partition_.amplitudes_per_block(), rank,
+                   block);
+    }
+    unit_finish(spec, rank, block, worker, amps, staged.key);
+    scratch_->release_staging(staged.buffer);
+    complete_one();
+  };
+
+  pool_->parallel_for(pool_->size(), [&](std::size_t, std::size_t worker) {
+    try {
+      while (true) {
+        Staged staged;
+        if (channel.try_pop(staged)) {  // apply stage first: drain handoffs
+          apply_staged(staged, worker);
+          continue;
+        }
+        const int buffer = scratch_->acquire_staging();
+        if (buffer >= 0) {  // decode stage: prefetch the next unit
+          const std::size_t u =
+              next.fetch_add(1, std::memory_order_relaxed);
+          if (u < total) {
+            const auto [rank, block] = units[u];
+            Staged fresh{u, buffer, 0, worker};
+            if (unit_cache_probe(spec, rank, block, &fresh.key)) {
+              scratch_->release_staging(buffer);
+              complete_one();
+            } else {
+              decompress_block(rank, block, scratch_->staging(buffer),
+                               worker);
+              if (!channel.push(fresh)) {
+                // Channel closed early (a peer threw): drop out.
+                scratch_->release_staging(buffer);
+                return;
+              }
+            }
+            continue;
+          }
+          scratch_->release_staging(buffer);
+        }
+        // Neither staged work nor a free buffer: wait on in-flight units.
+        bool waited = false;
+        auto item = channel.pop(&waited);
+        if (!item.has_value()) return;  // closed and drained
+        if (waited) stalls.fetch_add(1, std::memory_order_relaxed);
+        apply_staged(*item, worker);
+      }
+    } catch (...) {
+      channel.close();  // unblock peers so the pool can drain, then rethrow
+      throw;
+    }
+  });
+
+  pipeline_blocks_ += total;
+  pipeline_prefetched_ += prefetched.load(std::memory_order_relaxed);
+  pipeline_stalls_ += stalls.load(std::memory_order_relaxed);
 }
 
 CompressedStateSimulator::RunPlan CompressedStateSimulator::build_run_plan(
@@ -777,14 +939,28 @@ CompressedStateSimulator::RunPlan CompressedStateSimulator::build_run_plan(
 void CompressedStateSimulator::apply_run(const qsim::Circuit& circuit,
                                          const qsim::GateRun& run) {
   const RunPlan plan = build_run_plan(circuit, run);
-  const std::size_t total_blocks =
-      static_cast<std::size_t>(partition_.num_ranks()) *
-      partition_.blocks_per_rank();
-  pool_->parallel_for(total_blocks, [&](std::size_t i, std::size_t worker) {
-    const int rank = static_cast<int>(i) / partition_.blocks_per_rank();
-    const int block = static_cast<int>(i) % partition_.blocks_per_rank();
-    process_run_single(plan, rank, block, worker);
-  });
+  // The scheduler already knows the full future block order of the run —
+  // that is exactly the prefetch list the pipelined executor feeds on.
+  const std::vector<std::pair<int, int>> units = qsim::run_block_order(
+      partition_.num_ranks(), partition_.blocks_per_rank());
+  UnitSpec spec;
+  spec.level = plan.level;
+  spec.make_key = [&](int rank, int block) {
+    const auto& store = ranks_[rank];
+    return runtime::BlockCache::make_run_key(plan.descriptors,
+                                             store.block(block),
+                                             store.meta(block).codec,
+                                             map_generation_);
+  };
+  spec.compute = [&](Amplitude* amps, std::uint64_t count, int, int) {
+    for (const RunPlan::Kernel& kernel : plan.kernels) {
+      apply_offset_kernel(amps, count, kernel.m, kernel.diagonal,
+                          kernel.target_bit, kernel.ctrl_mask, backend_);
+    }
+  };
+  spec.blocks_compressed = &plan.blocks_compressed.value;
+  spec.blocks_lossy = &plan.blocks_lossy.value;
+  run_units(units, spec);
   // The whole run cost each block one recompression, so the fidelity
   // ledger records one lossy pass — not one per gate (Eq. 11 tightens to
   // F >= (1 - delta)^runs) — and only if the lossy codec wrote at least
@@ -792,55 +968,6 @@ void CompressedStateSimulator::apply_run(const qsim::Circuit& circuit,
   if (plan.blocks_lossy.get() > 0 && level_ > 0) {
     fidelity_.record_lossy_pass(config_.error_ladder[level_ - 1]);
   }
-}
-
-void CompressedStateSimulator::process_run_single(const RunPlan& plan,
-                                                  int rank, int block,
-                                                  std::size_t worker) {
-  auto& store = ranks_[rank];
-  auto& timers = worker_timers_[worker];
-  runtime::BlockCache* cache =
-      config_.enable_cache ? caches_[rank].get() : nullptr;
-  std::uint64_t key = 0;
-  if (cache != nullptr && cache->enabled()) {
-    key = runtime::BlockCache::make_run_key(plan.descriptors,
-                                            store.block(block),
-                                            store.meta(block).codec,
-                                            map_generation_);
-    Bytes out1;
-    Bytes out2;
-    std::uint8_t codec1 = compression::kLosslessCodecId;
-    if (cache->lookup(key, out1, out2, &codec1)) {
-      store.set_block(block, std::move(out1),
-                      {static_cast<std::uint8_t>(plan.level), codec1});
-      // See process_single: hysteresis must track the stored codec on hits.
-      arbiter_->seed(global_block(rank, block),
-                     codec1 == compression::kLosslessCodecId);
-      plan.blocks_compressed.bump();
-      if (codec1 != compression::kLosslessCodecId) plan.blocks_lossy.bump();
-      return;
-    }
-  }
-
-  auto vx = scratch_->vector_x(worker);
-  decompress_block(rank, block, vx, worker);
-  {
-    ScopedPhase phase(timers, Phase::kComputation);
-    auto* amps = as_complex(vx);
-    const std::uint64_t count = partition_.amplitudes_per_block();
-    for (const RunPlan::Kernel& kernel : plan.kernels) {
-      apply_offset_kernel(amps, count, kernel.m, kernel.diagonal,
-                          kernel.target_bit, kernel.ctrl_mask);
-    }
-  }
-  auto [compressed, meta] = encode_block(vx, plan.level, rank, block, worker);
-  if (cache != nullptr && cache->enabled()) {
-    cache->insert(key, compressed, {}, meta.codec);
-  }
-  const bool lossy_write = meta.codec != compression::kLosslessCodecId;
-  store.set_block(block, std::move(compressed), meta);
-  plan.blocks_compressed.bump();
-  if (lossy_write) plan.blocks_lossy.bump();
 }
 
 void CompressedStateSimulator::process_pair(const GateRouting& routing,
@@ -883,7 +1010,8 @@ void CompressedStateSimulator::process_pair(const GateRouting& routing,
                         {static_cast<std::uint8_t>(routing.level), codec1});
       store_b.set_block(block_b, std::move(out2),
                         {static_cast<std::uint8_t>(routing.level), codec2});
-      // See process_single: hysteresis must track the stored codec on hits.
+      // See unit_cache_probe: hysteresis must track the stored codec on
+      // hits.
       arbiter_->seed(global_block(rank_a, block_a),
                      codec1 == compression::kLosslessCodecId);
       arbiter_->seed(global_block(rank_b, block_b),
@@ -912,17 +1040,9 @@ void CompressedStateSimulator::process_pair(const GateRouting& routing,
     }
     {
       ScopedPhase phase(timers, Phase::kComputation);
-      auto* a0 = as_complex(vx);
-      auto* a1 = as_complex(vy);
-      const std::uint64_t count = partition_.amplitudes_per_block();
-      const std::uint64_t ctrl = routing.offset_ctrl_mask;
-      for (std::uint64_t i = 0; i < count; ++i) {
-        if ((i & ctrl) != ctrl) continue;
-        const Amplitude x = a0[i];
-        const Amplitude y = a1[i];
-        a0[i] = routing.m.u00 * x + routing.m.u01 * y;
-        a1[i] = routing.m.u10 * x + routing.m.u11 * y;
-      }
+      qsim::pair_kernel(as_complex(vx), as_complex(vy),
+                        partition_.amplitudes_per_block(), routing.m,
+                        routing.offset_ctrl_mask, backend_);
     }
     auto [ca, meta_a] =
         encode_block(vx, routing.level, rank_a, block_a, worker);
@@ -1412,6 +1532,12 @@ SimulationReport CompressedStateSimulator::report() const {
       remap_sweeps_avoided_ *
       (static_cast<std::uint64_t>(partition_.num_ranks()) / 2 *
        partition_.blocks_per_rank());
+  rep.pipeline_enabled = pipeline_ready();
+  rep.pipeline_depth = static_cast<int>(scratch_->staging_buffers());
+  rep.pipeline_blocks = pipeline_blocks_;
+  rep.pipeline_prefetched = pipeline_prefetched_;
+  rep.pipeline_stalls = pipeline_stalls_;
+  rep.simd_kernel = qsim::kernel_backend_name(backend_);
   for (const auto& cache : caches_) {
     const auto stats = cache->stats();
     rep.cache.hits += stats.hits;

@@ -124,6 +124,7 @@ class CompressedStateSimulator {
  private:
   struct GateRouting;  // resolved target/control segmentation
   struct RunPlan;      // resolved kernels + cache identity of one gate run
+  struct UnitSpec;     // one single-block unit task (cache id + kernels)
 
   /// Copyable relaxed counter so the simulator stays movable (checkpoint
   /// load returns by value) while workers bump it concurrently.
@@ -200,15 +201,30 @@ class CompressedStateSimulator {
   void apply_run(const qsim::Circuit& circuit, const qsim::GateRun& run);
   RunPlan build_run_plan(const qsim::Circuit& circuit,
                          const qsim::GateRun& run) const;
-  void process_run_single(const RunPlan& plan, int rank, int block,
-                          std::size_t worker);
-  /// `unit_salt` disambiguates cache entries for units whose kernel depends
-  /// on more than the block contents (diagonal gates with the target in
-  /// the block or rank segment select u00 vs u11 by the unit's index bit).
-  void process_single(const GateRouting& routing, int rank, int block,
-                      std::size_t worker, std::uint64_t unit_salt);
   void process_pair(const GateRouting& routing, int rank_a, int block_a,
                     int rank_b, int block_b, std::size_t worker);
+
+  // --- Single-block unit executors (sequential + pipelined) ---
+
+  /// True when the overlapped pipeline can engage: knob on, >= 2 workers,
+  /// staging buffers allocated.
+  bool pipeline_ready() const;
+  /// Cache probe of one unit. On a hit the stored block is replaced from
+  /// the cache and counters bumped (the unit is fully handled); on a miss
+  /// the key (0 when the cache is off) is reported for the later insert.
+  bool unit_cache_probe(const UnitSpec& spec, int rank, int block,
+                        std::uint64_t* key_out);
+  /// Recompress + cache-insert + store + counters tail of one unit.
+  void unit_finish(const UnitSpec& spec, int rank, int block,
+                   std::size_t worker, std::span<double> amps,
+                   std::uint64_t key);
+  /// Runs every (rank, block) unit: decompress, spec.compute, recompress.
+  /// Dispatches to the overlapped pipeline when it can engage, else a
+  /// plain parallel_for. Bit-identical either way.
+  void run_units(const std::vector<std::pair<int, int>>& units,
+                 const UnitSpec& spec);
+  void run_units_pipelined(const std::vector<std::pair<int, int>>& units,
+                           const UnitSpec& spec);
   void run_diagonal(const GateRouting& routing);
   void run_offset_target(const GateRouting& routing);
   void run_block_target(const GateRouting& routing);
@@ -244,6 +260,15 @@ class CompressedStateSimulator {
   int level_ = 0;  ///< 0 = lossless; k > 0 = error_ladder[k-1]
   FidelityTracker fidelity_;
   std::uint64_t gate_cursor_ = 0;
+
+  /// Kernel backend the apply loops dispatch to (detected once at
+  /// construction from config_.enable_simd_kernels and the host CPU).
+  qsim::KernelBackend backend_ = qsim::KernelBackend::kScalar;
+
+  // Overlapped-pipeline accounting (bumped between parallel regions only).
+  std::uint64_t pipeline_blocks_ = 0;
+  std::uint64_t pipeline_prefetched_ = 0;
+  std::uint64_t pipeline_stalls_ = 0;
 
   // Qubit remapping (logical->physical relabeling).
   runtime::QubitMap map_;

@@ -88,4 +88,44 @@ std::string gate_name(GateKind kind);
 /// cheaper routing).
 bool is_diagonal(GateKind kind);
 
+// --- Block apply kernels (scalar reference + runtime-dispatched SIMD) ---
+//
+// Every kernel is bit-exact across backends: the vector paths perform the
+// same multiplies and adds in the same order as the scalar reference (no
+// FMA, no reassociation — gates.cpp is compiled with -ffp-contract=off),
+// so lossy bitstreams and golden states cannot move when dispatch picks a
+// wider ISA. The scalar path IS the semantics; simd_kernel_test pins the
+// vector paths to it byte-for-byte.
+
+enum class KernelBackend : std::uint8_t { kScalar, kAvx2, kNeon };
+
+/// "scalar" | "avx2" | "neon" — the report's `simd_kernel` line.
+const char* kernel_backend_name(KernelBackend backend);
+
+/// The widest backend both compiled in and supported by the running CPU;
+/// kScalar when `enable_simd` is false.
+KernelBackend detect_kernel_backend(bool enable_simd);
+
+/// amps[i] *= factor for every i with (i & ctrl) == ctrl.
+void scale_kernel(Amplitude* amps, std::uint64_t count, Amplitude factor,
+                  std::uint64_t ctrl, KernelBackend backend);
+
+/// Diagonal 2x2: amps[i] *= (i & target_bit) ? m.u11 : m.u00 for every i
+/// passing the control mask. `target_bit` is a power of two.
+void diag_kernel(Amplitude* amps, std::uint64_t count, const Mat2& m,
+                 std::uint64_t target_bit, std::uint64_t ctrl,
+                 KernelBackend backend);
+
+/// Strided 2x2 mixing of pairs (i, i + target_bit) within one buffer
+/// (Figure 1's classic loop). `target_bit` is a power of two and `count` a
+/// multiple of 2 * target_bit; the control mask may use any index bits.
+void mix_kernel(Amplitude* amps, std::uint64_t count, const Mat2& m,
+                std::uint64_t target_bit, std::uint64_t ctrl,
+                KernelBackend backend);
+
+/// 2x2 mixing across two buffers at equal offsets — the cross-block /
+/// cross-rank pair shape (Figure 2's Vector_x / Vector_y).
+void pair_kernel(Amplitude* a0, Amplitude* a1, std::uint64_t count,
+                 const Mat2& m, std::uint64_t ctrl, KernelBackend backend);
+
 }  // namespace cqs::qsim

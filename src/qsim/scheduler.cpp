@@ -20,6 +20,16 @@ bool is_block_local(const GateOp& op, int intra_qubits) {
   return true;
 }
 
+std::vector<std::pair<int, int>> run_block_order(int num_ranks,
+                                                 int blocks_per_rank) {
+  std::vector<std::pair<int, int>> order;
+  order.reserve(static_cast<std::size_t>(num_ranks) * blocks_per_rank);
+  for (int r = 0; r < num_ranks; ++r) {
+    for (int b = 0; b < blocks_per_rank; ++b) order.emplace_back(r, b);
+  }
+  return order;
+}
+
 Schedule build_schedule(const Circuit& circuit,
                         const SchedulerOptions& options,
                         const std::vector<std::size_t>* origin_counts) {

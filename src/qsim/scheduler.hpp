@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "qsim/circuit.hpp"
@@ -77,6 +78,14 @@ class Schedule {
   std::vector<GateRun> runs_;
   ScheduleStats stats_;
 };
+
+/// The future block order of one block-local run: every (rank, block)
+/// unit the run will touch, in the deterministic order the pipeline's
+/// prefetch stage decodes them. Block-local runs touch every block of
+/// every rank exactly once, rank-major — this is what lets the scheduler
+/// feed the double-buffered pipeline its prefetch list up front.
+std::vector<std::pair<int, int>> run_block_order(int num_ranks,
+                                                 int blocks_per_rank);
 
 /// Builds the run partition of `circuit`. Every op of the (post-fusion)
 /// circuit belongs to exactly one GateRun, runs preserve program order,

@@ -20,31 +20,17 @@ std::span<const double> StateVector::raw() const {
 }
 
 void StateVector::apply_single(int target, const Mat2& m) {
-  const std::uint64_t stride = std::uint64_t{1} << target;
-  const std::uint64_t n = amplitudes_.size();
-  for (std::uint64_t base = 0; base < n; base += 2 * stride) {
-    for (std::uint64_t i = base; i < base + stride; ++i) {
-      const Amplitude a0 = amplitudes_[i];
-      const Amplitude a1 = amplitudes_[i + stride];
-      amplitudes_[i] = m.u00 * a0 + m.u01 * a1;
-      amplitudes_[i + stride] = m.u10 * a0 + m.u11 * a1;
-    }
-  }
+  // The dense reference deliberately stays on the scalar kernel: it is the
+  // ground truth the SIMD backends are pinned byte-for-byte against.
+  mix_kernel(amplitudes_.data(), amplitudes_.size(), m,
+             std::uint64_t{1} << target, 0, KernelBackend::kScalar);
 }
 
 void StateVector::apply_controlled(std::uint64_t control_mask, int target,
                                    const Mat2& m) {
-  const std::uint64_t stride = std::uint64_t{1} << target;
-  const std::uint64_t n = amplitudes_.size();
-  for (std::uint64_t base = 0; base < n; base += 2 * stride) {
-    for (std::uint64_t i = base; i < base + stride; ++i) {
-      if ((i & control_mask) != control_mask) continue;
-      const Amplitude a0 = amplitudes_[i];
-      const Amplitude a1 = amplitudes_[i + stride];
-      amplitudes_[i] = m.u00 * a0 + m.u01 * a1;
-      amplitudes_[i + stride] = m.u10 * a0 + m.u11 * a1;
-    }
-  }
+  mix_kernel(amplitudes_.data(), amplitudes_.size(), m,
+             std::uint64_t{1} << target, control_mask,
+             KernelBackend::kScalar);
 }
 
 void StateVector::apply_swap(int a, int b) {

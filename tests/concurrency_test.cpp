@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <cmath>
+#include <filesystem>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -106,43 +108,7 @@ TEST(ConcurrencyTest, ResultsIdenticalAcrossThreadCounts) {
   }
 }
 
-/// Randomized circuit over all three partition segments: single-qubit
-/// gates (including parameterized rotations), controlled pairs, SWAPs,
-/// and Toffolis on uniformly drawn qubits. Deterministic in `seed`.
-qsim::Circuit random_circuit(int qubits, std::size_t gates,
-                             std::uint64_t seed) {
-  Rng rng(seed);
-  qsim::Circuit c(qubits);
-  auto qubit = [&] { return static_cast<int>(rng.next_below(qubits)); };
-  auto distinct_from = [&](int a) {
-    int q = qubit();
-    while (q == a) q = qubit();
-    return q;
-  };
-  for (std::size_t i = 0; i < gates; ++i) {
-    const int target = qubit();
-    switch (rng.next_below(10)) {
-      case 0: c.h(target); break;
-      case 1: c.x(target); break;
-      case 2: c.t(target); break;
-      case 3: c.rz(target, rng.next_double() * 3.0); break;
-      case 4: c.ry(target, rng.next_double() * 3.0); break;
-      case 5: c.cx(distinct_from(target), target); break;
-      case 6: c.cz(distinct_from(target), target); break;
-      case 7: c.cphase(distinct_from(target), target,
-                       rng.next_double() * 3.0); break;
-      case 8: c.swap(distinct_from(target), target); break;
-      default: {
-        const int c0 = distinct_from(target);
-        int c1 = qubit();
-        while (c1 == target || c1 == c0) c1 = qubit();
-        c.ccx(c0, c1, target);
-        break;
-      }
-    }
-  }
-  return c;
-}
+using test::random_circuit;  // shared with the pipeline suite (test_util)
 
 /// The deterministic subset of a report: everything except wall-clock
 /// times and cache-interleaving artifacts (hit/miss split, compress-call
@@ -398,6 +364,94 @@ TEST(ConcurrencyTest, RemappedLossyRunsDeterministicAcrossThreadCounts) {
       EXPECT_EQ(report, reference_report) << "threads " << threads;
     }
   }
+}
+
+TEST(ConcurrencyTest, PipelineStressUnderCacheThrashAndLadderEscalation) {
+  // Worst-case pipeline conditions at once: a cache small enough to LRU-
+  // thrash (so probe/insert interleave with staging), a budget tight
+  // enough to force ladder escalation between pipelined gates, and depth 3
+  // so several blocks are in flight. States and the deterministic report
+  // fields must still be identical across thread counts and to the
+  // sequential path.
+  const int hw = static_cast<int>(
+      std::max(2u, std::thread::hardware_concurrency()));
+  const auto circuit = random_circuit(10, 70, 57);
+  std::vector<double> reference;
+  DeterministicReport reference_report{};
+  bool have_reference = false;
+  for (const bool pipeline : {false, true}) {
+    for (int threads : {1, 2, hw}) {
+      core::SimConfig config;
+      config.num_qubits = 10;
+      config.num_ranks = 2;
+      config.blocks_per_rank = 8;
+      config.threads = threads;
+      config.codec_policy = "adaptive";
+      config.memory_budget_bytes = 6 * 1024;  // forces escalation mid-run
+      config.cache_lines = 4;                 // guaranteed LRU thrash
+      config.enable_pipeline = pipeline;
+      config.pipeline_depth = 3;
+      core::CompressedStateSimulator sim(config);
+      sim.apply_circuit(circuit);
+      const auto report = deterministic_fields(sim.report());
+      const auto raw = sim.to_raw();
+      if (!have_reference) {
+        reference = raw;
+        reference_report = report;
+        have_reference = true;
+      } else {
+        CQS_EXPECT_STATES_CLOSE(raw, reference, 0.0)
+            << "pipeline=" << pipeline << " threads=" << threads;
+        EXPECT_EQ(report, reference_report)
+            << "pipeline=" << pipeline << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ConcurrencyTest, CheckpointMidCircuitDrainsPipelineStages) {
+  // save_checkpoint while the pipeline has been running must observe a
+  // fully drained executor (every staged block recompressed and stored):
+  // resuming the checkpoint and finishing the circuit must be bit-identical
+  // to the uninterrupted run, pipelined or not.
+  const auto circuit = random_circuit(10, 60, 71);
+  const std::uint64_t half = circuit.ops().size() / 2;
+
+  core::SimConfig config;
+  config.num_qubits = 10;
+  config.num_ranks = 2;
+  config.blocks_per_rank = 8;
+  config.threads = 2;
+  config.enable_pipeline = true;
+  config.pipeline_depth = 3;
+
+  // Both runs go through the per-gate apply path (apply_circuit's fusion
+  // pre-pass composes matrices and would be a different — equally valid —
+  // arithmetic, which tol = 0 would flag).
+  core::CompressedStateSimulator full(config);
+  for (const auto& op : circuit.ops()) full.apply(op);
+  const auto reference = full.to_raw();
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "cqs_ConcurrencyTest_PipelineCheckpoint";
+  std::filesystem::create_directories(dir);
+  const std::string file = (dir / "mid.bin").string();
+
+  core::CompressedStateSimulator first_half(config);
+  for (std::uint64_t i = 0; i < half; ++i) {
+    first_half.apply(circuit.ops()[i]);
+  }
+  first_half.save_checkpoint(file);
+
+  auto resumed =
+      core::CompressedStateSimulator::load_checkpoint(file, config);
+  for (std::uint64_t i = half; i < circuit.ops().size(); ++i) {
+    resumed.apply(circuit.ops()[i]);
+  }
+  CQS_EXPECT_STATES_CLOSE(resumed.to_raw(), reference, 0.0);
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 }  // namespace

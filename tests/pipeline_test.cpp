@@ -1,0 +1,240 @@
+// Differential suite for the overlapped block pipeline: every circuit
+// family x rank layout x thread count x scheduler mode x codec policy must
+// produce a state bit-identical to the sequential (pipeline-off) path.
+// The pipeline only changes which worker touches a block and which buffer
+// it is decoded into — never the arithmetic — so tol = 0 throughout.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuits/grover.hpp"
+#include "circuits/phase_estimation.hpp"
+#include "circuits/qaoa.hpp"
+#include "circuits/qft.hpp"
+#include "circuits/supremacy.hpp"
+#include "core/simulator.hpp"
+#include "qsim/circuit.hpp"
+#include "test_util.hpp"
+
+namespace cqs {
+namespace {
+
+struct NamedCircuit {
+  std::string name;
+  qsim::Circuit circuit;
+};
+
+/// The five paper workloads at differential-suite scale (small enough to
+/// sweep the full matrix, large enough that every routing path fires).
+std::vector<NamedCircuit> workloads() {
+  std::vector<NamedCircuit> all;
+  all.push_back({"qft", circuits::qft_circuit({.num_qubits = 10})});
+  all.push_back({"grover",
+                 circuits::grover_circuit({.data_qubits = 4,
+                                           .marked_state = 9,
+                                           .iterations = 2})});
+  all.push_back({"qaoa", circuits::qaoa_maxcut_circuit({.num_qubits = 10})});
+  all.push_back({"phase-estimation",
+                 circuits::phase_estimation_circuit(
+                     {.counting_qubits = 8, .phase = 0.3125})});
+  all.push_back({"supremacy",
+                 circuits::supremacy_circuit(
+                     {.rows = 3, .cols = 3, .depth = 5})});
+  return all;
+}
+
+core::SimConfig base_config(int num_qubits, int num_ranks) {
+  core::SimConfig config;
+  config.num_qubits = num_qubits;
+  config.num_ranks = num_ranks;
+  // Keep >= 4 blocks per rank so the pipeline always has units to overlap.
+  config.blocks_per_rank = std::max(4, 32 / num_ranks);
+  return config;
+}
+
+std::vector<int> thread_counts() {
+  const int hw = static_cast<int>(
+      std::max(2u, std::thread::hardware_concurrency()));
+  std::vector<int> counts = {1, 2, hw};
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+TEST(PipelineTest, DifferentialMatrixBitIdenticalToSequential) {
+  // circuits x ranks {1,2,4} x threads {1,2,hw} x {batched, per-gate} x
+  // {fixed, adaptive}: pipeline-on == pipeline-off, tol = 0. The reference
+  // is computed once per (circuit, ranks, batching, policy) at 1 thread —
+  // the sequential path is already pinned thread-count-invariant by the
+  // concurrency suite.
+  for (const auto& [name, circuit] : workloads()) {
+    for (int ranks : {1, 2, 4}) {
+      for (bool batched : {true, false}) {
+        for (const std::string policy : {"fixed", "adaptive"}) {
+          core::SimConfig off = base_config(circuit.num_qubits(), ranks);
+          off.enable_pipeline = false;
+          off.enable_run_batching = batched;
+          off.codec_policy = policy;
+          off.threads = 1;
+          off.initial_level = 2;  // lossy: identity must still hold
+          core::CompressedStateSimulator reference_sim(off);
+          reference_sim.apply_circuit(circuit);
+          const auto reference = reference_sim.to_raw();
+
+          for (int threads : thread_counts()) {
+            core::SimConfig on = off;
+            on.enable_pipeline = true;
+            on.threads = threads;
+            core::CompressedStateSimulator sim(on);
+            sim.apply_circuit(circuit);
+            CQS_EXPECT_STATES_CLOSE(sim.to_raw(), reference, 0.0)
+                << name << " ranks=" << ranks << " batched=" << batched
+                << " policy=" << policy << " threads=" << threads;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PipelineTest, RandomizedFuzzPipelineOnOffBitIdentical) {
+  // Randomized circuits over all three partition segments (the PR 5 fuzz
+  // harness shape): pipeline-on at >= 2 workers must match pipeline-off
+  // bit-for-bit, including at a lossy level under the adaptive arbiter.
+  const int hw = static_cast<int>(
+      std::max(2u, std::thread::hardware_concurrency()));
+  for (const std::string policy : {"fixed", "adaptive"}) {
+    for (std::uint64_t seed : {5u, 17u, 29u}) {
+      const auto circuit = test::random_circuit(11, 90, seed);
+      core::SimConfig off;
+      off.num_qubits = 11;
+      off.num_ranks = 2;
+      off.blocks_per_rank = 8;
+      off.threads = 1;
+      off.enable_pipeline = false;
+      off.initial_level = 2;
+      off.codec_policy = policy;
+      core::CompressedStateSimulator reference_sim(off);
+      reference_sim.apply_circuit(circuit);
+      const auto reference = reference_sim.to_raw();
+
+      for (int threads : {2, hw}) {
+        core::SimConfig on = off;
+        on.enable_pipeline = true;
+        on.threads = threads;
+        core::CompressedStateSimulator sim(on);
+        sim.apply_circuit(circuit);
+        CQS_EXPECT_STATES_CLOSE(sim.to_raw(), reference, 0.0)
+            << "policy " << policy << " seed " << seed << " threads "
+            << threads;
+      }
+    }
+  }
+}
+
+TEST(PipelineTest, DepthSweepBitIdenticalWithSaneReportCounters) {
+  // Every pipeline depth is the same arithmetic with a different number of
+  // in-flight staging buffers; the report counters must stay coherent:
+  // prefetched <= blocks, utilization in [0, 1], and the configured depth
+  // echoed back.
+  const auto circuit = test::random_circuit(10, 60, 41);
+  core::SimConfig off;
+  off.num_qubits = 10;
+  off.num_ranks = 2;
+  off.blocks_per_rank = 8;
+  off.threads = 1;
+  off.enable_pipeline = false;
+  core::CompressedStateSimulator reference_sim(off);
+  reference_sim.apply_circuit(circuit);
+  const auto reference = reference_sim.to_raw();
+
+  for (int depth : {1, 2, 4, 8}) {
+    core::SimConfig on = off;
+    on.enable_pipeline = true;
+    on.pipeline_depth = depth;
+    on.threads = 2;
+    core::CompressedStateSimulator sim(on);
+    sim.apply_circuit(circuit);
+    CQS_EXPECT_STATES_CLOSE(sim.to_raw(), reference, 0.0)
+        << "depth " << depth;
+    const auto report = sim.report();
+    EXPECT_TRUE(report.pipeline_enabled) << "depth " << depth;
+    EXPECT_EQ(report.pipeline_depth, depth);
+    EXPECT_GT(report.pipeline_blocks, 0u) << "depth " << depth;
+    EXPECT_LE(report.pipeline_prefetched, report.pipeline_blocks);
+    EXPECT_GE(report.stage_overlap_utilization(), 0.0);
+    EXPECT_LE(report.stage_overlap_utilization(), 1.0);
+    EXPECT_FALSE(report.simd_kernel.empty());
+  }
+}
+
+TEST(PipelineTest, PipelineChargedToMemoryModelScratch) {
+  // Each staging buffer is one block buffer of scratch: the Eq. 8 charge
+  // must grow with pipeline_depth and vanish when the pipeline is off.
+  auto scratch_bytes = [](bool pipeline, int depth) {
+    core::SimConfig config;
+    config.num_qubits = 10;
+    config.num_ranks = 2;
+    config.blocks_per_rank = 8;
+    config.threads = 2;
+    config.enable_pipeline = pipeline;
+    config.pipeline_depth = depth;
+    core::CompressedStateSimulator sim(config);
+    return sim.report().scratch_bytes;
+  };
+  const auto off = scratch_bytes(false, 2);
+  const auto depth2 = scratch_bytes(true, 2);
+  const auto depth4 = scratch_bytes(true, 4);
+  EXPECT_GT(depth2, off);
+  EXPECT_GT(depth4, depth2);
+  // Exactly one block buffer per extra staging slot.
+  const std::size_t block_bytes =
+      (std::size_t{1} << 10) / 2 / 8 * 2 * sizeof(double);
+  EXPECT_EQ(depth4 - depth2, 2 * block_bytes);
+}
+
+TEST(PipelineTest, SequentialFallbacksNeverEngagePipeline) {
+  // One worker thread (or the knob off) must take the sequential path:
+  // pipeline_enabled false and every pipeline counter zero.
+  const auto circuit = circuits::qft_circuit({.num_qubits = 9});
+  for (const bool knob_on : {true, false}) {
+    core::SimConfig config;
+    config.num_qubits = 9;
+    config.num_ranks = 2;
+    config.blocks_per_rank = 4;
+    config.threads = knob_on ? 1 : 2;  // off via 1 worker vs via the knob
+    config.enable_pipeline = knob_on;
+    core::CompressedStateSimulator sim(config);
+    sim.apply_circuit(circuit);
+    const auto report = sim.report();
+    EXPECT_FALSE(report.pipeline_enabled) << "knob_on=" << knob_on;
+    EXPECT_EQ(report.pipeline_blocks, 0u) << "knob_on=" << knob_on;
+    EXPECT_EQ(report.pipeline_prefetched, 0u);
+    EXPECT_EQ(report.pipeline_stalls, 0u);
+    EXPECT_EQ(report.stage_overlap_utilization(), 0.0);
+  }
+}
+
+TEST(PipelineTest, PipelineCountersTrackUnitsAtTwoWorkers) {
+  // With >= 2 workers and enough blocks, the pipelined executor carries
+  // the per-gate block units; the counter must cover them (cache hits are
+  // completed before staging, so blocks <= total units, > 0 always).
+  const auto circuit = test::random_circuit(10, 40, 13);
+  core::SimConfig config;
+  config.num_qubits = 10;
+  config.num_ranks = 2;
+  config.blocks_per_rank = 8;
+  config.threads = 2;
+  config.enable_cache = false;  // every unit goes through the pipeline
+  core::CompressedStateSimulator sim(config);
+  sim.apply_circuit(circuit);
+  const auto report = sim.report();
+  EXPECT_TRUE(report.pipeline_enabled);
+  EXPECT_GT(report.pipeline_blocks, 0u);
+  EXPECT_LE(report.pipeline_prefetched, report.pipeline_blocks);
+}
+
+}  // namespace
+}  // namespace cqs

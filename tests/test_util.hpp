@@ -17,8 +17,48 @@
 
 #include "common/fixtures.hpp"
 #include "common/rng.hpp"
+#include "qsim/circuit.hpp"
 
 namespace cqs::test {
+
+/// Randomized circuit over all three partition segments: single-qubit
+/// gates (including parameterized rotations), controlled pairs, SWAPs,
+/// and Toffolis on uniformly drawn qubits. Deterministic in `seed`.
+/// Shared by the concurrency and pipeline differential/fuzz suites.
+inline qsim::Circuit random_circuit(int qubits, std::size_t gates,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  qsim::Circuit c(qubits);
+  auto qubit = [&] { return static_cast<int>(rng.next_below(qubits)); };
+  auto distinct_from = [&](int a) {
+    int q = qubit();
+    while (q == a) q = qubit();
+    return q;
+  };
+  for (std::size_t i = 0; i < gates; ++i) {
+    const int target = qubit();
+    switch (rng.next_below(10)) {
+      case 0: c.h(target); break;
+      case 1: c.x(target); break;
+      case 2: c.t(target); break;
+      case 3: c.rz(target, rng.next_double() * 3.0); break;
+      case 4: c.ry(target, rng.next_double() * 3.0); break;
+      case 5: c.cx(distinct_from(target), target); break;
+      case 6: c.cz(distinct_from(target), target); break;
+      case 7: c.cphase(distinct_from(target), target,
+                       rng.next_double() * 3.0); break;
+      case 8: c.swap(distinct_from(target), target); break;
+      default: {
+        const int c0 = distinct_from(target);
+        int c1 = qubit();
+        while (c1 == target || c1 == c0) c1 = qubit();
+        c.ccx(c0, c1, target);
+        break;
+      }
+    }
+  }
+  return c;
+}
 
 // The seeded generators moved to common/fixtures.hpp so the benches and
 // golden-blob tests share exactly these inputs; the test-local names stay.
