@@ -15,6 +15,11 @@
 //     --max-run N        cap scheduled ops per gate run (0 = unlimited)
 //     --checkpoint PATH  save a checkpoint at the end
 //     --samples N        print N sampled basis states
+//     --wire NAME        transport: loopback | socket (socket forks one OS
+//                        process per rank and joins them at the end; needs
+//                        a -DCQS_TRANSPORT_SOCKET=ON build)
+//     --timeout-ms N     wire-operation deadline for process transports
+//     --endpoint NAME    socket flavor: local (Unix socketpair) | tcp
 //
 // Circuit file format (see src/qsim/serialize.hpp):
 //   qubits 4
@@ -34,6 +39,10 @@
 #include "qsim/fusion.hpp"
 #include "qsim/serialize.hpp"
 
+#ifdef CQS_HAVE_SOCKET_TRANSPORT
+#include "runtime/socket_transport.hpp"
+#endif
+
 namespace {
 
 [[noreturn]] void usage(const char* argv0) {
@@ -41,7 +50,9 @@ namespace {
                "usage: %s <circuit-file> [--ranks N] [--blocks N] "
                "[--codec NAME] [--policy fixed|adaptive] [--budget-frac F] "
                "[--fuse] [--no-batching] [--max-run N] [--checkpoint PATH] "
-               "[--samples N] [--remap [lookahead|lru]]\n",
+               "[--samples N] [--remap [lookahead|lru]] "
+               "[--wire loopback|socket] [--timeout-ms N] "
+               "[--endpoint local|tcp]\n",
                argv0);
   std::exit(2);
 }
@@ -94,6 +105,12 @@ int main(int argc, char** argv) try {
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         config.remap_policy = argv[++i];
       }
+    } else if (arg == "--wire") {
+      config.transport = next();
+    } else if (arg == "--timeout-ms") {
+      config.rank_timeout_ms = std::atoi(next());
+    } else if (arg == "--endpoint") {
+      config.socket_endpoint = next();
     } else {
       usage(argv[0]);
     }
@@ -146,6 +163,19 @@ int main(int argc, char** argv) try {
     sim.save_checkpoint(checkpoint_path);
     std::printf("checkpoint written to %s\n", checkpoint_path.c_str());
   }
+#ifdef CQS_HAVE_SOCKET_TRANSPORT
+  // Socket runs forked one endpoint process per rank at construction;
+  // join them now (instead of silently in the destructor) and report the
+  // process table so the launcher's fork/join lifecycle is visible.
+  if (auto* socket = dynamic_cast<runtime::SocketTransport*>(
+          &sim.comm().transport())) {
+    std::printf("rank processes (joined):\n");
+    for (const auto& proc : socket->join()) {
+      std::printf("  rank %d: pid %d exited %d\n", proc.rank,
+                  static_cast<int>(proc.pid), proc.exit_code);
+    }
+  }
+#endif
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "cqs_run: %s\n", e.what());

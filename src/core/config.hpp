@@ -127,6 +127,25 @@ struct SimConfig {
   /// Runtime-dispatched SIMD apply kernels (AVX2/NEON). Bit-identical to
   /// the scalar reference by construction; off forces the scalar path.
   bool enable_simd_kernels = true;
+
+  /// Cross-rank transport backend (runtime/transport.hpp). "loopback"
+  /// keeps all ranks in-process (the staged-copy model, the default);
+  /// "socket" runs each rank as a real OS process joined by a stream
+  /// socket — exchanged payloads traverse the wire as checksummed frames
+  /// and states stay bit-identical to loopback. "socket" requires the
+  /// CQS_TRANSPORT_SOCKET build and num_ranks >= 2.
+  std::string transport = "loopback";
+
+  /// Deadline (milliseconds) for every blocking wire operation on process
+  /// transports: connect, send, recv. A rank that dies, stalls, or
+  /// corrupts frames fails the exchange with a typed TransportError
+  /// within this bound — an exchange can never hang. Must be positive.
+  int rank_timeout_ms = 5000;
+
+  /// Socket-transport endpoint flavor: "local" = a pre-connected
+  /// Unix-domain socketpair per rank process; "tcp" = rank processes
+  /// connect back to an ephemeral 127.0.0.1 listener.
+  std::string socket_endpoint = "local";
 };
 
 }  // namespace cqs::core

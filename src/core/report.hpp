@@ -79,6 +79,21 @@ struct SimulationReport {
   // Communication (cross-rank gates only).
   std::uint64_t comm_bytes = 0;
   std::uint64_t comm_messages = 0;
+  /// Transport backend the exchanges ran on ("loopback" or "socket").
+  std::string transport;
+  /// Seconds blocked on the wire (begin + wait), derived once from Comm's
+  /// atomic nanosecond counter at report time.
+  double comm_seconds = 0.0;
+  /// Fraction of exchange lifetime spent overlapped with codec/pipeline
+  /// work instead of blocked on the wire. Timing-dependent — report-only,
+  /// never part of determinism pins.
+  double comm_overlap_utilization = 0.0;
+  // Physical wire traffic (the transport's view; loopback stages payloads
+  // once with no framing, the socket backend moves each exchanged payload
+  // out-and-back so wire_payload_bytes == 2 x comm_bytes).
+  std::uint64_t wire_payload_bytes = 0;
+  std::uint64_t wire_frame_bytes = 0;
+  std::uint64_t wire_frames = 0;
 
   // Qubit remapping (logical->physical relabeling; runtime/qubit_map.hpp).
   bool qubit_remap_enabled = false;

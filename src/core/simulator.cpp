@@ -196,6 +196,37 @@ CompressedStateSimulator::CompressedStateSimulator(SimConfig config)
       arbiter_config,
       partition_.num_ranks() * partition_.blocks_per_rank());
 
+  // Transport knobs are validated (and the transport built) before the
+  // thread pool exists: the socket backend fork()s one endpoint process
+  // per rank, which must happen while this process is still
+  // single-threaded.
+  if (config_.transport != "loopback" && config_.transport != "socket") {
+    throw std::invalid_argument("simulator: unknown transport '" +
+                                config_.transport +
+                                "' (expected 'loopback' or 'socket')");
+  }
+  if (config_.rank_timeout_ms <= 0) {
+    throw std::invalid_argument(
+        "simulator: rank_timeout_ms must be positive");
+  }
+  if (config_.socket_endpoint != "local" &&
+      config_.socket_endpoint != "tcp") {
+    throw std::invalid_argument("simulator: unknown socket_endpoint '" +
+                                config_.socket_endpoint +
+                                "' (expected 'local' or 'tcp')");
+  }
+  if (config_.transport == "socket" && config_.num_ranks < 2) {
+    throw std::invalid_argument(
+        "simulator: transport 'socket' requires num_ranks >= 2 (a "
+        "single-rank run has no cross-rank wire to exercise)");
+  }
+  runtime::TransportOptions transport_options;
+  transport_options.num_ranks = partition_.num_ranks();
+  transport_options.rank_timeout_ms = config_.rank_timeout_ms;
+  transport_options.socket_endpoint = config_.socket_endpoint;
+  comm_ = std::make_unique<runtime::Comm>(
+      runtime::make_transport(config_.transport, transport_options));
+
   const std::size_t threads =
       config_.threads > 0 ? static_cast<std::size_t>(config_.threads) : 0;
   pool_ = std::make_unique<ThreadPool>(threads);
@@ -209,7 +240,6 @@ CompressedStateSimulator::CompressedStateSimulator(SimConfig config)
           : 0;
   scratch_ = std::make_unique<runtime::ScratchArena>(
       pool_->size(), partition_.doubles_per_block(), staging);
-  comm_ = std::make_unique<runtime::Comm>(partition_.num_ranks());
   ranks_.assign(partition_.num_ranks(),
                 runtime::BlockStore(partition_.blocks_per_rank()));
   for (int r = 0; r < partition_.num_ranks(); ++r) {
@@ -339,19 +369,25 @@ void CompressedStateSimulator::apply_remap(const qsim::RemapStep& step) {
     auto& store_a = ranks_[r0];
     auto& store_b = ranks_[r1];
     auto& timers = worker_timers_[worker];
-    Bytes received_b;
+    runtime::Comm::Pending pending;
     {
       ScopedPhase phase(timers, Phase::kCommunication);
-      Bytes from_a = store_a.block(b);
-      Bytes from_b = store_b.block(b);
-      comm_->exchange(r0, r1, from_a, from_b);
-      received_b = std::move(from_a);  // exchange left b's payload here
+      pending = comm_->exchange_begin(
+          r0, r1, store_a.block(b), store_b.block(b),
+          static_cast<std::uint8_t>(store_a.meta(b).codec),
+          static_cast<std::uint8_t>(store_b.meta(b).codec));
     }
     auto vx = scratch_->vector_x(worker);
     auto vy = scratch_->vector_y(worker);
+    // Decoding this rank's own block overlaps the in-flight exchange.
     decompress_block(r0, b, vx, worker);
+    runtime::Comm::Received received;
+    {
+      ScopedPhase phase(timers, Phase::kCommunication);
+      received = comm_->exchange_wait(pending);
+    }
     // The partner's block decodes from the bytes that came over the wire.
-    decompress_payload(received_b, store_b.meta(b), vy, worker);
+    decompress_payload(received.to_a, store_b.meta(b), vy, worker);
     {
       ScopedPhase phase(timers, Phase::kComputation);
       auto* a0 = as_complex(vx);
@@ -982,14 +1018,16 @@ void CompressedStateSimulator::process_pair(const GateRouting& routing,
   // One buffered sendrecv per pair (Section 3.3): each rank ships its
   // compressed block to the partner in a single paired exchange. Both
   // sides then hold both inputs and compute their own updated block from
-  // the exchanged payloads, so no second round trip is needed.
-  Bytes received_b;
+  // the exchanged payloads, so no second round trip is needed. The
+  // begin/wait split keeps the payloads in flight across the cache probe
+  // and this rank's own decompression — the overlap the report surfaces.
+  runtime::Comm::Pending pending;
   if (cross_rank) {
     ScopedPhase phase(timers, Phase::kCommunication);
-    Bytes from_a = store_a.block(block_a);
-    Bytes from_b = store_b.block(block_b);
-    comm_->exchange(rank_a, rank_b, from_a, from_b);
-    received_b = std::move(from_a);  // exchange left b's payload here
+    pending = comm_->exchange_begin(
+        rank_a, rank_b, store_a.block(block_a), store_b.block(block_b),
+        static_cast<std::uint8_t>(store_a.meta(block_a).codec),
+        static_cast<std::uint8_t>(store_b.meta(block_b).codec));
   }
 
   runtime::BlockCache* cache =
@@ -1027,14 +1065,31 @@ void CompressedStateSimulator::process_pair(const GateRouting& routing,
     }
   }
 
-  if (!hit) {
+  if (hit) {
+    if (cross_rank) {
+      // The exchange already happened on the wire; the cached result just
+      // makes its payloads unnecessary. Settle it so the transport's
+      // in-flight frames are drained (and its failure surfaced).
+      ScopedPhase phase(timers, Phase::kCommunication);
+      comm_->exchange_wait(pending);
+    }
+    return;
+  }
+
+  {
     auto vx = scratch_->vector_x(worker);
     auto vy = scratch_->vector_y(worker);
+    // Decoding this rank's own block overlaps the in-flight exchange.
     decompress_block(rank_a, block_a, vx, worker);
     if (cross_rank) {
+      runtime::Comm::Received received;
+      {
+        ScopedPhase phase(timers, Phase::kCommunication);
+        received = comm_->exchange_wait(pending);
+      }
       // Decompress the partner's block from the bytes that came over the
       // wire — the exchanged payload is the data this rank computes on.
-      decompress_payload(received_b, store_b.meta(block_b), vy, worker);
+      decompress_payload(received.to_a, store_b.meta(block_b), vy, worker);
     } else {
       decompress_block(rank_b, block_b, vy, worker);
     }
@@ -1521,6 +1576,13 @@ SimulationReport CompressedStateSimulator::report() const {
   const auto comm_stats = comm_->stats();
   rep.comm_bytes = comm_stats.bytes_moved;
   rep.comm_messages = comm_stats.messages;
+  rep.transport = comm_->transport().name();
+  rep.comm_seconds = comm_stats.seconds();
+  rep.comm_overlap_utilization = comm_stats.overlap_utilization();
+  const auto wire = comm_->wire_stats();
+  rep.wire_payload_bytes = wire.payload_bytes;
+  rep.wire_frame_bytes = wire.frame_bytes;
+  rep.wire_frames = wire.frames;
   rep.qubit_remap_enabled = config_.enable_qubit_remap;
   rep.remap_policy = config_.remap_policy;
   rep.remap_sweeps = remap_sweeps_;

@@ -121,6 +121,12 @@ class CompressedStateSimulator {
 
   SimulationReport report() const;
 
+  /// The communicator carrying this run's exchanges — benches and the
+  /// rank launcher read its transport (wire stats; the socket backend's
+  /// rank-process table) through this.
+  runtime::Comm& comm() { return *comm_; }
+  const runtime::Comm& comm() const { return *comm_; }
+
  private:
   struct GateRouting;  // resolved target/control segmentation
   struct RunPlan;      // resolved kernels + cache identity of one gate run

@@ -6,52 +6,86 @@
 
 namespace cqs::runtime {
 
-void Comm::exchange(int rank_a, int rank_b, Bytes& block_from_a,
-                    Bytes& block_from_b) {
-  if (rank_a < 0 || rank_a >= num_ranks_ || rank_b < 0 ||
-      rank_b >= num_ranks_ || rank_a == rank_b) {
-    throw std::invalid_argument("Comm::exchange: bad rank pair");
-  }
-  const auto start = std::chrono::steady_clock::now();
-  // Stage through transfer buffers (the "wire"): one copy out, one copy in
-  // per direction, like a buffered sendrecv.
-  Bytes wire_a(block_from_a);
-  Bytes wire_b(block_from_b);
-  block_from_a = std::move(wire_b);
-  block_from_b = std::move(wire_a);
-  const auto end = std::chrono::steady_clock::now();
+namespace {
 
-  bytes_moved_ += block_from_a.size() + block_from_b.size();
-  messages_ += 2;
-  nanos_ += std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
-                .count();
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
-void Comm::transfer(int from, int to, ByteSpan payload) {
-  if (from < 0 || from >= num_ranks_ || to < 0 || to >= num_ranks_ ||
-      from == to) {
-    throw std::invalid_argument("Comm::transfer: bad rank pair");
+}  // namespace
+
+Comm::Comm(int num_ranks)
+    : transport_(std::make_unique<LoopbackTransport>(num_ranks)) {}
+
+Comm::Comm(std::unique_ptr<Transport> transport)
+    : transport_(std::move(transport)) {
+  if (!transport_) {
+    throw std::invalid_argument("Comm: null transport");
   }
-  const auto start = std::chrono::steady_clock::now();
-  // The wire: an actual copy so transfer cost is physically incurred.
-  Bytes wire(payload.begin(), payload.end());
-  const auto end = std::chrono::steady_clock::now();
-  // Keep the copy alive until after timing so the compiler cannot drop it.
-  bytes_moved_ += wire.size();
-  messages_ += 1;
-  nanos_ += std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
-                .count();
+}
+
+Comm::~Comm() = default;
+
+Comm::Pending Comm::exchange_begin(int rank_a, int rank_b, ByteSpan from_a,
+                                   ByteSpan from_b, std::uint8_t codec_a,
+                                   std::uint8_t codec_b) {
+  const int ranks = transport_->num_ranks();
+  if (rank_a < 0 || rank_a >= ranks || rank_b < 0 || rank_b >= ranks ||
+      rank_a == rank_b) {
+    throw std::invalid_argument("Comm::exchange: bad rank pair");
+  }
+  const std::uint64_t start = now_ns();
+  Pending pending;
+  pending.wire =
+      transport_->exchange_begin(rank_a, rank_b, from_a, from_b, codec_a,
+                                 codec_b);
+  pending.begin_ns = now_ns();
+  // Accounting happens at begin: the payloads are on the wire now.
+  bytes_moved_.fetch_add(from_a.size() + from_b.size(),
+                         std::memory_order_relaxed);
+  messages_.fetch_add(2, std::memory_order_relaxed);
+  wire_nanos_.fetch_add(pending.begin_ns - start, std::memory_order_relaxed);
+  return pending;
+}
+
+Comm::Received Comm::exchange_wait(Pending& pending) {
+  if (!pending.wire.active) {
+    throw std::logic_error("Comm::exchange_wait: exchange not in flight");
+  }
+  const std::uint64_t start = now_ns();
+  // Whatever the caller did between begin and now ran while the payloads
+  // were in flight — that span is the overlap the report surfaces.
+  overlap_nanos_.fetch_add(start - pending.begin_ns,
+                           std::memory_order_relaxed);
+  transport_->exchange_wait(pending.wire);
+  wire_nanos_.fetch_add(now_ns() - start, std::memory_order_relaxed);
+  return {std::move(pending.wire.to_a), std::move(pending.wire.to_b)};
+}
+
+void Comm::exchange(int rank_a, int rank_b, Bytes& block_from_a,
+                    Bytes& block_from_b) {
+  Pending pending =
+      exchange_begin(rank_a, rank_b, block_from_a, block_from_b);
+  Received received = exchange_wait(pending);
+  block_from_a = std::move(received.to_a);
+  block_from_b = std::move(received.to_b);
 }
 
 CommStats Comm::stats() const {
-  return {bytes_moved_.load(), messages_.load(),
-          static_cast<double>(nanos_.load()) * 1e-9};
+  return {bytes_moved_.load(std::memory_order_relaxed),
+          messages_.load(std::memory_order_relaxed),
+          wire_nanos_.load(std::memory_order_relaxed),
+          overlap_nanos_.load(std::memory_order_relaxed)};
 }
 
 void Comm::reset() {
   bytes_moved_ = 0;
   messages_ = 0;
-  nanos_ = 0;
+  wire_nanos_ = 0;
+  overlap_nanos_ = 0;
 }
 
 }  // namespace cqs::runtime

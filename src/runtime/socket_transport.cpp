@@ -1,0 +1,590 @@
+#include "runtime/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace cqs::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left <= 0 ? 0 : static_cast<int>(left);
+}
+
+/// Reads exactly `len` bytes with a deadline; kTimeout / kRankDead on
+/// failure. Used only on the driver side (endpoints block indefinitely).
+void read_exact(int fd, int rank, std::byte* out, std::size_t len,
+                Clock::time_point deadline) {
+  std::size_t got = 0;
+  while (got < len) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ms = remaining_ms(deadline);
+    const int ready = ::poll(&pfd, 1, ms == 0 ? 0 : ms);
+    if (ready == 0) {
+      throw TransportError(TransportError::Kind::kTimeout, rank,
+                           "socket transport: recv from rank " +
+                               std::to_string(rank) + " timed out");
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError(TransportError::Kind::kRankDead, rank,
+                           "socket transport: poll on rank " +
+                               std::to_string(rank) + " failed: " +
+                               std::strerror(errno));
+    }
+    const ssize_t n =
+        ::recv(fd, reinterpret_cast<char*>(out) + got, len - got, 0);
+    if (n == 0) {
+      throw TransportError(TransportError::Kind::kRankDead, rank,
+                           "socket transport: rank " + std::to_string(rank) +
+                               " closed its connection (process died?)");
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      throw TransportError(TransportError::Kind::kRankDead, rank,
+                           "socket transport: recv from rank " +
+                               std::to_string(rank) + " failed: " +
+                               std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+/// Writes exactly `len` bytes with a deadline. MSG_NOSIGNAL: a dead peer
+/// must surface as a typed error, not a SIGPIPE.
+void write_exact(int fd, int rank, const std::byte* data, std::size_t len,
+                 Clock::time_point deadline) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ms = remaining_ms(deadline);
+    const int ready = ::poll(&pfd, 1, ms == 0 ? 0 : ms);
+    if (ready == 0) {
+      throw TransportError(TransportError::Kind::kTimeout, rank,
+                           "socket transport: send to rank " +
+                               std::to_string(rank) + " timed out");
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError(TransportError::Kind::kRankDead, rank,
+                           "socket transport: poll on rank " +
+                               std::to_string(rank) + " failed: " +
+                               std::strerror(errno));
+    }
+    const ssize_t n = ::send(fd, reinterpret_cast<const char*>(data) + sent,
+                             len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      throw TransportError(TransportError::Kind::kRankDead, rank,
+                           "socket transport: send to rank " +
+                               std::to_string(rank) + " failed (" +
+                               std::strerror(errno) + ") — rank process "
+                               "dead?");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Child-side blocking exact read; returns false on EOF (parent gone).
+bool child_read_exact(int fd, std::byte* out, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n =
+        ::read(fd, reinterpret_cast<char*>(out) + got, len - got);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool child_write_exact(int fd, const std::byte* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, reinterpret_cast<const char*>(data) + sent,
+                             len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void grow_socket_buffers(int fd) {
+  // Many worker threads keep frames in flight per connection; generous
+  // kernel buffers keep a full sweep's echoes from stalling the senders.
+  const int bytes = 4 * 1024 * 1024;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+}
+
+}  // namespace
+
+// --- Rank endpoint (child process) ----------------------------------------
+
+void run_rank_endpoint(int fd, int rank) {
+  bool corrupt_next = false;
+  std::uint64_t stall_ms = 0;
+  Bytes payload;
+  for (;;) {
+    std::array<std::byte, wire::kHeaderBytes> raw;
+    if (!child_read_exact(fd, raw.data(), raw.size())) _exit(0);  // EOF
+    const auto header = wire::decode_header(raw);
+    if (!header.has_value()) _exit(2);  // foreign/torn stream
+    payload.resize(header->payload_len);
+    if (header->payload_len > 0 &&
+        !child_read_exact(fd, payload.data(), payload.size())) {
+      _exit(0);
+    }
+    switch (static_cast<wire::FrameType>(header->type)) {
+      case wire::FrameType::kShutdown:
+        _exit(0);
+      case wire::FrameType::kDie:
+        _exit(3);  // simulated rank death: vanish without replying
+      case wire::FrameType::kCorruptNext:
+        corrupt_next = true;
+        break;
+      case wire::FrameType::kStallNext:
+        stall_ms = header->aux;
+        break;
+      case wire::FrameType::kHello: {
+        wire::FrameHeader echo = *header;
+        echo.src_rank = static_cast<std::uint32_t>(rank);
+        const auto bytes = wire::encode_header(echo);
+        if (!child_write_exact(fd, bytes.data(), bytes.size())) _exit(0);
+        break;
+      }
+      case wire::FrameType::kData: {
+        if (wire::payload_checksum(payload) != header->checksum) {
+          _exit(4);  // the driver corrupted a frame — protocol violation
+        }
+        if (stall_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+          stall_ms = 0;
+        }
+        wire::FrameHeader echo = *header;
+        if (corrupt_next && !payload.empty()) {
+          // Flip a payload bit but keep the original checksum: the driver
+          // must detect the mismatch and surface kFrameCorrupt.
+          payload[0] ^= std::byte{0x01};
+          corrupt_next = false;
+        }
+        const auto bytes = wire::encode_header(echo);
+        if (!child_write_exact(fd, bytes.data(), bytes.size()) ||
+            (!payload.empty() &&
+             !child_write_exact(fd, payload.data(), payload.size()))) {
+          _exit(0);
+        }
+        break;
+      }
+      default:
+        _exit(2);
+    }
+  }
+}
+
+// --- Driver side -----------------------------------------------------------
+
+struct SocketTransport::Connection {
+  int rank = -1;
+  int fd = -1;
+  pid_t pid = -1;
+  bool joined = false;
+  int exit_code = -1;
+  std::mutex send_mutex;
+  // Reply demultiplexer: one thread at a time reads the socket; frames for
+  // other tags are parked in `arrived` and their waiters notified.
+  std::mutex recv_mutex;
+  std::condition_variable recv_cv;
+  bool reader_active = false;
+  std::unordered_map<std::uint64_t, Bytes> arrived;
+};
+
+SocketTransport::SocketTransport(const TransportOptions& options)
+    : timeout_ms_(options.rank_timeout_ms) {
+  const int ranks = options.num_ranks;
+  const bool tcp = options.socket_endpoint == "tcp";
+  if (!tcp && options.socket_endpoint != "local") {
+    throw std::invalid_argument(
+        "socket transport: unknown socket_endpoint '" +
+        options.socket_endpoint + "' (expected 'local' or 'tcp')");
+  }
+
+  int listen_fd = -1;
+  sockaddr_in listen_addr{};
+  if (tcp) {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+      throw TransportError(TransportError::Kind::kRankDead, -1,
+                           "socket transport: socket() failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    listen_addr.sin_family = AF_INET;
+    listen_addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    listen_addr.sin_port = 0;  // ephemeral
+    socklen_t len = sizeof(listen_addr);
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&listen_addr),
+               sizeof(listen_addr)) != 0 ||
+        ::listen(listen_fd, ranks) != 0 ||
+        ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&listen_addr),
+                      &len) != 0) {
+      const int err = errno;
+      ::close(listen_fd);
+      throw TransportError(TransportError::Kind::kRankDead, -1,
+                           "socket transport: tcp listen failed: " +
+                               std::string(std::strerror(err)));
+    }
+  }
+
+  conns_.reserve(ranks);
+  std::vector<int> parent_fds;  // close these in each forked child
+  for (int r = 0; r < ranks; ++r) {
+    auto conn = std::make_unique<Connection>();
+    conn->rank = r;
+
+    int child_fd = -1;
+    if (!tcp) {
+      int sv[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+        const int err = errno;
+        join();
+        if (listen_fd >= 0) ::close(listen_fd);
+        throw TransportError(TransportError::Kind::kRankDead, r,
+                             "socket transport: socketpair failed: " +
+                                 std::string(std::strerror(err)));
+      }
+      conn->fd = sv[0];
+      child_fd = sv[1];
+    }
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const int err = errno;
+      if (child_fd >= 0) ::close(child_fd);
+      conns_.push_back(std::move(conn));
+      join();
+      if (listen_fd >= 0) ::close(listen_fd);
+      throw TransportError(TransportError::Kind::kRankDead, r,
+                           "socket transport: fork failed: " +
+                               std::string(std::strerror(err)));
+    }
+    if (pid == 0) {
+      // Rank endpoint process. Drop every driver-side fd so an endpoint
+      // never holds a sibling's connection open past its death.
+      if (listen_fd >= 0) ::close(listen_fd);
+      for (int fd : parent_fds) ::close(fd);
+      int fd = child_fd;
+      if (tcp) {
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0 ||
+            ::connect(fd, reinterpret_cast<sockaddr*>(&listen_addr),
+                      sizeof(listen_addr)) != 0) {
+          _exit(5);
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        // Identify this rank to the driver's accept loop.
+        wire::FrameHeader hello;
+        hello.type = static_cast<std::uint8_t>(wire::FrameType::kHello);
+        hello.src_rank = static_cast<std::uint32_t>(r);
+        const auto bytes = wire::encode_header(hello);
+        if (!child_write_exact(fd, bytes.data(), bytes.size())) _exit(5);
+      }
+      grow_socket_buffers(fd);
+      run_rank_endpoint(fd, r);  // never returns
+    }
+    conn->pid = pid;
+    if (child_fd >= 0) ::close(child_fd);
+    if (conn->fd >= 0) parent_fds.push_back(conn->fd);
+    conns_.push_back(std::move(conn));
+  }
+
+  if (tcp) {
+    // Accept one connection per rank; each identifies itself by hello.
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms_);
+    for (int accepted = 0; accepted < ranks; ++accepted) {
+      pollfd pfd{listen_fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, remaining_ms(deadline));
+      if (ready <= 0) {
+        ::close(listen_fd);
+        join();
+        throw TransportError(
+            TransportError::Kind::kTimeout, -1,
+            "socket transport: rank connect timed out (accepted " +
+                std::to_string(accepted) + "/" + std::to_string(ranks) +
+                ")");
+      }
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      std::array<std::byte, wire::kHeaderBytes> raw;
+      try {
+        read_exact(fd, -1, raw.data(), raw.size(), deadline);
+      } catch (...) {
+        ::close(fd);
+        ::close(listen_fd);
+        join();
+        throw;
+      }
+      const auto hello = wire::decode_header(raw);
+      if (!hello.has_value() ||
+          hello->type != static_cast<std::uint8_t>(wire::FrameType::kHello) ||
+          hello->src_rank >= static_cast<std::uint32_t>(ranks) ||
+          conns_[hello->src_rank]->fd >= 0) {
+        ::close(fd);
+        ::close(listen_fd);
+        join();
+        throw TransportError(TransportError::Kind::kProtocol, -1,
+                             "socket transport: bad rank hello");
+      }
+      conns_[hello->src_rank]->fd = fd;
+    }
+    ::close(listen_fd);
+  }
+
+  // Handshake every endpoint: proves liveness and protocol agreement
+  // before the first exchange, within the configured deadline.
+  for (auto& conn : conns_) {
+    grow_socket_buffers(conn->fd);
+    wire::FrameHeader hello;
+    hello.type = static_cast<std::uint8_t>(wire::FrameType::kHello);
+    hello.dst_rank = static_cast<std::uint32_t>(conn->rank);
+    hello.tag = next_tag_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      send_frame(*conn, hello, {});
+      recv_for_tag(*conn, hello.tag);
+    } catch (...) {
+      join();
+      throw;
+    }
+  }
+}
+
+SocketTransport::~SocketTransport() { join(); }
+
+void SocketTransport::send_frame(Connection& conn, wire::FrameHeader header,
+                                 ByteSpan payload) {
+  header.payload_len = payload.size();
+  header.checksum = wire::payload_checksum(payload);
+  const auto raw = wire::encode_header(header);
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms_);
+  {
+    std::lock_guard lock(conn.send_mutex);
+    write_exact(conn.fd, conn.rank, raw.data(), raw.size(), deadline);
+    if (!payload.empty()) {
+      write_exact(conn.fd, conn.rank, payload.data(), payload.size(),
+                  deadline);
+    }
+  }
+  payload_bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
+  frame_bytes_.fetch_add(raw.size(), std::memory_order_relaxed);
+  frames_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Bytes SocketTransport::recv_for_tag(Connection& conn, std::uint64_t tag) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms_);
+  std::unique_lock lock(conn.recv_mutex);
+  for (;;) {
+    if (auto it = conn.arrived.find(tag); it != conn.arrived.end()) {
+      Bytes payload = std::move(it->second);
+      conn.arrived.erase(it);
+      return payload;
+    }
+    if (!conn.reader_active) break;  // become the reader
+    if (conn.recv_cv.wait_until(lock, deadline) ==
+        std::cv_status::timeout) {
+      throw TransportError(TransportError::Kind::kTimeout, conn.rank,
+                           "socket transport: recv from rank " +
+                               std::to_string(conn.rank) + " timed out");
+    }
+  }
+  conn.reader_active = true;
+  for (;;) {
+    lock.unlock();
+    std::array<std::byte, wire::kHeaderBytes> raw;
+    std::optional<wire::FrameHeader> header;
+    Bytes payload;
+    try {
+      read_exact(conn.fd, conn.rank, raw.data(), raw.size(), deadline);
+      header = wire::decode_header(raw);
+      if (!header.has_value()) {
+        throw TransportError(TransportError::Kind::kFrameCorrupt, conn.rank,
+                             "socket transport: torn frame from rank " +
+                                 std::to_string(conn.rank) +
+                                 " (bad magic/version)");
+      }
+      payload.resize(header->payload_len);
+      if (!payload.empty()) {
+        read_exact(conn.fd, conn.rank, payload.data(), payload.size(),
+                   deadline);
+      }
+      if (wire::payload_checksum(payload) != header->checksum) {
+        throw TransportError(
+            TransportError::Kind::kFrameCorrupt, conn.rank,
+            "socket transport: checksum mismatch on frame from rank " +
+                std::to_string(conn.rank));
+      }
+    } catch (...) {
+      lock.lock();
+      conn.reader_active = false;
+      conn.recv_cv.notify_all();  // let another waiter take over / fail
+      throw;
+    }
+    payload_bytes_.fetch_add(payload.size(), std::memory_order_relaxed);
+    frame_bytes_.fetch_add(raw.size(), std::memory_order_relaxed);
+    frames_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+    if (header->tag == tag) {
+      conn.reader_active = false;
+      conn.recv_cv.notify_all();
+      return payload;
+    }
+    conn.arrived.emplace(header->tag, std::move(payload));
+    conn.recv_cv.notify_all();
+  }
+}
+
+PendingExchange SocketTransport::exchange_begin(int rank_a, int rank_b,
+                                                ByteSpan from_a,
+                                                ByteSpan from_b,
+                                                std::uint8_t codec_a,
+                                                std::uint8_t codec_b) {
+  PendingExchange pending;
+  pending.rank_a = rank_a;
+  pending.rank_b = rank_b;
+  pending.tag_a = next_tag_.fetch_add(1, std::memory_order_relaxed);
+  pending.tag_b = next_tag_.fetch_add(1, std::memory_order_relaxed);
+
+  // from_a travels to rank b's process (its echo is rank b's delivery);
+  // from_b travels to rank a's. Both sends complete before returning, so
+  // the payload bytes are on the wire while the caller does codec work.
+  wire::FrameHeader to_b;
+  to_b.type = static_cast<std::uint8_t>(wire::FrameType::kData);
+  to_b.codec = codec_a;
+  to_b.src_rank = static_cast<std::uint32_t>(rank_a);
+  to_b.dst_rank = static_cast<std::uint32_t>(rank_b);
+  to_b.tag = pending.tag_b;
+  send_frame(*conns_[rank_b], to_b, from_a);
+
+  wire::FrameHeader to_a;
+  to_a.type = static_cast<std::uint8_t>(wire::FrameType::kData);
+  to_a.codec = codec_b;
+  to_a.src_rank = static_cast<std::uint32_t>(rank_b);
+  to_a.dst_rank = static_cast<std::uint32_t>(rank_a);
+  to_a.tag = pending.tag_a;
+  send_frame(*conns_[rank_a], to_a, from_b);
+
+  pending.active = true;
+  return pending;
+}
+
+void SocketTransport::exchange_wait(PendingExchange& pending) {
+  pending.to_a = recv_for_tag(*conns_[pending.rank_a], pending.tag_a);
+  pending.to_b = recv_for_tag(*conns_[pending.rank_b], pending.tag_b);
+  pending.active = false;
+}
+
+WireStats SocketTransport::wire_stats() const {
+  return {payload_bytes_.load(std::memory_order_relaxed),
+          frame_bytes_.load(std::memory_order_relaxed),
+          frames_.load(std::memory_order_relaxed)};
+}
+
+void SocketTransport::inject_fault(int rank, wire::FrameType fault,
+                                   std::uint64_t aux) {
+  wire::FrameHeader header;
+  header.type = static_cast<std::uint8_t>(fault);
+  header.dst_rank = static_cast<std::uint32_t>(rank);
+  header.aux = aux;
+  send_frame(*conns_[rank], header, {});
+}
+
+std::vector<SocketTransport::RankProcess> SocketTransport::join() {
+  std::lock_guard lock(join_mutex_);
+  if (!joined_) {
+    for (auto& conn : conns_) {
+      if (conn->fd >= 0) {
+        // Best-effort shutdown frame; a dead endpoint just fails the send.
+        wire::FrameHeader bye;
+        bye.type = static_cast<std::uint8_t>(wire::FrameType::kShutdown);
+        bye.dst_rank = static_cast<std::uint32_t>(conn->rank);
+        try {
+          send_frame(*conn, bye, {});
+        } catch (...) {
+        }
+        ::close(conn->fd);
+        conn->fd = -1;
+      }
+    }
+    for (auto& conn : conns_) {
+      if (conn->pid <= 0 || conn->joined) continue;
+      const auto deadline = Clock::now() + std::chrono::seconds(2);
+      for (;;) {
+        int status = 0;
+        const pid_t r = ::waitpid(conn->pid, &status, WNOHANG);
+        if (r == conn->pid) {
+          conn->joined = true;
+          conn->exit_code =
+              WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+          break;
+        }
+        if (r < 0) {  // already reaped elsewhere
+          conn->joined = true;
+          break;
+        }
+        if (Clock::now() >= deadline) {
+          ::kill(conn->pid, SIGKILL);
+          int st = 0;
+          ::waitpid(conn->pid, &st, 0);
+          conn->joined = true;
+          conn->exit_code = 128 + SIGKILL;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+    joined_ = true;
+  }
+  return processes();
+}
+
+std::vector<SocketTransport::RankProcess> SocketTransport::processes()
+    const {
+  std::vector<RankProcess> out;
+  out.reserve(conns_.size());
+  for (const auto& conn : conns_) {
+    out.push_back({conn->rank, conn->pid, conn->joined, conn->exit_code});
+  }
+  return out;
+}
+
+}  // namespace cqs::runtime

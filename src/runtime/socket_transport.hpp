@@ -1,0 +1,111 @@
+// Multi-process socket transport: every logical rank runs as a real OS
+// process (a "rank endpoint") joined to the driver by a stream socket, and
+// every exchanged compressed block physically traverses that wire in both
+// directions as a checksummed frame (runtime/wire_format.hpp).
+//
+// Topology. The simulator state lives in the driver process, so the wire
+// shape is driver <-> endpoint: exchange_begin frames each payload toward
+// the process that owns its destination rank, the endpoint validates the
+// checksum, and its echo is the delivery the driver installs at
+// exchange_wait. Each exchanged payload therefore crosses the wire twice
+// (out and back), making the backend's payload_bytes exactly 2x Comm's
+// logical bytes_moved — the accounting identity the benches assert.
+//
+// Endpoints. spawn happens in the constructor via fork(): "local" mode
+// hands each child one end of a pre-connected AF_UNIX socketpair; "tcp"
+// mode has children connect back to an ephemeral 127.0.0.1 listener and
+// identify themselves with a hello frame. The destructor (or join())
+// sends shutdown frames and waitpid()s every child — rank processes never
+// outlive the transport.
+//
+// Concurrency. Many worker threads exchange concurrently. Sends on one
+// connection serialize under a per-connection mutex; replies are
+// demultiplexed by frame tag (a waiting thread either finds its tag
+// already stashed or becomes the connection's reader, parking foreign
+// tags for their owners). Every blocking wire step carries the configured
+// rank_timeout_ms deadline and surfaces failure as a typed TransportError
+// — a dead, stalled, or corrupting rank can fail an exchange, never hang
+// it.
+//
+// Built only when the CQS_TRANSPORT_SOCKET CMake option is on (POSIX).
+#pragma once
+
+#include <sys/types.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/transport.hpp"
+#include "runtime/wire_format.hpp"
+
+namespace cqs::runtime {
+
+class SocketTransport final : public Transport {
+ public:
+  /// Forks one endpoint process per rank and completes a hello handshake
+  /// with each. Throws TransportError if any endpoint fails to come up
+  /// within the deadline.
+  explicit SocketTransport(const TransportOptions& options);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  std::string name() const override { return "socket"; }
+  int num_ranks() const override { return static_cast<int>(conns_.size()); }
+
+  PendingExchange exchange_begin(int rank_a, int rank_b, ByteSpan from_a,
+                                 ByteSpan from_b, std::uint8_t codec_a,
+                                 std::uint8_t codec_b) override;
+  void exchange_wait(PendingExchange& pending) override;
+
+  WireStats wire_stats() const override;
+
+  /// Joined (or still-running) rank endpoint processes, for launcher
+  /// reporting: cqs_run prints these after forking/joining a socket run.
+  struct RankProcess {
+    int rank = -1;
+    pid_t pid = -1;
+    bool joined = false;
+    int exit_code = -1;  ///< valid once joined
+  };
+
+  /// Shuts down and reaps every endpoint (idempotent; also run by the
+  /// destructor). Returns the final process table.
+  std::vector<RankProcess> join();
+  std::vector<RankProcess> processes() const;
+
+  /// Fault injection for tests: instructs `rank`'s endpoint to corrupt its
+  /// next data echo, stall it for `stall_ms`, or die immediately.
+  void inject_fault(int rank, wire::FrameType fault, std::uint64_t aux = 0);
+
+ private:
+  struct Connection;
+
+  void send_frame(Connection& conn, wire::FrameHeader header,
+                  ByteSpan payload);
+  /// Receives the reply frame tagged `tag` from `conn`, parking frames
+  /// addressed to other waiters. Throws TransportError on timeout, EOF,
+  /// or checksum mismatch.
+  Bytes recv_for_tag(Connection& conn, std::uint64_t tag);
+
+  int timeout_ms_ = 5000;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::atomic<std::uint64_t> next_tag_{1};
+  std::atomic<std::uint64_t> payload_bytes_{0};
+  std::atomic<std::uint64_t> frame_bytes_{0};
+  std::atomic<std::uint64_t> frames_{0};
+  std::mutex join_mutex_;
+  bool joined_ = false;
+};
+
+/// The endpoint process main loop, exposed for the launcher: serves hello/
+/// data echoes and fault-injection controls on `fd` until a shutdown
+/// frame, EOF, or a protocol violation, then _exit()s. Never returns.
+[[noreturn]] void run_rank_endpoint(int fd, int rank);
+
+}  // namespace cqs::runtime

@@ -1,0 +1,64 @@
+#include "runtime/transport.hpp"
+
+#ifdef CQS_HAVE_SOCKET_TRANSPORT
+#include "runtime/socket_transport.hpp"
+#endif
+
+namespace cqs::runtime {
+
+PendingExchange LoopbackTransport::exchange_begin(
+    int rank_a, int rank_b, ByteSpan from_a, ByteSpan from_b,
+    std::uint8_t /*codec_a*/, std::uint8_t /*codec_b*/) {
+  PendingExchange pending;
+  pending.rank_a = rank_a;
+  pending.rank_b = rank_b;
+  // The "wire": one real copy out per direction. The bytes sit staged
+  // until exchange_wait hands them over, mirroring a buffered sendrecv.
+  pending.staged_a.assign(from_a.begin(), from_a.end());
+  pending.staged_b.assign(from_b.begin(), from_b.end());
+  pending.active = true;
+  payload_bytes_.fetch_add(from_a.size() + from_b.size(),
+                           std::memory_order_relaxed);
+  frames_.fetch_add(2, std::memory_order_relaxed);
+  return pending;
+}
+
+void LoopbackTransport::exchange_wait(PendingExchange& pending) {
+  // Delivery: rank a receives what rank b sent and vice versa.
+  pending.to_a = std::move(pending.staged_b);
+  pending.to_b = std::move(pending.staged_a);
+  pending.active = false;
+}
+
+WireStats LoopbackTransport::wire_stats() const {
+  return {payload_bytes_.load(std::memory_order_relaxed), 0,
+          frames_.load(std::memory_order_relaxed)};
+}
+
+bool socket_transport_available() {
+#ifdef CQS_HAVE_SOCKET_TRANSPORT
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::unique_ptr<Transport> make_transport(const std::string& name,
+                                          const TransportOptions& options) {
+  if (name == "loopback") {
+    return std::make_unique<LoopbackTransport>(options.num_ranks);
+  }
+  if (name == "socket") {
+#ifdef CQS_HAVE_SOCKET_TRANSPORT
+    return std::make_unique<SocketTransport>(options);
+#else
+    throw std::invalid_argument(
+        "make_transport: transport 'socket' is not built into this binary "
+        "(reconfigure with -DCQS_TRANSPORT_SOCKET=ON)");
+#endif
+  }
+  throw std::invalid_argument("make_transport: unknown transport '" + name +
+                              "' (expected 'loopback' or 'socket')");
+}
+
+}  // namespace cqs::runtime

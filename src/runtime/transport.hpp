@@ -1,0 +1,151 @@
+// Pluggable cross-rank transport under runtime::Comm. A Transport executes
+// the paired sendrecv of one compressed-block exchange; Comm stays the
+// accounting shim the simulator and Table 2 read. Two backends:
+//
+//   LoopbackTransport — all logical ranks in this process; an exchange is
+//   the staged copy the routing model has always performed (bit-for-bit
+//   the pre-transport behavior, and the default).
+//
+//   SocketTransport (runtime/socket_transport.hpp, built when the
+//   CQS_TRANSPORT_SOCKET CMake option is on) — every rank is a real OS
+//   process joined by a Unix-domain or TCP socket; exchanged payloads
+//   physically traverse the wire in checksummed frames, and every wire
+//   operation carries a deadline that surfaces as a typed TransportError
+//   instead of a hang.
+//
+// The begin/wait split is the MPI_Isend/MPI_Wait shape: exchange_begin
+// ships both payloads toward their partners and returns immediately, so
+// the caller overlaps codec work with the wire before exchange_wait
+// collects what each rank received.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace cqs::runtime {
+
+/// Typed wire failure. Every blocking transport operation either completes
+/// within its deadline or throws one of these — an exchange can fail, but
+/// it can never hang.
+class TransportError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kTimeout,      ///< connect/send/recv deadline expired
+    kRankDead,     ///< peer process closed the connection / exited
+    kFrameCorrupt,  ///< checksum or framing mismatch on a received frame
+    kProtocol,     ///< well-formed frame that violates the protocol
+  };
+
+  TransportError(Kind kind, int rank, const std::string& what)
+      : std::runtime_error(what), kind_(kind), rank_(rank) {}
+
+  Kind kind() const { return kind_; }
+  /// Rank whose connection failed (-1 when not attributable to one rank).
+  int rank() const { return rank_; }
+
+ private:
+  Kind kind_;
+  int rank_;
+};
+
+/// Physical wire traffic, as distinct from Comm's logical accounting.
+/// Loopback counts each staged payload copy once with no framing; the
+/// socket backend counts every byte written to or read from a socket —
+/// each exchanged payload crosses the driver<->endpoint wire out and back,
+/// so its payload_bytes are exactly 2x Comm's bytes_moved (the accounting
+/// identity bench_fig16 asserts).
+struct WireStats {
+  std::uint64_t payload_bytes = 0;  ///< payload bytes on the wire
+  std::uint64_t frame_bytes = 0;    ///< framing header bytes (loopback: 0)
+  std::uint64_t frames = 0;         ///< frames sent + received
+};
+
+/// One in-flight paired exchange. Opaque to callers: exchange_wait fills
+/// to_a/to_b. Backend bookkeeping lives inline so no allocation or virtual
+/// token is needed per exchange.
+struct PendingExchange {
+  int rank_a = -1;
+  int rank_b = -1;
+  Bytes to_a;  ///< what rank a received (= from_b after the wire)
+  Bytes to_b;  ///< what rank b received (= from_a after the wire)
+  // Loopback: payloads staged "on the wire" between begin and wait.
+  Bytes staged_a;
+  Bytes staged_b;
+  // Socket: demux tags of the two reply frames still in flight.
+  std::uint64_t tag_a = 0;
+  std::uint64_t tag_b = 0;
+  bool active = false;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual std::string name() const = 0;
+  virtual int num_ranks() const = 0;
+
+  /// Starts the paired sendrecv: `from_a` travels toward rank b and
+  /// `from_b` toward rank a (both spans are consumed before returning, so
+  /// the caller may drop them immediately). The codec ids ride the frame
+  /// headers. Ranks are validated by Comm; backends may assume them sane.
+  virtual PendingExchange exchange_begin(int rank_a, int rank_b,
+                                         ByteSpan from_a, ByteSpan from_b,
+                                         std::uint8_t codec_a,
+                                         std::uint8_t codec_b) = 0;
+
+  /// Completes an exchange begun above, filling to_a/to_b. Throws
+  /// TransportError on wire failure; never blocks past the deadline.
+  virtual void exchange_wait(PendingExchange& pending) = 0;
+
+  virtual WireStats wire_stats() const = 0;
+};
+
+/// All ranks in-process: an exchange stages each payload through a wire
+/// buffer (one real timed copy out at begin, handed over at wait), exactly
+/// the staged-copy routing model the simulator has always run on.
+class LoopbackTransport final : public Transport {
+ public:
+  explicit LoopbackTransport(int num_ranks) : num_ranks_(num_ranks) {}
+
+  std::string name() const override { return "loopback"; }
+  int num_ranks() const override { return num_ranks_; }
+
+  PendingExchange exchange_begin(int rank_a, int rank_b, ByteSpan from_a,
+                                 ByteSpan from_b, std::uint8_t codec_a,
+                                 std::uint8_t codec_b) override;
+  void exchange_wait(PendingExchange& pending) override;
+
+  WireStats wire_stats() const override;
+
+ private:
+  int num_ranks_;
+  std::atomic<std::uint64_t> payload_bytes_{0};
+  std::atomic<std::uint64_t> frames_{0};
+};
+
+struct TransportOptions {
+  int num_ranks = 1;
+  /// Deadline for every blocking wire operation (connect, send, recv) in
+  /// milliseconds. Must be positive.
+  int rank_timeout_ms = 5000;
+  /// Socket rank endpoints: "local" = a pre-connected Unix-domain
+  /// socketpair per rank; "tcp" = rank processes connect back to an
+  /// ephemeral 127.0.0.1 listener.
+  std::string socket_endpoint = "local";
+};
+
+/// True when this build carries the multi-process socket backend
+/// (CQS_TRANSPORT_SOCKET CMake option).
+bool socket_transport_available();
+
+/// Factory: "loopback" | "socket". Throws std::invalid_argument on unknown
+/// names and when "socket" is requested from a build without it.
+std::unique_ptr<Transport> make_transport(const std::string& name,
+                                          const TransportOptions& options);
+
+}  // namespace cqs::runtime

@@ -1,0 +1,99 @@
+// Compressed-payload wire framing shared by every Transport backend and
+// the rank endpoint processes: a fixed little-endian header carrying the
+// frame type, source/destination rank, an exchange tag (the demux key for
+// concurrent sweeps on one connection), the payload length, the payload's
+// codec id, and an FNV-1a checksum of the payload bytes. The header is
+// intentionally transport-agnostic so the framing can be unit-tested
+// without opening a socket.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace cqs::runtime::wire {
+
+inline constexpr std::uint32_t kMagic = 0x43515357;  // "CQSW"
+inline constexpr std::uint8_t kVersion = 1;
+
+enum class FrameType : std::uint8_t {
+  kHello = 0,     ///< liveness/version handshake; echoed by the endpoint
+  kData = 1,      ///< one compressed block payload; echoed by the endpoint
+  kShutdown = 2,  ///< endpoint exits cleanly; no reply
+  // Fault-injection controls (tests drive these; no reply):
+  kCorruptNext = 3,  ///< endpoint flips a payload bit in its next data echo
+  kStallNext = 4,    ///< endpoint sleeps `aux` ms before its next data echo
+  kDie = 5,          ///< endpoint _exit()s immediately (simulated rank death)
+};
+
+struct FrameHeader {
+  std::uint32_t magic = kMagic;
+  std::uint8_t version = kVersion;
+  std::uint8_t type = static_cast<std::uint8_t>(FrameType::kData);
+  std::uint8_t codec = 0;  ///< codec id of the payload (registry id)
+  std::uint8_t flags = 0;
+  std::uint32_t src_rank = 0;
+  std::uint32_t dst_rank = 0;
+  std::uint64_t tag = 0;          ///< exchange demux key (unique per leg)
+  std::uint64_t payload_len = 0;  ///< bytes following the header
+  std::uint64_t aux = 0;          ///< type-specific (kStallNext: milliseconds)
+  std::uint64_t checksum = 0;     ///< fnv1a over the payload bytes
+};
+
+inline constexpr std::size_t kHeaderBytes = 48;
+
+inline std::uint64_t payload_checksum(ByteSpan payload) {
+  return fnv1a(payload);
+}
+
+inline std::array<std::byte, kHeaderBytes> encode_header(
+    const FrameHeader& h) {
+  std::array<std::byte, kHeaderBytes> out{};
+  std::size_t off = 0;
+  auto put = [&](auto value) {
+    std::memcpy(out.data() + off, &value, sizeof(value));
+    off += sizeof(value);
+  };
+  put(h.magic);
+  put(h.version);
+  put(h.type);
+  put(h.codec);
+  put(h.flags);
+  put(h.src_rank);
+  put(h.dst_rank);
+  put(h.tag);
+  put(h.payload_len);
+  put(h.aux);
+  put(h.checksum);
+  return out;
+}
+
+/// Decodes a header; nullopt when the magic or version does not match (a
+/// torn or foreign stream — the caller surfaces the typed error).
+inline std::optional<FrameHeader> decode_header(
+    std::span<const std::byte, kHeaderBytes> raw) {
+  FrameHeader h;
+  std::size_t off = 0;
+  auto get = [&](auto& value) {
+    std::memcpy(&value, raw.data() + off, sizeof(value));
+    off += sizeof(value);
+  };
+  get(h.magic);
+  get(h.version);
+  get(h.type);
+  get(h.codec);
+  get(h.flags);
+  get(h.src_rank);
+  get(h.dst_rank);
+  get(h.tag);
+  get(h.payload_len);
+  get(h.aux);
+  get(h.checksum);
+  if (h.magic != kMagic || h.version != kVersion) return std::nullopt;
+  return h;
+}
+
+}  // namespace cqs::runtime::wire

@@ -215,15 +215,17 @@ TEST(CommTest, ExchangeModelsOneBufferedSendrecvPerPair) {
   EXPECT_EQ(comm.stats().bytes_moved, 5u * (40 + 60) + 2u * (0 + 1 + 2 + 3 + 4));
 }
 
-TEST(CommTest, TransferCountsOneWay) {
+TEST(CommTest, ResetClearsAllCounters) {
   Comm comm(2);
-  const Bytes payload(64, std::byte{5});
-  comm.transfer(0, 1, payload);
-  comm.transfer(1, 0, payload);
+  Bytes a(64, std::byte{5});
+  Bytes b(64, std::byte{6});
+  comm.exchange(0, 1, a, b);
   EXPECT_EQ(comm.stats().bytes_moved, 128u);
-  EXPECT_EQ(comm.stats().messages, 2u);
   comm.reset();
   EXPECT_EQ(comm.stats().bytes_moved, 0u);
+  EXPECT_EQ(comm.stats().messages, 0u);
+  EXPECT_EQ(comm.stats().wire_nanos, 0u);
+  EXPECT_EQ(comm.stats().overlap_nanos, 0u);
 }
 
 TEST(CommTest, RejectsBadRanks) {
@@ -232,7 +234,7 @@ TEST(CommTest, RejectsBadRanks) {
   Bytes b;
   EXPECT_THROW(comm.exchange(0, 0, a, b), std::invalid_argument);
   EXPECT_THROW(comm.exchange(0, 5, a, b), std::invalid_argument);
-  EXPECT_THROW(comm.transfer(1, 1, a), std::invalid_argument);
+  EXPECT_THROW(comm.exchange(-1, 1, a, b), std::invalid_argument);
 }
 
 TEST(ScratchTest, CodecPoolsEnterByteAccounting) {

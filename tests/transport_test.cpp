@@ -1,0 +1,366 @@
+// Transport layer: wire framing, the loopback backend, Comm's accounting
+// shim (begin/wait overlap, derived seconds), and — when the build carries
+// CQS_TRANSPORT_SOCKET — the multi-process socket backend, including its
+// fault-injection paths (corrupt/stall/die must surface typed errors, not
+// hangs).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/comm.hpp"
+#include "runtime/transport.hpp"
+#include "runtime/wire_format.hpp"
+
+#ifdef CQS_HAVE_SOCKET_TRANSPORT
+#include "runtime/socket_transport.hpp"
+#endif
+
+namespace cqs::runtime {
+namespace {
+
+Bytes make_payload(std::size_t size, unsigned seed) {
+  Bytes payload(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    payload[i] = static_cast<std::byte>((i * 131 + seed) & 0xff);
+  }
+  return payload;
+}
+
+// --- Wire framing ----------------------------------------------------------
+
+TEST(WireFormatTest, HeaderRoundTrips) {
+  wire::FrameHeader h;
+  h.type = static_cast<std::uint8_t>(wire::FrameType::kData);
+  h.codec = 7;
+  h.flags = 3;
+  h.src_rank = 5;
+  h.dst_rank = 11;
+  h.tag = 0x0123456789abcdefULL;
+  h.payload_len = 4096;
+  h.aux = 42;
+  h.checksum = 0xdeadbeefcafef00dULL;
+  const auto raw = wire::encode_header(h);
+  const auto back = wire::decode_header(raw);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->magic, wire::kMagic);
+  EXPECT_EQ(back->version, wire::kVersion);
+  EXPECT_EQ(back->type, h.type);
+  EXPECT_EQ(back->codec, h.codec);
+  EXPECT_EQ(back->flags, h.flags);
+  EXPECT_EQ(back->src_rank, h.src_rank);
+  EXPECT_EQ(back->dst_rank, h.dst_rank);
+  EXPECT_EQ(back->tag, h.tag);
+  EXPECT_EQ(back->payload_len, h.payload_len);
+  EXPECT_EQ(back->aux, h.aux);
+  EXPECT_EQ(back->checksum, h.checksum);
+}
+
+TEST(WireFormatTest, RejectsBadMagicAndVersion) {
+  wire::FrameHeader h;
+  auto raw = wire::encode_header(h);
+  auto torn = raw;
+  torn[0] ^= std::byte{0xff};  // magic lives in the first 4 bytes
+  EXPECT_FALSE(wire::decode_header(torn).has_value());
+  auto future = raw;
+  future[4] = std::byte{99};  // version byte
+  EXPECT_FALSE(wire::decode_header(future).has_value());
+}
+
+TEST(WireFormatTest, ChecksumCoversEveryPayloadByte) {
+  Bytes payload = make_payload(512, 1);
+  const auto sum = wire::payload_checksum(payload);
+  payload[511] ^= std::byte{0x01};
+  EXPECT_NE(wire::payload_checksum(payload), sum);
+  EXPECT_EQ(wire::payload_checksum({}), wire::payload_checksum(Bytes{}));
+}
+
+// --- Loopback backend ------------------------------------------------------
+
+TEST(LoopbackTransportTest, ExchangeDeliversCrossedPayloads) {
+  LoopbackTransport transport(4);
+  const Bytes from_a = make_payload(100, 1);
+  const Bytes from_b = make_payload(200, 2);
+  auto pending = transport.exchange_begin(0, 2, from_a, from_b, 0, 0);
+  EXPECT_TRUE(pending.active);
+  transport.exchange_wait(pending);
+  EXPECT_FALSE(pending.active);
+  EXPECT_EQ(pending.to_a, from_b);
+  EXPECT_EQ(pending.to_b, from_a);
+}
+
+TEST(LoopbackTransportTest, WireStatsCountEachPayloadOnce) {
+  // Migrated from the Comm::transfer one-way accounting pin: the staged
+  // copy is charged exactly once per direction, with no framing bytes.
+  LoopbackTransport transport(2);
+  auto pending =
+      transport.exchange_begin(0, 1, make_payload(64, 1), make_payload(64, 2),
+                               0, 0);
+  transport.exchange_wait(pending);
+  const auto stats = transport.wire_stats();
+  EXPECT_EQ(stats.payload_bytes, 128u);
+  EXPECT_EQ(stats.frame_bytes, 0u);
+  EXPECT_EQ(stats.frames, 2u);
+}
+
+TEST(TransportFactoryTest, MakesLoopback) {
+  TransportOptions options;
+  options.num_ranks = 8;
+  auto transport = make_transport("loopback", options);
+  EXPECT_EQ(transport->name(), "loopback");
+  EXPECT_EQ(transport->num_ranks(), 8);
+}
+
+TEST(TransportFactoryTest, RejectsUnknownName) {
+  EXPECT_THROW(make_transport("carrier-pigeon", {}), std::invalid_argument);
+}
+
+#ifndef CQS_HAVE_SOCKET_TRANSPORT
+TEST(TransportFactoryTest, SocketUnavailableIsTypedRejection) {
+  EXPECT_FALSE(socket_transport_available());
+  try {
+    make_transport("socket", {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("CQS_TRANSPORT_SOCKET"),
+              std::string::npos);
+  }
+}
+#endif
+
+// --- Comm accounting shim --------------------------------------------------
+
+TEST(CommTest, SecondsIsDerivedFromWireNanosAtReadTime) {
+  // CommStats.seconds is a pure function of the atomic nanosecond counter
+  // — computed once at read time, never accumulated as floating point.
+  Comm comm(2);
+  Bytes a = make_payload(4096, 1);
+  Bytes b = make_payload(4096, 2);
+  for (int i = 0; i < 8; ++i) comm.exchange(0, 1, a, b);
+  const auto stats = comm.stats();
+  EXPECT_DOUBLE_EQ(stats.seconds(),
+                   static_cast<double>(stats.wire_nanos) * 1e-9);
+  CommStats synthetic;
+  synthetic.wire_nanos = 1'500'000'000ULL;
+  EXPECT_DOUBLE_EQ(synthetic.seconds(), 1.5);
+}
+
+TEST(CommTest, BeginWaitChargesBytesAtBeginAndCreditsOverlap) {
+  Comm comm(2);
+  const Bytes from_a = make_payload(300, 1);
+  const Bytes from_b = make_payload(100, 2);
+  auto pending = comm.exchange_begin(0, 1, from_a, from_b);
+  // Accounting happens at begin: the payloads are already on the wire.
+  EXPECT_EQ(comm.stats().bytes_moved, 400u);
+  EXPECT_EQ(comm.stats().messages, 2u);
+  EXPECT_EQ(comm.stats().overlap_nanos, 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  auto received = comm.exchange_wait(pending);
+  EXPECT_EQ(received.to_a, from_b);
+  EXPECT_EQ(received.to_b, from_a);
+  // The sleep between begin and wait is overlap the exchange hid.
+  const auto stats = comm.stats();
+  EXPECT_GE(stats.overlap_nanos, 4'000'000u);
+  EXPECT_GT(stats.overlap_utilization(), 0.0);
+  EXPECT_LE(stats.overlap_utilization(), 1.0);
+}
+
+TEST(CommTest, WaitWithoutBeginIsAnError) {
+  Comm comm(2);
+  Comm::Pending pending;
+  EXPECT_THROW(comm.exchange_wait(pending), std::logic_error);
+}
+
+TEST(CommTest, OverlapUtilizationIsZeroWithoutExchanges) {
+  EXPECT_EQ(CommStats{}.overlap_utilization(), 0.0);
+  EXPECT_EQ(CommStats{}.seconds(), 0.0);
+}
+
+TEST(CommTest, RejectsNullTransport) {
+  EXPECT_THROW(Comm(nullptr), std::invalid_argument);
+}
+
+// --- Socket backend --------------------------------------------------------
+
+#ifdef CQS_HAVE_SOCKET_TRANSPORT
+
+TransportOptions socket_options(int ranks, const std::string& endpoint,
+                                int timeout_ms = 5000) {
+  TransportOptions options;
+  options.num_ranks = ranks;
+  options.rank_timeout_ms = timeout_ms;
+  options.socket_endpoint = endpoint;
+  return options;
+}
+
+class SocketEndpointTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SocketEndpointTest, ExchangeRoundTripsAcrossProcesses) {
+  SocketTransport transport(socket_options(4, GetParam()));
+  EXPECT_EQ(transport.name(), "socket");
+  EXPECT_EQ(transport.num_ranks(), 4);
+  const Bytes from_a = make_payload(4096, 1);
+  const Bytes from_b = make_payload(1024, 2);
+  auto pending = transport.exchange_begin(1, 3, from_a, from_b, 5, 9);
+  transport.exchange_wait(pending);
+  EXPECT_EQ(pending.to_a, from_b);
+  EXPECT_EQ(pending.to_b, from_a);
+  // Every exchanged payload crosses the wire out and back: 2x payload
+  // bytes, 4 data frames each way + the 8 constructor hello echoes.
+  const auto stats = transport.wire_stats();
+  EXPECT_EQ(stats.payload_bytes, 2u * (4096 + 1024));
+  EXPECT_EQ(stats.frames, 8u + 4u);
+  EXPECT_EQ(stats.frame_bytes, stats.frames * wire::kHeaderBytes);
+  const auto procs = transport.join();
+  ASSERT_EQ(procs.size(), 4u);
+  for (const auto& proc : procs) {
+    EXPECT_TRUE(proc.joined);
+    EXPECT_EQ(proc.exit_code, 0) << "rank " << proc.rank;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LocalAndTcp, SocketEndpointTest,
+                         ::testing::Values("local", "tcp"));
+
+TEST(SocketTransportTest, EmptyPayloadsExchange) {
+  SocketTransport transport(socket_options(2, "local"));
+  auto pending = transport.exchange_begin(0, 1, {}, {}, 0, 0);
+  transport.exchange_wait(pending);
+  EXPECT_TRUE(pending.to_a.empty());
+  EXPECT_TRUE(pending.to_b.empty());
+}
+
+TEST(SocketTransportTest, ConcurrentExchangesDemuxByTag) {
+  // Many threads exchange on the same two connections at once; the tag
+  // demux must route every echo to the thread that sent it.
+  SocketTransport transport(socket_options(2, "local"));
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        const Bytes from_a = make_payload(256 + t, t * 100 + i);
+        const Bytes from_b = make_payload(512 + t, t * 100 + i + 1);
+        auto pending = transport.exchange_begin(0, 1, from_a, from_b, 0, 0);
+        transport.exchange_wait(pending);
+        if (pending.to_a != from_b || pending.to_b != from_a) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(SocketTransportTest, CorruptedFrameSurfacesTypedError) {
+  SocketTransport transport(socket_options(2, "local"));
+  transport.inject_fault(1, wire::FrameType::kCorruptNext);
+  auto pending =
+      transport.exchange_begin(0, 1, make_payload(128, 1), make_payload(128, 2),
+                               0, 0);
+  try {
+    transport.exchange_wait(pending);
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.kind(), TransportError::Kind::kFrameCorrupt);
+    EXPECT_EQ(e.rank(), 1);
+  }
+}
+
+TEST(SocketTransportTest, StalledRankTimesOutInsteadOfHanging) {
+  SocketTransport transport(socket_options(2, "local", 200));
+  // The endpoint sleeps 10x the deadline before echoing; the waiter must
+  // fail with kTimeout near the deadline, not block for the stall.
+  transport.inject_fault(1, wire::FrameType::kStallNext, 2000);
+  auto pending =
+      transport.exchange_begin(0, 1, make_payload(64, 1), make_payload(64, 2),
+                               0, 0);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    transport.exchange_wait(pending);
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_EQ(e.kind(), TransportError::Kind::kTimeout);
+    EXPECT_EQ(e.rank(), 1);
+  }
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  EXPECT_LT(waited, 1500) << "wait blocked past the deadline";
+}
+
+TEST(SocketTransportTest, DeadRankSurfacesTypedErrorAndCleanShutdown) {
+  SocketTransport transport(socket_options(2, "local", 1000));
+  transport.inject_fault(1, wire::FrameType::kDie);
+  try {
+    // The death may surface at begin (EPIPE on the send) or at wait (EOF
+    // or a drained kernel buffer) depending on scheduling — any of these
+    // is a typed, rank-attributed, deadline-bounded failure; a hang is
+    // the only wrong answer.
+    auto pending = transport.exchange_begin(0, 1, make_payload(64, 1),
+                                            make_payload(64, 2), 0, 0);
+    transport.exchange_wait(pending);
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_TRUE(e.kind() == TransportError::Kind::kRankDead ||
+                e.kind() == TransportError::Kind::kTimeout);
+    EXPECT_EQ(e.rank(), 1);
+  }
+  // Shutdown after a rank death still joins every process.
+  const auto procs = transport.join();
+  ASSERT_EQ(procs.size(), 2u);
+  EXPECT_TRUE(procs[0].joined);
+  EXPECT_TRUE(procs[1].joined);
+  EXPECT_EQ(procs[0].exit_code, 0);
+}
+
+TEST(SocketTransportTest, JoinIsIdempotent) {
+  SocketTransport transport(socket_options(2, "local"));
+  const auto first = transport.join();
+  const auto second = transport.join();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].pid, second[i].pid);
+    EXPECT_EQ(first[i].exit_code, second[i].exit_code);
+  }
+}
+
+TEST(SocketTransportTest, FactoryBuildsSocket) {
+  EXPECT_TRUE(socket_transport_available());
+  auto transport = make_transport("socket", socket_options(2, "local"));
+  EXPECT_EQ(transport->name(), "socket");
+  EXPECT_EQ(transport->num_ranks(), 2);
+}
+
+TEST(SocketTransportTest, RejectsUnknownEndpoint) {
+  EXPECT_THROW(SocketTransport(socket_options(2, "carrier-pigeon")),
+               std::invalid_argument);
+}
+
+TEST(CommTest, SocketBackedCommKeepsAccountingIdentity) {
+  // Comm's logical counters are transport-independent; the socket wire
+  // carries each exchanged payload twice (out and back).
+  Comm comm(make_transport("socket", socket_options(2, "local")));
+  Bytes a = make_payload(1000, 1);
+  Bytes b = make_payload(600, 2);
+  const Bytes a0 = a;
+  const Bytes b0 = b;
+  comm.exchange(0, 1, a, b);
+  EXPECT_EQ(a, b0);
+  EXPECT_EQ(b, a0);
+  EXPECT_EQ(comm.stats().bytes_moved, 1600u);
+  EXPECT_EQ(comm.stats().messages, 2u);
+  EXPECT_EQ(comm.wire_stats().payload_bytes, 2u * comm.stats().bytes_moved);
+}
+
+#endif  // CQS_HAVE_SOCKET_TRANSPORT
+
+}  // namespace
+}  // namespace cqs::runtime
