@@ -20,6 +20,13 @@
 //                        a -DCQS_TRANSPORT_SOCKET=ON build)
 //     --timeout-ms N     wire-operation deadline for process transports
 //     --endpoint NAME    socket flavor: local (Unix socketpair) | tcp
+//     --spill PATH       out-of-core: spill cold compressed blocks to an
+//                        unlinked scratch file at PATH (needs
+//                        --resident-frac)
+//     --resident-frac F  resident-tier budget as a fraction of 2^{n+4};
+//                        the rest of the compressed state parks on disk
+//     --readahead N      spilled blocks to advise ahead of the executor
+//                        (default 4, 0 = off)
 //
 // Circuit file format (see src/qsim/serialize.hpp):
 //   qubits 4
@@ -52,7 +59,8 @@ namespace {
                "[--fuse] [--no-batching] [--max-run N] [--checkpoint PATH] "
                "[--samples N] [--remap [lookahead|lru]] "
                "[--wire loopback|socket] [--timeout-ms N] "
-               "[--endpoint local|tcp]\n",
+               "[--endpoint local|tcp] [--spill PATH] [--resident-frac F] "
+               "[--readahead N]\n",
                argv0);
   std::exit(2);
 }
@@ -68,6 +76,7 @@ int main(int argc, char** argv) try {
   config.num_ranks = 4;
   config.blocks_per_rank = 8;
   double budget_fraction = 0.0;
+  double resident_fraction = 0.0;
   bool fuse = false;
   std::string checkpoint_path;
   int samples = 0;
@@ -111,6 +120,12 @@ int main(int argc, char** argv) try {
       config.rank_timeout_ms = std::atoi(next());
     } else if (arg == "--endpoint") {
       config.socket_endpoint = next();
+    } else if (arg == "--spill") {
+      config.spill_path = next();
+    } else if (arg == "--resident-frac") {
+      resident_fraction = std::atof(next());
+    } else if (arg == "--readahead") {
+      config.readahead_blocks = std::atoi(next());
     } else {
       usage(argv[0]);
     }
@@ -143,6 +158,12 @@ int main(int argc, char** argv) try {
   if (budget_fraction > 0.0) {
     config.memory_budget_bytes = static_cast<std::size_t>(
         budget_fraction *
+        static_cast<double>(
+            core::memory_required_bytes(circuit.num_qubits())));
+  }
+  if (resident_fraction > 0.0) {
+    config.resident_budget_bytes = static_cast<std::size_t>(
+        resident_fraction *
         static_cast<double>(
             core::memory_required_bytes(circuit.num_qubits())));
   }

@@ -146,6 +146,26 @@ struct SimConfig {
   /// Unix-domain socketpair per rank process; "tcp" = rank processes
   /// connect back to an ephemeral 127.0.0.1 listener.
   std::string socket_endpoint = "local";
+
+  /// Out-of-core spill tier. Non-empty enables it: cold compressed blocks
+  /// move to an unlinked scratch file created at this path (one segment
+  /// per block, mmap readback) whenever the resident tier exceeds
+  /// resident_budget_bytes. Tier moves are byte-preserving, so results
+  /// are bit-identical to a spill-off run. Requires a resident budget.
+  std::string spill_path;
+
+  /// Compressed bytes the *resident* (in-memory) tier may hold when the
+  /// spill tier is enabled; the excess is written behind to the spill
+  /// file. With spilling on, memory_budget_bytes (the Eq. 8 enforcement)
+  /// also governs the resident tier — bytes parked on NVMe no longer
+  /// count against the in-memory budget. Must be > 0 when spill_path is
+  /// set, 0 otherwise.
+  std::size_t resident_budget_bytes = 0;
+
+  /// Spilled blocks to advise (madvise WILLNEED) ahead of the executor's
+  /// cursor, keyed on the scheduler's block order — the plan-driven
+  /// readahead window. 0 disables readahead. In [0, 4096].
+  int readahead_blocks = 4;
 };
 
 }  // namespace cqs::core

@@ -47,6 +47,15 @@ void SimulationReport::print(std::ostream& os) const {
     os << "memory budget:       " << format_bytes(budget_bytes)
        << (budget_exceeded ? "  [EXCEEDED]" : "") << "\n";
   }
+  if (spill_enabled) {
+    os << "out-of-core:         resident " << format_bytes(resident_bytes)
+       << " + spilled " << format_bytes(spilled_bytes) << " (budget "
+       << format_bytes(resident_budget_bytes) << ", peak resident "
+       << format_bytes(peak_resident_bytes) << ")\n"
+       << "spill traffic:       " << spill_events << " spills / "
+       << fault_events << " faults; readahead " << readahead_issued
+       << " issued / " << readahead_hits << " hits\n";
+  }
   os << "total time:          " << total_seconds << " s\n"
      << "  compression:       " << pct(Phase::kCompression) << " %\n"
      << "  decompression:     " << pct(Phase::kDecompression) << " %\n"

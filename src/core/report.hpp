@@ -33,6 +33,21 @@ struct SimulationReport {
   std::size_t budget_bytes = 0;                ///< 0 = unlimited
   bool budget_exceeded = false;  ///< over budget even at the last ladder level
 
+  // Out-of-core tiering. resident_bytes + spilled_bytes is the end-state
+  // compressed total (the Eq. 8 sum split by tier); the peaks are sampled
+  // at every block mutation, not at gate boundaries. spill/fault counts
+  // are deterministic across worker counts; readahead_hits is timing-
+  // dependent (advise races the read) — report-only, never pinned.
+  bool spill_enabled = false;
+  std::size_t resident_budget_bytes = 0;
+  std::size_t resident_bytes = 0;       ///< end-state in-memory tier
+  std::size_t spilled_bytes = 0;        ///< end-state spill-file tier
+  std::size_t peak_resident_bytes = 0;  ///< max in-memory tier occupancy
+  std::uint64_t spill_events = 0;       ///< resident -> spilled moves
+  std::uint64_t fault_events = 0;       ///< reads served from the spill tier
+  std::uint64_t readahead_issued = 0;   ///< WILLNEED advisories issued
+  std::uint64_t readahead_hits = 0;     ///< faults that had been advised
+
   // Compression.
   double min_compression_ratio = 0.0;  ///< min over gates (Table 2 last row)
   int final_ladder_level = 0;          ///< 0 = still lossless

@@ -164,6 +164,21 @@ CompressedStateSimulator::CompressedStateSimulator(SimConfig config)
     throw std::invalid_argument(
         "simulator: pipeline_depth must be in [1, 64] staging buffers");
   }
+
+  // Out-of-core knobs: a spill path needs a resident budget to govern the
+  // tier split, and a budget without a path would silently do nothing.
+  if (!config_.spill_path.empty() && config_.resident_budget_bytes == 0) {
+    throw std::invalid_argument(
+        "simulator: spill_path requires resident_budget_bytes > 0");
+  }
+  if (config_.spill_path.empty() && config_.resident_budget_bytes != 0) {
+    throw std::invalid_argument(
+        "simulator: resident_budget_bytes requires a spill_path");
+  }
+  if (config_.readahead_blocks < 0 || config_.readahead_blocks > 4096) {
+    throw std::invalid_argument(
+        "simulator: readahead_blocks must be in [0, 4096]");
+  }
   backend_ = qsim::detect_kernel_backend(config_.enable_simd_kernels);
   map_ = runtime::QubitMap::identity(config_.num_qubits);
   remap_last_use_.assign(static_cast<std::size_t>(config_.num_qubits), 0);
@@ -240,13 +255,21 @@ CompressedStateSimulator::CompressedStateSimulator(SimConfig config)
           : 0;
   scratch_ = std::make_unique<runtime::ScratchArena>(
       pool_->size(), partition_.doubles_per_block(), staging);
-  ranks_.assign(partition_.num_ranks(),
-                runtime::BlockStore(partition_.blocks_per_rank()));
+  tier_stats_ = std::make_unique<runtime::TierStats>();
+  if (!config_.spill_path.empty()) {
+    // SpillError (with errno) surfaces unwritable paths at construction,
+    // not at the first mid-circuit eviction.
+    spill_ = std::make_unique<runtime::SpillFile>(config_.spill_path);
+  }
+  ranks_.reserve(static_cast<std::size_t>(partition_.num_ranks()));
   for (int r = 0; r < partition_.num_ranks(); ++r) {
+    ranks_.emplace_back(partition_.blocks_per_rank());
+    ranks_.back().attach(tier_stats_.get(), spill_.get());
     caches_.push_back(std::make_unique<runtime::BlockCache>(
         config_.enable_cache ? config_.cache_lines : 0));
   }
   init_blocks();
+  maintain_tiers();
 }
 
 void CompressedStateSimulator::init_blocks() {
@@ -306,7 +329,8 @@ void CompressedStateSimulator::decompress_block(int rank, int block,
                                                 std::span<double> out,
                                                 std::size_t worker) const {
   const auto& store = ranks_[rank];
-  decompress_payload(store.block(block), store.meta(block), out, worker);
+  decompress_payload(store.payload_view(block), store.meta(block), out,
+                     worker);
 }
 
 void CompressedStateSimulator::decompress_payload(
@@ -373,7 +397,7 @@ void CompressedStateSimulator::apply_remap(const qsim::RemapStep& step) {
     {
       ScopedPhase phase(timers, Phase::kCommunication);
       pending = comm_->exchange_begin(
-          r0, r1, store_a.block(b), store_b.block(b),
+          r0, r1, store_a.payload_view(b), store_b.payload_view(b),
           static_cast<std::uint8_t>(store_a.meta(b).codec),
           static_cast<std::uint8_t>(store_b.meta(b).codec));
     }
@@ -404,6 +428,8 @@ void CompressedStateSimulator::apply_remap(const qsim::RemapStep& step) {
         (meta_b.codec != compression::kLosslessCodecId ? 1u : 0u);
     store_a.set_block(b, std::move(ca), meta_a);
     store_b.set_block(b, std::move(cb), meta_b);
+    maybe_stream_spill(r0, b);
+    maybe_stream_spill(r1, b);
     if (lossy > 0) {
       lossy_writes.fetch_add(lossy, std::memory_order_relaxed);
     }
@@ -648,7 +674,7 @@ void CompressedStateSimulator::run_offset_target(const GateRouting& routing) {
   spec.make_key = [&](int rank, int block) {
     const auto& store = ranks_[rank];
     return runtime::BlockCache::make_key(routing.descriptor,
-                                         store.block(block), {},
+                                         store.payload_view(block), {},
                                          store.meta(block).codec, 0,
                                          map_generation_);
   };
@@ -731,9 +757,10 @@ void CompressedStateSimulator::run_diagonal(const GateRouting& routing) {
                   1);
     }
     const auto& store = ranks_[rank];
-    return fnv1a_u64(salt, runtime::BlockCache::make_key(
-                               routing.descriptor, store.block(block), {},
-                               store.meta(block).codec, 0, map_generation_));
+    return fnv1a_u64(salt,
+                     runtime::BlockCache::make_key(
+                         routing.descriptor, store.payload_view(block), {},
+                         store.meta(block).codec, 0, map_generation_));
   };
   spec.compute = [&](Amplitude* amps, std::uint64_t count, int rank,
                      int block) {
@@ -782,6 +809,7 @@ bool CompressedStateSimulator::unit_cache_probe(const UnitSpec& spec,
   if (!cache->lookup(key, out1, out2, &codec1)) return false;
   store.set_block(block, std::move(out1),
                   {static_cast<std::uint8_t>(spec.level), codec1});
+  maybe_stream_spill(rank, block);
   // Keep the arbiter's hysteresis in step with the stored codec even
   // though no decision ran — otherwise hit/miss interleavings would
   // leak into later codec choices and break cross-thread determinism.
@@ -807,6 +835,7 @@ void CompressedStateSimulator::unit_finish(const UnitSpec& spec, int rank,
   }
   const bool lossy_write = meta.codec != compression::kLosslessCodecId;
   ranks_[rank].set_block(block, std::move(compressed), meta);
+  maybe_stream_spill(rank, block);
   spec.blocks_compressed->fetch_add(1, std::memory_order_relaxed);
   if (lossy_write) {
     spec.blocks_lossy->fetch_add(1, std::memory_order_relaxed);
@@ -819,7 +848,20 @@ void CompressedStateSimulator::run_units(
     run_units_pipelined(units, spec);
     return;
   }
+  // Plan-driven readahead: the unit order IS the schedule, so advising
+  // unit i+K while working unit i keeps spilled payloads arriving ahead
+  // of their faults. The first window is primed before the sweep starts.
+  const std::size_t lookahead =
+      spill_ != nullptr ? static_cast<std::size_t>(config_.readahead_blocks)
+                        : 0;
+  for (std::size_t i = 0; i < std::min(lookahead, units.size()); ++i) {
+    ranks_[units[i].first].advise(units[i].second);
+  }
   pool_->parallel_for(units.size(), [&](std::size_t i, std::size_t worker) {
+    if (lookahead > 0 && i + lookahead < units.size()) {
+      const auto [ar, ab] = units[i + lookahead];
+      ranks_[ar].advise(ab);
+    }
     const auto [rank, block] = units[i];
     std::uint64_t key = 0;
     if (unit_cache_probe(spec, rank, block, &key)) return;
@@ -856,6 +898,12 @@ void CompressedStateSimulator::run_units_pipelined(
     std::size_t producer = 0;  ///< decoding worker (overlap accounting)
   };
   StageChannel<Staged> channel(scratch_->staging_buffers());
+  const std::size_t lookahead =
+      spill_ != nullptr ? static_cast<std::size_t>(config_.readahead_blocks)
+                        : 0;
+  for (std::size_t i = 0; i < std::min(lookahead, units.size()); ++i) {
+    ranks_[units[i].first].advise(units[i].second);
+  }
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> completed{0};
   std::atomic<std::uint64_t> prefetched{0};
@@ -896,6 +944,12 @@ void CompressedStateSimulator::run_units_pipelined(
           const std::size_t u =
               next.fetch_add(1, std::memory_order_relaxed);
           if (u < total) {
+            // The decode stage is the plan cursor: claiming unit u advises
+            // unit u+K so readahead tracks the pipeline's actual pace.
+            if (lookahead > 0 && u + lookahead < total) {
+              const auto [ar, ab] = units[u + lookahead];
+              ranks_[ar].advise(ab);
+            }
             const auto [rank, block] = units[u];
             Staged fresh{u, buffer, 0, worker};
             if (unit_cache_probe(spec, rank, block, &fresh.key)) {
@@ -984,7 +1038,7 @@ void CompressedStateSimulator::apply_run(const qsim::Circuit& circuit,
   spec.make_key = [&](int rank, int block) {
     const auto& store = ranks_[rank];
     return runtime::BlockCache::make_run_key(plan.descriptors,
-                                             store.block(block),
+                                             store.payload_view(block),
                                              store.meta(block).codec,
                                              map_generation_);
   };
@@ -1025,7 +1079,8 @@ void CompressedStateSimulator::process_pair(const GateRouting& routing,
   if (cross_rank) {
     ScopedPhase phase(timers, Phase::kCommunication);
     pending = comm_->exchange_begin(
-        rank_a, rank_b, store_a.block(block_a), store_b.block(block_b),
+        rank_a, rank_b, store_a.payload_view(block_a),
+        store_b.payload_view(block_b),
         static_cast<std::uint8_t>(store_a.meta(block_a).codec),
         static_cast<std::uint8_t>(store_b.meta(block_b).codec));
   }
@@ -1036,9 +1091,9 @@ void CompressedStateSimulator::process_pair(const GateRouting& routing,
   bool hit = false;
   if (cache != nullptr && cache->enabled()) {
     key = runtime::BlockCache::make_key(
-        routing.descriptor, store_a.block(block_a), store_b.block(block_b),
-        store_a.meta(block_a).codec, store_b.meta(block_b).codec,
-        map_generation_);
+        routing.descriptor, store_a.payload_view(block_a),
+        store_b.payload_view(block_b), store_a.meta(block_a).codec,
+        store_b.meta(block_b).codec, map_generation_);
     Bytes out1;
     Bytes out2;
     std::uint8_t codec1 = compression::kLosslessCodecId;
@@ -1048,6 +1103,8 @@ void CompressedStateSimulator::process_pair(const GateRouting& routing,
                         {static_cast<std::uint8_t>(routing.level), codec1});
       store_b.set_block(block_b, std::move(out2),
                         {static_cast<std::uint8_t>(routing.level), codec2});
+      maybe_stream_spill(rank_a, block_a);
+      maybe_stream_spill(rank_b, block_b);
       // See unit_cache_probe: hysteresis must track the stored codec on
       // hits.
       arbiter_->seed(global_block(rank_a, block_a),
@@ -1111,6 +1168,8 @@ void CompressedStateSimulator::process_pair(const GateRouting& routing,
         (meta_b.codec != compression::kLosslessCodecId ? 1u : 0u);
     store_a.set_block(block_a, std::move(ca), meta_a);
     store_b.set_block(block_b, std::move(cb), meta_b);
+    maybe_stream_spill(rank_a, block_a);
+    maybe_stream_spill(rank_b, block_b);
     routing.blocks_compressed.fetch_add(2, std::memory_order_relaxed);
     if (lossy > 0) {
       routing.blocks_lossy.fetch_add(lossy, std::memory_order_relaxed);
@@ -1119,18 +1178,105 @@ void CompressedStateSimulator::process_pair(const GateRouting& routing,
 }
 
 void CompressedStateSimulator::note_gate_finished(double gate_seconds) {
+  // Peaks are no longer sampled here: TierStats records them at every
+  // block mutation, so transient maxima inside the gate are covered.
   wall_seconds_ += gate_seconds;
-  peak_bytes_ = std::max(peak_bytes_, compressed_bytes());
+  maintain_tiers();
   enforce_budget();
-  peak_bytes_ = std::max(peak_bytes_, compressed_bytes());
   const double ratio = compression_ratio();
   min_ratio_ = min_ratio_ == 0.0 ? ratio : std::min(min_ratio_, ratio);
+}
+
+void CompressedStateSimulator::maybe_stream_spill(int rank, int block) {
+  // Unconditional while the flag is set (rather than re-checking the
+  // budget per block): which blocks spill then depends only on the
+  // mutation set, not worker timing, keeping spill/fault counts
+  // deterministic across thread counts.
+  if (stream_spill_) ranks_[rank].spill_block(block);
+}
+
+std::size_t CompressedStateSimulator::resident_occupancy() const {
+  const std::size_t resident =
+      tier_stats_->resident_bytes.load(std::memory_order_relaxed);
+  // In-flight write-behind payloads are already on their way out; without
+  // the projection enforce_budget would escalate the ladder for bytes the
+  // next settle is about to reclaim.
+  return resident > pending_spill_bytes_ ? resident - pending_spill_bytes_
+                                         : 0;
+}
+
+void CompressedStateSimulator::settle_pending_spills() {
+  if (pending_spills_.empty()) return;
+  std::exception_ptr first_error;
+  for (PendingSpill& pending : pending_spills_) {
+    try {
+      pending.done.get();
+      ranks_[pending.rank].commit_spill(pending.block, *pending.segment,
+                                        pending.generation);
+    } catch (...) {
+      // Keep settling: every future must be consumed even when one write
+      // hit ENOSPC, or later destructors would block on live jobs.
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  pending_spills_.clear();
+  pending_spill_bytes_ = 0;
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void CompressedStateSimulator::maintain_tiers() {
+  if (spill_ == nullptr) return;
+  settle_pending_spills();
+  const std::size_t budget = config_.resident_budget_bytes;
+  const std::size_t total_blocks =
+      static_cast<std::size_t>(partition_.num_ranks()) *
+      partition_.blocks_per_rank();
+  // Write-behind eviction: walk the blocks round-robin from where the last
+  // sweep stopped and enqueue spill writes on the pool until the projected
+  // resident size (current minus in-flight) fits the budget. The scan
+  // order is a function of evict_cursor_ alone, so the eviction set is
+  // deterministic.
+  std::size_t scanned = 0;
+  while (resident_occupancy() > budget && scanned < total_blocks) {
+    const std::size_t slot = evict_cursor_ % total_blocks;
+    evict_cursor_ = (evict_cursor_ + 1) % total_blocks;
+    ++scanned;
+    const int rank = static_cast<int>(slot) / partition_.blocks_per_rank();
+    const int block = static_cast<int>(slot) % partition_.blocks_per_rank();
+    runtime::BlockStore& store = ranks_[rank];
+    if (store.is_spilled(block)) continue;
+    PendingSpill pending;
+    pending.rank = rank;
+    pending.block = block;
+    pending.generation = store.generation(block);
+    std::shared_ptr<const Bytes> payload = store.payload_handle(block);
+    if (payload == nullptr) continue;
+    pending.bytes = payload->size();
+    pending.segment = std::make_shared<runtime::SpillSegment>();
+    runtime::SpillFile* spill = spill_.get();
+    std::shared_ptr<runtime::SpillSegment> segment = pending.segment;
+    pending.done = pool_->submit(
+        [spill, payload = std::move(payload), segment]() mutable {
+          *segment = spill->write(*payload);  // SpillError -> the future
+        });
+    pending_spill_bytes_ += pending.bytes;
+    pending_spills_.push_back(std::move(pending));
+  }
+  // Past the transition region the whole state no longer fits: from here
+  // every freshly stored block streams straight to the spill tier.
+  stream_spill_ =
+      tier_stats_->resident_bytes.load(std::memory_order_relaxed) +
+          tier_stats_->spilled_bytes.load(std::memory_order_relaxed) >
+      budget;
 }
 
 void CompressedStateSimulator::enforce_budget() {
   const std::size_t budget = config_.memory_budget_bytes;
   if (budget == 0) return;
-  while (compressed_bytes() > budget &&
+  // With spilling on, Eq. 8 governs the *resident* tier: bytes parked on
+  // NVMe do not count against the in-memory budget, so the error ladder
+  // only escalates when even the resident working set cannot fit.
+  while (resident_occupancy() > budget &&
          level_ < static_cast<int>(config_.error_ladder.size()) &&
          lossy_ != nullptr) {
     ++level_;
@@ -1139,7 +1285,7 @@ void CompressedStateSimulator::enforce_budget() {
       fidelity_.record_lossy_pass(config_.error_ladder[level_ - 1]);
     }
   }
-  if (compressed_bytes() > budget) budget_exceeded_ = true;
+  if (resident_occupancy() > budget) budget_exceeded_ = true;
 }
 
 std::uint64_t CompressedStateSimulator::recompress_all(int new_level) {
@@ -1158,6 +1304,7 @@ std::uint64_t CompressedStateSimulator::recompress_all(int new_level) {
       lossy_blocks.fetch_add(1, std::memory_order_relaxed);
     }
     ranks_[rank].set_block(block, std::move(compressed), meta);
+    maybe_stream_spill(rank, block);
   });
   return lossy_blocks.load(std::memory_order_relaxed);
 }
@@ -1429,10 +1576,12 @@ int CompressedStateSimulator::measure(int qubit, Rng& rng) {
       lossy_writes.fetch_add(1, std::memory_order_relaxed);
     }
     ranks_[rank].set_block(block, std::move(compressed), meta);
+    maybe_stream_spill(rank, block);
   });
   if (lossy_writes.load() > 0 && level_ > 0) {
     fidelity_.record_lossy_pass(config_.error_ladder[level_ - 1]);
   }
+  maintain_tiers();
   enforce_budget();
   // Collapse diverges the state from any recorded circuit position, so
   // the resume cursor is void (same invariant as ad-hoc apply()).
@@ -1469,7 +1618,9 @@ void CompressedStateSimulator::save_checkpoint(
 
 CompressedStateSimulator CompressedStateSimulator::load_checkpoint(
     const std::string& path, SimConfig config) {
-  auto [header, stores] = runtime::load_checkpoint(path);
+  runtime::LoadedCheckpoint loaded = runtime::load_checkpoint_full(path);
+  runtime::CheckpointHeader& header = loaded.header;
+  std::vector<runtime::BlockStore>& stores = loaded.ranks;
   config.num_qubits = header.num_qubits;
   config.num_ranks = header.num_ranks;
   config.blocks_per_rank = header.blocks_per_rank;
@@ -1481,7 +1632,16 @@ CompressedStateSimulator CompressedStateSimulator::load_checkpoint(
         "load_checkpoint: saved ladder level exceeds configured ladder");
   }
   CompressedStateSimulator sim(config);
+  // The constructor's init_blocks accounted its |0...0> state; the loaded
+  // stores replace it wholesale, so the shared stats restart from zero and
+  // attach() folds each store's actual bytes back in. (BlockStore
+  // destructors never touch the stats, so destroying the initial stores
+  // after the reset is safe.)
+  sim.tier_stats_->reset();
   sim.ranks_ = std::move(stores);
+  for (auto& store : sim.ranks_) {
+    store.attach(sim.tier_stats_.get(), sim.spill_.get());
+  }
   sim.level_ = static_cast<int>(header.ladder_level);
   sim.gate_cursor_ = header.next_gate_index;
   // Pre-v4 files carry no map (identity, which the constructor set). A v4
@@ -1519,6 +1679,20 @@ CompressedStateSimulator CompressedStateSimulator::load_checkpoint(
   // stopped; subsequent lossy passes multiply/count onto them.
   sim.fidelity_ = FidelityTracker();
   sim.fidelity_.restore(header.fidelity_bound, header.lossy_passes);
+  // Re-tier under the *resuming* spill config: blocks that were spilled at
+  // save time go back out first (byte-identical moves), then maintain_tiers
+  // reconciles against this run's resident budget — which may differ from
+  // the saving run's.
+  if (sim.spill_ != nullptr) {
+    for (std::size_t r = 0; r < loaded.spilled.size(); ++r) {
+      for (std::size_t b = 0; b < loaded.spilled[r].size(); ++b) {
+        if (loaded.spilled[r][b] != 0) {
+          sim.ranks_[r].spill_block(static_cast<int>(b));
+        }
+      }
+    }
+  }
+  sim.maintain_tiers();
   return sim;
 }
 
@@ -1533,7 +1707,8 @@ SimulationReport CompressedStateSimulator::report() const {
   for (const auto& timers : worker_timers_) rep.phases.merge(timers);
   rep.memory_requirement_bytes =
       memory_required_bytes(config_.num_qubits);
-  rep.peak_compressed_bytes = peak_bytes_;
+  rep.peak_compressed_bytes =
+      tier_stats_->peak_total_bytes.load(std::memory_order_relaxed);
   rep.scratch_bytes = scratch_->bytes();
   rep.budget_bytes = config_.memory_budget_bytes;
   rep.budget_exceeded = budget_exceeded_;
@@ -1549,10 +1724,10 @@ SimulationReport CompressedStateSimulator::report() const {
     for (int b = 0; b < store.num_blocks(); ++b) {
       if (store.meta(b).codec == compression::kLosslessCodecId) {
         ++rep.final_lossless_blocks;
-        rep.final_lossless_bytes += store.block(b).size();
+        rep.final_lossless_bytes += store.block_size(b);
       } else {
         ++rep.final_lossy_blocks;
-        rep.final_lossy_bytes += store.block(b).size();
+        rep.final_lossy_bytes += store.block_size(b);
       }
     }
   }
@@ -1600,6 +1775,22 @@ SimulationReport CompressedStateSimulator::report() const {
   rep.pipeline_prefetched = pipeline_prefetched_;
   rep.pipeline_stalls = pipeline_stalls_;
   rep.simd_kernel = qsim::kernel_backend_name(backend_);
+  rep.spill_enabled = spill_ != nullptr;
+  rep.resident_budget_bytes = config_.resident_budget_bytes;
+  rep.resident_bytes =
+      tier_stats_->resident_bytes.load(std::memory_order_relaxed);
+  rep.spilled_bytes =
+      tier_stats_->spilled_bytes.load(std::memory_order_relaxed);
+  rep.peak_resident_bytes =
+      tier_stats_->peak_resident_bytes.load(std::memory_order_relaxed);
+  rep.spill_events =
+      tier_stats_->spill_events.load(std::memory_order_relaxed);
+  rep.fault_events =
+      tier_stats_->fault_events.load(std::memory_order_relaxed);
+  rep.readahead_issued =
+      tier_stats_->readahead_issued.load(std::memory_order_relaxed);
+  rep.readahead_hits =
+      tier_stats_->readahead_hits.load(std::memory_order_relaxed);
   for (const auto& cache : caches_) {
     const auto stats = cache->stats();
     rep.cache.hits += stats.hits;

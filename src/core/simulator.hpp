@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
@@ -236,6 +237,28 @@ class CompressedStateSimulator {
   void run_block_target(const GateRouting& routing);
   void run_rank_target(const GateRouting& routing);
 
+  // --- Out-of-core tier maintenance (Section 3.7 extended: the resident
+  // --- tier is what the Eq. 8 budget governs once spilling is on) ---
+
+  /// Settles finished write-behind spills, then enqueues enough async
+  /// evictions to bring projected resident bytes under the resident
+  /// budget, and refreshes the streaming-spill flag. Called between
+  /// parallel regions (gate boundaries, measure, checkpoint restore).
+  void maintain_tiers();
+  /// Waits for every pending write-behind job and commits the ones whose
+  /// block is still untouched. The first job failure (ENOSPC etc.) is
+  /// rethrown after all jobs settle, so no future is abandoned.
+  void settle_pending_spills();
+  /// Streaming spill: once the state exceeds the resident budget, every
+  /// freshly (re)compressed block is moved to the spill tier as soon as
+  /// its owning worker stores it. Unconditional while the flag is set, so
+  /// the spill/fault counts stay schedule-independent.
+  void maybe_stream_spill(int rank, int block);
+  /// Resident bytes minus spill writes already in flight — what
+  /// enforce_budget compares against the (memory) budget. Equals
+  /// compressed_bytes() whenever spilling is off.
+  std::size_t resident_occupancy() const;
+
   /// Escalates the error ladder and recompresses every block until the
   /// compressed total fits the budget (or the ladder is exhausted).
   void enforce_budget();
@@ -249,8 +272,24 @@ class CompressedStateSimulator {
   bool controls_satisfied_block(const GateRouting& routing, int rank,
                                 int block) const;
 
+  /// One write-behind spill in flight: a pool job owns the payload handle
+  /// and fills `segment`; the main thread commits (or discards) it at the
+  /// next settle, gated on the block's generation.
+  struct PendingSpill {
+    int rank = 0;
+    int block = 0;
+    std::uint64_t generation = 0;
+    std::size_t bytes = 0;
+    std::shared_ptr<runtime::SpillSegment> segment;
+    std::future<void> done;
+  };
+
   SimConfig config_;
   runtime::Partition partition_;
+  // Declared before ranks_ (and destroyed after them): the stores return
+  // their segments to spill_ in their destructors.
+  std::unique_ptr<runtime::TierStats> tier_stats_;
+  std::unique_ptr<runtime::SpillFile> spill_;
   std::vector<runtime::BlockStore> ranks_;
   std::vector<std::unique_ptr<runtime::BlockCache>> caches_;
   std::unique_ptr<runtime::Comm> comm_;
@@ -296,9 +335,14 @@ class CompressedStateSimulator {
   InvocationCounter compress_calls_;
   InvocationCounter decompress_calls_;
   double wall_seconds_ = 0.0;
-  std::size_t peak_bytes_ = 0;
   double min_ratio_ = 0.0;  ///< 0 until first gate
   bool budget_exceeded_ = false;
+
+  // Out-of-core bookkeeping (mutated between parallel regions only).
+  std::vector<PendingSpill> pending_spills_;
+  std::size_t pending_spill_bytes_ = 0;
+  std::size_t evict_cursor_ = 0;  ///< round-robin global block scan position
+  bool stream_spill_ = false;
 };
 
 }  // namespace cqs::core

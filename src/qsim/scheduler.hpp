@@ -87,6 +87,14 @@ class Schedule {
 std::vector<std::pair<int, int>> run_block_order(int num_ranks,
                                                  int blocks_per_rank);
 
+/// The next `lookahead` units of `order` after (and excluding) position
+/// `cursor` — the readahead window the out-of-core tier advises while the
+/// unit at `cursor` is being processed. Clamped at the end of the order;
+/// a cursor at or past the end yields an empty window.
+std::vector<std::pair<int, int>> upcoming_units(
+    const std::vector<std::pair<int, int>>& order, std::size_t cursor,
+    std::size_t lookahead);
+
 /// Builds the run partition of `circuit`. Every op of the (post-fusion)
 /// circuit belongs to exactly one GateRun, runs preserve program order,
 /// and block-local runs are maximal under options.max_run_length.

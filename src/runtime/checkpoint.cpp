@@ -1,7 +1,15 @@
 #include "runtime/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
 #include "common/bytes.hpp"
@@ -14,20 +22,98 @@ namespace {
 // of them. v2 appended the lossy-pass count after the fidelity bound; v3
 // appends a codec id to every block's meta (adaptive per-block codecs);
 // v4 appends the serialized logical->physical qubit map after the codec
-// name (qubit remapping).
+// name (qubit remapping); v5 appends a tier byte to every block's meta
+// (out-of-core spilling).
 constexpr char kMagicV1[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '1'};
 constexpr char kMagicV2[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '2'};
 constexpr char kMagicV3[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '3'};
 constexpr char kMagicV4[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '4'};
+constexpr char kMagicV5[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '5'};
+
+std::atomic<std::uint64_t> g_write_limit{
+    std::numeric_limits<std::uint64_t>::max()};
+
+/// Writes `buffer` to `path` via a same-directory temporary + fsync +
+/// atomic rename, so the previous file at `path` survives any failure
+/// (including a crash) up to the rename. The injected write limit cuts
+/// the stream short mid-image, standing in for the crash.
+void write_file_atomically(const std::string& path, const Bytes& buffer) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("checkpoint: cannot open " + tmp + ": " +
+                             std::strerror(errno));
+  }
+  auto fail = [&](const std::string& message) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    throw std::runtime_error(message);
+  };
+
+  std::size_t written = 0;
+  while (written < buffer.size()) {
+    std::size_t chunk = std::min<std::size_t>(buffer.size() - written,
+                                              std::size_t{1} << 20);
+    const std::uint64_t limit = g_write_limit.load(std::memory_order_relaxed);
+    if (limit != std::numeric_limits<std::uint64_t>::max()) {
+      std::uint64_t budget = limit;
+      while (true) {
+        const std::uint64_t grant = std::min<std::uint64_t>(budget, chunk);
+        if (g_write_limit.compare_exchange_weak(budget, budget - grant,
+                                                std::memory_order_relaxed)) {
+          if (grant < chunk) {
+            // Write the partial tail first so the aborted temporary looks
+            // exactly like a mid-save crash artifact.
+            if (grant > 0) {
+              [[maybe_unused]] const ssize_t n = ::write(
+                  fd, buffer.data() + written, static_cast<std::size_t>(grant));
+            }
+            fail("checkpoint: write failed (injected) " + tmp);
+          }
+          break;
+        }
+      }
+    }
+    const ssize_t n = ::write(fd, buffer.data() + written, chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("checkpoint: write failed " + tmp + ": " + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // The data must be durable *before* the rename publishes it; otherwise
+  // a crash after the rename could leave a torn file under the good name.
+  if (::fsync(fd) != 0) {
+    fail("checkpoint: fsync failed " + tmp + ": " + std::strerror(errno));
+  }
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: close failed " + tmp + ": " +
+                             std::strerror(errno));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: rename to " + path + " failed: " +
+                             std::strerror(err));
+  }
+}
 
 }  // namespace
+
+namespace testing {
+void set_checkpoint_write_limit(std::uint64_t bytes) {
+  g_write_limit.store(bytes, std::memory_order_relaxed);
+}
+}  // namespace testing
 
 void save_checkpoint(const std::string& path, const CheckpointHeader& header,
                      const std::vector<BlockStore>& ranks) {
   Bytes buffer;
   buffer.insert(buffer.end(),
-                reinterpret_cast<const std::byte*>(kMagicV4),
-                reinterpret_cast<const std::byte*>(kMagicV4) + 8);
+                reinterpret_cast<const std::byte*>(kMagicV5),
+                reinterpret_cast<const std::byte*>(kMagicV5) + 8);
   put_varint(buffer, header.num_qubits);
   put_varint(buffer, header.num_ranks);
   put_varint(buffer, header.blocks_per_rank);
@@ -48,21 +134,19 @@ void save_checkpoint(const std::string& path, const CheckpointHeader& header,
     for (int b = 0; b < store.num_blocks(); ++b) {
       buffer.push_back(static_cast<std::byte>(store.meta(b).level));
       buffer.push_back(static_cast<std::byte>(store.meta(b).codec));
-      put_varint(buffer, store.block(b).size());
-      buffer.insert(buffer.end(), store.block(b).begin(),
-                    store.block(b).end());
+      buffer.push_back(
+          static_cast<std::byte>(store.is_spilled(b) ? 1 : 0));
+      // payload_view reads either tier — a spilled block streams straight
+      // from the spill mapping into the image without re-materializing.
+      const ByteSpan payload = store.payload_view(b);
+      put_varint(buffer, payload.size());
+      buffer.insert(buffer.end(), payload.begin(), payload.end());
     }
   }
-
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
-  out.write(reinterpret_cast<const char*>(buffer.data()),
-            static_cast<std::streamsize>(buffer.size()));
-  if (!out) throw std::runtime_error("checkpoint: write failed " + path);
+  write_file_atomically(path, buffer);
 }
 
-std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
-    const std::string& path) {
+LoadedCheckpoint load_checkpoint_full(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
   const auto size = static_cast<std::size_t>(in.tellg());
@@ -76,11 +160,13 @@ std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
   const bool v2 = size >= 8 && std::memcmp(buffer.data(), kMagicV2, 8) == 0;
   const bool v3 = size >= 8 && std::memcmp(buffer.data(), kMagicV3, 8) == 0;
   const bool v4 = size >= 8 && std::memcmp(buffer.data(), kMagicV4, 8) == 0;
-  if (!v1 && !v2 && !v3 && !v4) {
+  const bool v5 = size >= 8 && std::memcmp(buffer.data(), kMagicV5, 8) == 0;
+  if (!v1 && !v2 && !v3 && !v4 && !v5) {
     throw std::runtime_error("checkpoint: bad magic");
   }
   std::size_t offset = 8;
-  CheckpointHeader header;
+  LoadedCheckpoint loaded;
+  CheckpointHeader& header = loaded.header;
   header.num_qubits = static_cast<int>(get_varint(buffer, offset));
   header.num_ranks = static_cast<int>(get_varint(buffer, offset));
   header.blocks_per_rank = static_cast<int>(get_varint(buffer, offset));
@@ -99,7 +185,7 @@ std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
   header.codec_name.assign(
       reinterpret_cast<const char*>(buffer.data()) + offset, name_len);
   offset += name_len;
-  if (v4) {
+  if (v4 || v5) {
     // Rejects non-permutation tables (corruption) with runtime_error.
     header.qubit_map = QubitMap::deserialize(buffer, offset);
   }
@@ -107,17 +193,20 @@ std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
   // Pre-v3 blocks never stored a codec id; level 0 was by construction
   // the lossless zx stage and every lossy level used the header codec.
   const std::uint8_t legacy_lossy_codec =
-      (v3 || v4) ? 0 : compression::codec_id(header.codec_name);
+      (v3 || v4 || v5) ? 0 : compression::codec_id(header.codec_name);
 
   const std::uint64_t rank_count = get_varint(buffer, offset);
-  std::vector<BlockStore> ranks;
-  ranks.reserve(rank_count);
+  loaded.ranks.reserve(rank_count);
+  loaded.spilled.reserve(rank_count);
   for (std::uint64_t r = 0; r < rank_count; ++r) {
     const auto block_count = static_cast<int>(get_varint(buffer, offset));
     BlockStore store(block_count);
+    std::vector<std::uint8_t> tiers(static_cast<std::size_t>(block_count), 0);
     for (int b = 0; b < block_count; ++b) {
-      const bool has_codec_byte = v3 || v4;
-      if (offset + (has_codec_byte ? 1u : 0u) >= buffer.size()) {
+      const bool has_codec_byte = v3 || v4 || v5;
+      const std::size_t meta_bytes =
+          1u + (has_codec_byte ? 1u : 0u) + (v5 ? 1u : 0u);
+      if (offset + meta_bytes > buffer.size()) {
         throw std::runtime_error("checkpoint: truncated block meta");
       }
       BlockMeta meta{static_cast<std::uint8_t>(buffer[offset++])};
@@ -125,6 +214,10 @@ std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
                        ? static_cast<std::uint8_t>(buffer[offset++])
                        : (meta.level == 0 ? compression::kLosslessCodecId
                                           : legacy_lossy_codec);
+      if (v5) {
+        tiers[static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>(buffer[offset++]) != 0 ? 1 : 0;
+      }
       const std::uint64_t block_size = get_varint(buffer, offset);
       if (offset + block_size > buffer.size()) {
         throw std::runtime_error("checkpoint: truncated block payload");
@@ -135,9 +228,16 @@ std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
       offset += block_size;
       store.set_block(b, std::move(payload), meta);
     }
-    ranks.push_back(std::move(store));
+    loaded.ranks.push_back(std::move(store));
+    loaded.spilled.push_back(std::move(tiers));
   }
-  return {header, std::move(ranks)};
+  return loaded;
+}
+
+std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
+    const std::string& path) {
+  LoadedCheckpoint loaded = load_checkpoint_full(path);
+  return {std::move(loaded.header), std::move(loaded.ranks)};
 }
 
 }  // namespace cqs::runtime

@@ -32,21 +32,49 @@ struct CheckpointHeader {
   QubitMap qubit_map;
 };
 
-/// Writes header + every rank's compressed blocks to `path` in format v4:
+/// Writes header + every rank's compressed blocks to `path` in format v5:
 /// each block carries its ladder level AND the codec id that produced its
-/// payload (v3), and the header carries the logical->physical qubit map
-/// the blocks are laid out under (v4), so per-block adaptive codec
-/// choices and the remapped layout both survive a resume.
-/// Throws std::runtime_error on I/O failure.
+/// payload (v3), the header carries the logical->physical qubit map the
+/// blocks are laid out under (v4), and each block records which tier it
+/// occupied at save time (v5) — spilled payloads are read back through
+/// the spill mapping, so an out-of-core state checkpoints without being
+/// faulted into memory first.
+///
+/// Durability: the image is written to `<path>.tmp`, fsynced, and
+/// atomically renamed over `path` — a crash (or I/O failure) mid-save
+/// leaves any previous checkpoint at `path` intact. Throws
+/// std::runtime_error on I/O failure (the temporary is removed).
 void save_checkpoint(const std::string& path, const CheckpointHeader& header,
                      const std::vector<BlockStore>& ranks);
 
-/// Reads a checkpoint written by save_checkpoint. Accepts formats v1-v4;
+/// A loaded checkpoint: every block is materialized resident (the loader
+/// has no spill file); `spilled[r][b]` records which blocks occupied the
+/// spill tier at save time so the resuming simulator can re-tier them
+/// under its own budget. Empty (all-resident) for pre-v5 files.
+struct LoadedCheckpoint {
+  CheckpointHeader header;
+  std::vector<BlockStore> ranks;
+  std::vector<std::vector<std::uint8_t>> spilled;
+};
+
+/// Reads a checkpoint written by save_checkpoint. Accepts formats v1-v5;
 /// v1/v2 blocks never stored a codec id, so the reader derives it from the
 /// block's level (0 = lossless zx, otherwise the header codec), and
 /// pre-v4 headers carry no qubit map (identity layout). A v4 map that is
 /// not a permutation is rejected with std::runtime_error.
+LoadedCheckpoint load_checkpoint_full(const std::string& path);
+
+/// load_checkpoint_full without the tier flags — the historical interface,
+/// for callers that re-tier from scratch (or never spill).
 std::pair<CheckpointHeader, std::vector<BlockStore>> load_checkpoint(
     const std::string& path);
+
+namespace testing {
+/// Fault hook for the kill-mid-save test: after this many more bytes of
+/// checkpoint image have been written, the save fails (and cleans up its
+/// temporary) as if the process died mid-write. UINT64_MAX = unlimited;
+/// reset by the test that set it.
+void set_checkpoint_write_limit(std::uint64_t bytes);
+}  // namespace testing
 
 }  // namespace cqs::runtime

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -385,6 +387,44 @@ TEST_F(CheckpointMatrixTest, V3RejectsForeignCodecIdAtLoad) {
   EXPECT_THROW(CompressedStateSimulator::load_checkpoint(
                    rewritten, mixed_config(circuit.num_qubits())),
                std::invalid_argument);
+}
+
+TEST_F(CheckpointMatrixTest, KilledMidSaveLeavesOldCheckpointIntact) {
+  // The save writes <path>.tmp, fsyncs, then renames. Dying mid-image
+  // (injected after a byte budget) must throw, leave no temporary behind,
+  // and — crucially — leave the previous checkpoint loadable.
+  const auto circuit = circuits::qft_circuit({.num_qubits = 8});
+  CompressedStateSimulator sim(matrix_config(8));
+  sim.apply_circuit(circuit);
+  const auto expected = sim.to_raw();
+
+  const std::string path = this->path("durable.bin");
+  sim.save_checkpoint(path);
+  const auto good_size = std::filesystem::file_size(path);
+
+  // Evolve the state so the interrupted second save would have written a
+  // genuinely different image.
+  qsim::Circuit more(8);
+  more.h(3).cx(3, 5).t(0);
+  sim.apply_circuit(more);
+
+  runtime::testing::set_checkpoint_write_limit(good_size / 2);
+  EXPECT_THROW(sim.save_checkpoint(path), std::exception);
+  runtime::testing::set_checkpoint_write_limit(
+      std::numeric_limits<std::uint64_t>::max());
+
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"))
+      << "failed save must clean up its temporary";
+  EXPECT_EQ(std::filesystem::file_size(path), good_size);
+  auto restored =
+      CompressedStateSimulator::load_checkpoint(path, matrix_config(8));
+  CQS_EXPECT_STATES_CLOSE(restored.to_raw(), expected, 0.0);
+
+  // With the limit lifted the interrupted save succeeds as-is.
+  sim.save_checkpoint(path);
+  auto latest =
+      CompressedStateSimulator::load_checkpoint(path, matrix_config(8));
+  CQS_EXPECT_STATES_CLOSE(latest.to_raw(), sim.to_raw(), 0.0);
 }
 
 }  // namespace

@@ -126,7 +126,8 @@ TEST_F(CheckpointCorruptionTest, TruncatedFilesThrow) {
   header.num_ranks = 1;
   header.blocks_per_rank = 2;
   header.codec_name = "qzc";
-  std::vector<runtime::BlockStore> ranks(1, runtime::BlockStore(2));
+  std::vector<runtime::BlockStore> ranks;
+  ranks.emplace_back(2);
   ranks[0].set_block(0, Bytes(100, std::byte{1}), {0});
   ranks[0].set_block(1, Bytes(100, std::byte{2}), {1});
   runtime::save_checkpoint(path, header, ranks);

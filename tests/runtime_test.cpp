@@ -279,7 +279,8 @@ TEST_F(CheckpointTest, RoundTrip) {
   header.fidelity_bound = 0.987;
   header.codec_name = "qzc";
 
-  std::vector<BlockStore> ranks(2, BlockStore(4));
+  std::vector<BlockStore> ranks;
+  for (int r = 0; r < 2; ++r) ranks.emplace_back(4);
   for (int r = 0; r < 2; ++r) {
     for (int b = 0; b < 4; ++b) {
       Bytes payload(static_cast<std::size_t>(10 + r * 4 + b),
@@ -321,7 +322,8 @@ TEST_F(CheckpointTest, BlockMetaLevelAndCodecSurviveRoundTrip) {
 
   const std::uint8_t levels[] = {0, 1, 2, 5, 254, 255};
   const std::uint8_t codecs[] = {0, 3, 0, 3, 1, 6};  // deliberately mixed
-  std::vector<BlockStore> ranks(1, BlockStore(6));
+  std::vector<BlockStore> ranks;
+  ranks.emplace_back(6);
   for (int b = 0; b < 6; ++b) {
     // Block 3 is deliberately empty: meta must survive payload-free blocks.
     Bytes payload(b == 3 ? 0 : 4 + b, static_cast<std::byte>(b));
@@ -351,7 +353,8 @@ TEST_F(CheckpointTest, LossyPassCountRoundTrips) {
   header.fidelity_bound = 0.9991;
   header.lossy_passes = 37;
   header.codec_name = "qzc";
-  std::vector<BlockStore> ranks(1, BlockStore(1));
+  std::vector<BlockStore> ranks;
+  ranks.emplace_back(1);
   ranks[0].set_block(0, Bytes(4, std::byte{1}), {1});
   save_checkpoint(path, header, ranks);
 
