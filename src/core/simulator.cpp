@@ -1224,6 +1224,20 @@ void CompressedStateSimulator::settle_pending_spills() {
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void CompressedStateSimulator::discard_pending_spills() {
+  for (PendingSpill& pending : pending_spills_) {
+    try {
+      pending.done.get();
+      if (spill_ != nullptr) spill_->free_segment(*pending.segment);
+    } catch (...) {
+      // A failed write reserved no live segment, and the blocks these jobs
+      // were spilling are being discarded wholesale — the error is moot.
+    }
+  }
+  pending_spills_.clear();
+  pending_spill_bytes_ = 0;
+}
+
 void CompressedStateSimulator::maintain_tiers() {
   if (spill_ == nullptr) return;
   settle_pending_spills();
@@ -1632,6 +1646,13 @@ CompressedStateSimulator CompressedStateSimulator::load_checkpoint(
         "load_checkpoint: saved ladder level exceeds configured ladder");
   }
   CompressedStateSimulator sim(config);
+  // Under a small resident budget the constructor's maintain_tiers leaves
+  // write-behind spills of the initial |0...0> blocks in flight. They must
+  // be discarded before the stores are swapped: the loaded slots restart
+  // their generation counters at the same values the initial slots had, so
+  // a settle after the swap would pass commit_spill's generation guard and
+  // silently re-tier restored blocks onto the stale pre-restore segments.
+  sim.discard_pending_spills();
   // The constructor's init_blocks accounted its |0...0> state; the loaded
   // stores replace it wholesale, so the shared stats restart from zero and
   // attach() folds each store's actual bytes back in. (BlockStore
@@ -1693,6 +1714,11 @@ CompressedStateSimulator CompressedStateSimulator::load_checkpoint(
     }
   }
   sim.maintain_tiers();
+  // Settle the evictions maintain_tiers just enqueued so the restore
+  // returns already reconciled: the report's tier split reflects the
+  // resuming budget immediately, and a failing spill write surfaces here
+  // as a load error instead of at the first gate boundary.
+  sim.settle_pending_spills();
   return sim;
 }
 

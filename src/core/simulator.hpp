@@ -249,6 +249,13 @@ class CompressedStateSimulator {
   /// block is still untouched. The first job failure (ENOSPC etc.) is
   /// rethrown after all jobs settle, so no future is abandoned.
   void settle_pending_spills();
+  /// Waits for every pending write-behind job and discards it: finished
+  /// segments go back to the spill free-list, write failures are swallowed
+  /// (the state they belonged to is being thrown away). Required before
+  /// replacing ranks_ wholesale (checkpoint restore) — per-slot generation
+  /// counters restart in the new stores, so a settle after the swap would
+  /// wrongly commit pre-swap segments onto freshly loaded blocks.
+  void discard_pending_spills();
   /// Streaming spill: once the state exceeds the resident budget, every
   /// freshly (re)compressed block is moved to the spill tier as soon as
   /// its owning worker stores it. Unconditional while the flag is set, so

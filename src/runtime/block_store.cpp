@@ -169,6 +169,12 @@ ByteSpan BlockStore::payload_view(int index) const {
   return spill_->view(slot.segment);
 }
 
+ByteSpan BlockStore::raw_view(int index) const {
+  const Slot& slot = slots_[static_cast<std::size_t>(index)];
+  if (tier_load(slot.spilled) == 0) return ByteSpan(*slot.payload);
+  return spill_->view(slot.segment);
+}
+
 std::size_t BlockStore::block_size(int index) const {
   const Slot& slot = slots_[static_cast<std::size_t>(index)];
   return tier_load(slot.spilled) != 0

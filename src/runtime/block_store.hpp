@@ -102,6 +102,12 @@ class BlockStore {
   /// view is valid until the block is next written or spilled.
   ByteSpan payload_view(int index) const;
 
+  /// Like payload_view, but touches no accounting: no fault event, no
+  /// readahead-hit consumption, the advised flag stays armed. For
+  /// serialization paths (checkpoint save) whose reads are bookkeeping,
+  /// not simulation faults, and must not skew the report's telemetry.
+  ByteSpan raw_view(int index) const;
+
   std::size_t block_size(int index) const;
   bool is_spilled(int index) const {
     const Slot& slot = slots_[static_cast<std::size_t>(index)];

@@ -98,6 +98,26 @@ void write_file_atomically(const std::string& path, const Bytes& buffer) {
     throw std::runtime_error("checkpoint: rename to " + path + " failed: " +
                              std::strerror(err));
   }
+  // The rename is only durable once the directory entry is: fsync the
+  // containing directory, or a crash right after a "successful" return
+  // could still surface the old file. (The previous-file-survives
+  // guarantee holds either way; this pins the publish itself.)
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? "."
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd < 0) {
+    throw std::runtime_error("checkpoint: cannot open directory " + dir +
+                             ": " + std::strerror(errno));
+  }
+  if (::fsync(dir_fd) != 0) {
+    const int err = errno;
+    ::close(dir_fd);
+    throw std::runtime_error("checkpoint: fsync of directory " + dir +
+                             " failed: " + std::strerror(err));
+  }
+  ::close(dir_fd);
 }
 
 }  // namespace
@@ -136,9 +156,11 @@ void save_checkpoint(const std::string& path, const CheckpointHeader& header,
       buffer.push_back(static_cast<std::byte>(store.meta(b).codec));
       buffer.push_back(
           static_cast<std::byte>(store.is_spilled(b) ? 1 : 0));
-      // payload_view reads either tier — a spilled block streams straight
-      // from the spill mapping into the image without re-materializing.
-      const ByteSpan payload = store.payload_view(b);
+      // raw_view reads either tier — a spilled block streams straight
+      // from the spill mapping into the image without re-materializing —
+      // and bypasses the fault/readahead accounting, so a save never
+      // skews the report's spill telemetry.
+      const ByteSpan payload = store.raw_view(b);
       put_varint(buffer, payload.size());
       buffer.insert(buffer.end(), payload.begin(), payload.end());
     }
@@ -178,8 +200,11 @@ LoadedCheckpoint load_checkpoint_full(const std::string& path) {
   // synthetic pass whenever any lossy history exists.
   header.lossy_passes = v1 ? (header.fidelity_bound < 1.0 ? 1u : 0u)
                            : get_varint(buffer, offset);
+  // Subtraction form: `offset + len` could wrap for a corrupt varint near
+  // UINT64_MAX, turning a truncation into a huge out-of-bounds read.
+  // get_varint guarantees offset <= buffer.size() on return.
   const std::uint64_t name_len = get_varint(buffer, offset);
-  if (offset + name_len > buffer.size()) {
+  if (name_len > buffer.size() - offset) {
     throw std::runtime_error("checkpoint: truncated codec name");
   }
   header.codec_name.assign(
@@ -219,7 +244,7 @@ LoadedCheckpoint load_checkpoint_full(const std::string& path) {
             static_cast<std::uint8_t>(buffer[offset++]) != 0 ? 1 : 0;
       }
       const std::uint64_t block_size = get_varint(buffer, offset);
-      if (offset + block_size > buffer.size()) {
+      if (block_size > buffer.size() - offset) {  // overflow-safe bound
         throw std::runtime_error("checkpoint: truncated block payload");
       }
       Bytes payload(buffer.begin() + static_cast<std::ptrdiff_t>(offset),

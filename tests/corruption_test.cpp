@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <limits>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "compression/compressor.hpp"
 #include "lossless/zx.hpp"
@@ -139,6 +142,46 @@ TEST_F(CheckpointCorruptionTest, TruncatedFilesThrow) {
     EXPECT_THROW(runtime::load_checkpoint(path), std::exception)
         << "keep=" << keep;
   }
+}
+
+TEST_F(CheckpointCorruptionTest, HugeBlockSizeVarintThrows) {
+  // A corrupt block-size varint near UINT64_MAX used to wrap the
+  // truncation check `offset + block_size > buffer.size()` and drive a
+  // huge out-of-bounds read; the bound must reject it cleanly instead.
+  Bytes image;
+  const char magic[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '5'};
+  image.insert(image.end(), reinterpret_cast<const std::byte*>(magic),
+               reinterpret_cast<const std::byte*>(magic) + 8);
+  put_varint(image, 1);  // num_qubits
+  put_varint(image, 1);  // num_ranks
+  put_varint(image, 1);  // blocks_per_rank
+  put_varint(image, 0);  // ladder_level
+  put_varint(image, 0);  // next_gate_index
+  put_scalar(image, 1.0);  // fidelity_bound
+  put_varint(image, 0);  // lossy_passes
+  put_varint(image, 3);  // codec name
+  for (char ch : {'q', 'z', 'c'}) {
+    image.push_back(static_cast<std::byte>(ch));
+  }
+  put_varint(image, 0);  // qubit map: identity
+  put_varint(image, 1);  // rank count
+  put_varint(image, 1);  // block count
+  image.push_back(std::byte{0});  // meta.level
+  image.push_back(std::byte{0});  // meta.codec
+  image.push_back(std::byte{0});  // tier: resident
+  put_varint(image, std::numeric_limits<std::uint64_t>::max());
+  // A few trailing bytes keep offset < size, so only the wrapping bound
+  // (not an end-of-buffer varint error) could let the read through.
+  image.push_back(std::byte{0});
+  image.push_back(std::byte{0});
+
+  const std::string path = this->path("huge_block.ckpt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(image.data()),
+              static_cast<std::streamsize>(image.size()));
+  }
+  EXPECT_THROW(runtime::load_checkpoint(path), std::runtime_error);
 }
 
 }  // namespace

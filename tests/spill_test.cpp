@@ -417,6 +417,46 @@ TEST_F(SpillCheckpointTest, SpilledStateRoundTripsThroughCheckpoint) {
   }
 }
 
+TEST_F(SpillCheckpointTest, InMemoryCheckpointResumesUnderTinyBudget) {
+  // Regression: a budget-1 resume constructor leaves write-behind spills
+  // of the initial |0...0> blocks in flight; load_checkpoint used to swap
+  // the stores under them, and the later settle passed commit_spill's
+  // generation guard (both slot sets count from 1) — silently re-tiering
+  // every restored resident block onto a stale pre-restore segment. An
+  // entirely in-memory checkpoint maximizes the exposure: nothing gets
+  // re-spilled before the settle, so every block is at risk.
+  const auto circuit = random_circuit(10, 60, 63);
+  auto config = spill_config("", 10, 2, 4, true);
+  core::CompressedStateSimulator sim(config);
+  sim.apply_circuit(circuit);
+  const auto expected = sim.to_raw();
+  const std::string ckpt = path("inmem.ckpt");
+  sim.save_checkpoint(ckpt);
+
+  auto resume = spill_config(path("resume.bin"), 10, 2, 4, true);
+  auto restored =
+      core::CompressedStateSimulator::load_checkpoint(ckpt, resume);
+  EXPECT_GT(restored.report().spilled_bytes, 0u)
+      << "the 1-byte budget must re-tier the restored state";
+  CQS_EXPECT_STATES_CLOSE(restored.to_raw(), expected, 0.0);
+}
+
+TEST_F(SpillCheckpointTest, SavingDoesNotCountAsFaults) {
+  // Checkpoint serialization reads spilled blocks through the raw
+  // (non-accounting) view: a save must not inflate the fault count or
+  // consume pending readahead hits.
+  const auto circuit = random_circuit(10, 40, 17);
+  auto config = spill_config(path("spill.bin"), 10, 2, 2, true);
+  core::CompressedStateSimulator sim(config);
+  sim.apply_circuit(circuit);
+  const auto before = sim.report();
+  ASSERT_GT(before.spilled_bytes, 0u);
+  sim.save_checkpoint(path("telemetry.ckpt"));
+  const auto after = sim.report();
+  EXPECT_EQ(after.fault_events, before.fault_events);
+  EXPECT_EQ(after.readahead_hits, before.readahead_hits);
+}
+
 TEST_F(SpillCheckpointTest, ResumedSpilledRunFinishesIdentically) {
   // Checkpoint mid-circuit on the spill tier, resume out-of-core, finish;
   // compare against the identically split in-memory run (the same cut, so
