@@ -27,6 +27,27 @@
 //                        the rest of the compressed state parks on disk
 //     --readahead N      spilled blocks to advise ahead of the executor
 //                        (default 4, 0 = off)
+//     --checkpoint-interval N  autosave every N source gates (needs
+//                        --autosave)
+//     --autosave PATH    atomic autosave target (needs
+//                        --checkpoint-interval)
+//     --resilient        run under the recovery loop: on a transport
+//                        fault, reap the rank processes, restore the last
+//                        autosave, respawn, and resume bit-identically
+//     --max-recoveries N give up after N recoveries (default 3)
+//     --retry-backoff-ms B  base backoff before a respawn, doubled per
+//                        recovery (default 100)
+//     --fault-plan SPEC  arm the deterministic fault injector, e.g.
+//                        "seed=7;spill.write@2:enospc" (see
+//                        src/runtime/fault_injection.hpp for the grammar)
+//
+// Exit codes:
+//   0  success
+//   1  generic failure (I/O, internal error)
+//   2  usage error
+//   3  invalid configuration (bad flag combination or value)
+//   4  transport fault (rank death, timeout, corrupt frames)
+//   5  spill/disk fault (ENOSPC, I/O error on the spill tier)
 //
 // Circuit file format (see src/qsim/serialize.hpp):
 //   qubits 4
@@ -45,6 +66,9 @@
 #include "core/simulator.hpp"
 #include "qsim/fusion.hpp"
 #include "qsim/serialize.hpp"
+#include "runtime/fault_injection.hpp"
+#include "runtime/spill_file.hpp"
+#include "runtime/transport.hpp"
 
 #ifdef CQS_HAVE_SOCKET_TRANSPORT
 #include "runtime/socket_transport.hpp"
@@ -60,7 +84,11 @@ namespace {
                "[--samples N] [--remap [lookahead|lru]] "
                "[--wire loopback|socket] [--timeout-ms N] "
                "[--endpoint local|tcp] [--spill PATH] [--resident-frac F] "
-               "[--readahead N]\n",
+               "[--readahead N] [--checkpoint-interval N] [--autosave PATH] "
+               "[--resilient] [--max-recoveries N] [--retry-backoff-ms B] "
+               "[--fault-plan SPEC]\n"
+               "exit codes: 0 ok, 1 failure, 2 usage, 3 bad config, "
+               "4 transport fault, 5 spill fault\n",
                argv0);
   std::exit(2);
 }
@@ -80,6 +108,9 @@ int main(int argc, char** argv) try {
   bool fuse = false;
   std::string checkpoint_path;
   int samples = 0;
+  bool resilient = false;
+  core::RecoveryOptions recovery;
+  std::string fault_plan;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -126,6 +157,19 @@ int main(int argc, char** argv) try {
       resident_fraction = std::atof(next());
     } else if (arg == "--readahead") {
       config.readahead_blocks = std::atoi(next());
+    } else if (arg == "--checkpoint-interval") {
+      config.checkpoint_interval_gates =
+          static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--autosave") {
+      config.auto_checkpoint_path = next();
+    } else if (arg == "--resilient") {
+      resilient = true;
+    } else if (arg == "--max-recoveries") {
+      recovery.max_recoveries = std::atoi(next());
+    } else if (arg == "--retry-backoff-ms") {
+      recovery.retry_backoff_ms = std::atoi(next());
+    } else if (arg == "--fault-plan") {
+      fault_plan = next();
     } else {
       usage(argv[0]);
     }
@@ -168,8 +212,20 @@ int main(int argc, char** argv) try {
             core::memory_required_bytes(circuit.num_qubits())));
   }
 
-  core::CompressedStateSimulator sim(config);
-  sim.apply_circuit(circuit);
+  if (!fault_plan.empty()) {
+    runtime::FaultInjector::instance().arm(
+        runtime::FaultPlan::parse(fault_plan));
+  }
+
+  core::CompressedStateSimulator sim = [&] {
+    if (resilient) {
+      return core::CompressedStateSimulator::run_resilient(config, circuit,
+                                                           recovery);
+    }
+    core::CompressedStateSimulator plain(config);
+    plain.apply_circuit(circuit);
+    return plain;
+  }();
 
   std::cout << sim.report();
   if (samples > 0) {
@@ -198,6 +254,15 @@ int main(int argc, char** argv) try {
   }
 #endif
   return 0;
+} catch (const cqs::runtime::TransportError& e) {
+  std::fprintf(stderr, "cqs_run: %s\n", e.what());
+  return 4;
+} catch (const cqs::runtime::SpillError& e) {
+  std::fprintf(stderr, "cqs_run: %s\n", e.what());
+  return 5;
+} catch (const std::invalid_argument& e) {
+  std::fprintf(stderr, "cqs_run: %s\n", e.what());
+  return 3;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "cqs_run: %s\n", e.what());
   return 1;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -166,6 +167,28 @@ struct SimConfig {
   /// cursor, keyed on the scheduler's block order — the plan-driven
   /// readahead window. 0 disables readahead. In [0, 4096].
   int readahead_blocks = 4;
+
+  /// Auto-checkpointing: the executors consume circuits in chunks of
+  /// this many source gates (boundaries at absolute multiples of the
+  /// interval) and save an atomic checkpoint to auto_checkpoint_path
+  /// after each chunk. The interval is a scheduling cut: fused ops and
+  /// gate runs never span a boundary, so a resume from the autosave
+  /// re-chunks identically and is bit-identical to the uninterrupted
+  /// autosaved run. (Like any scheduling knob, changing the interval
+  /// reassociates fusion arithmetic relative to an autosave-off run.)
+  /// 0 disables autosaving. Both knobs must be set together.
+  std::uint64_t checkpoint_interval_gates = 0;
+  std::string auto_checkpoint_path;
+
+  /// Mid-run ENOSPC degradation: when a spill write fails with ENOSPC,
+  /// settle what's already on disk, disable further spilling, and keep
+  /// running with the whole working set resident — the Eq. 8 memory
+  /// budget still governs via the error ladder, and only if the state
+  /// cannot fit even at the last ladder level does the run fail with the
+  /// original typed SpillError. Off by default (a disk-full spill fails
+  /// the run immediately); run_resilient() forces it on. The report's
+  /// `degraded` flag records that the fallback engaged.
+  bool spill_degrade_on_enospc = false;
 };
 
 }  // namespace cqs::core

@@ -51,10 +51,31 @@ void SimulationReport::print(std::ostream& os) const {
     os << "out-of-core:         resident " << format_bytes(resident_bytes)
        << " + spilled " << format_bytes(spilled_bytes) << " (budget "
        << format_bytes(resident_budget_bytes) << ", peak resident "
-       << format_bytes(peak_resident_bytes) << ")\n"
+       << format_bytes(peak_resident_bytes) << ")"
+       << (degraded ? "  [DEGRADED: disk full, spilling disabled]" : "")
+       << "\n"
        << "spill traffic:       " << spill_events << " spills / "
        << fault_events << " faults; readahead " << readahead_issued
-       << " issued / " << readahead_hits << " hits\n";
+       << " issued / " << readahead_hits << " hits";
+    if (spill_write_failures > 0) {
+      os << "; " << spill_write_failures << " ENOSPC writes ridden out";
+    }
+    os << "\n";
+  }
+  if (checkpoint_interval_gates > 0) {
+    os << "auto-checkpoint:     " << autosaves << " saves ("
+       << std::setprecision(4) << autosave_seconds << " s, every "
+       << checkpoint_interval_gates << " gates)"
+       << std::setprecision(2);
+    if (autosave_failures > 0) {
+      os << "; " << autosave_failures << " failed saves survived";
+    }
+    os << "\n";
+  }
+  if (recoveries > 0) {
+    os << "recoveries:          " << recoveries
+       << " fault(s) recovered (total backoff " << recovery_backoff_ms
+       << " ms)\n";
   }
   os << "total time:          " << total_seconds << " s\n"
      << "  compression:       " << pct(Phase::kCompression) << " %\n"

@@ -48,6 +48,20 @@ struct SimulationReport {
   std::uint64_t readahead_issued = 0;   ///< WILLNEED advisories issued
   std::uint64_t readahead_hits = 0;     ///< faults that had been advised
 
+  // Fault tolerance. `degraded` means a mid-run ENOSPC disabled further
+  // spilling and the run continued resident (spill_degrade_on_enospc);
+  // the autosave counters cover SimConfig::checkpoint_interval_gates
+  // saves; recoveries / recovery_backoff_ms are stamped by run_resilient
+  // onto the simulator that finally completed the circuit.
+  bool degraded = false;
+  std::uint64_t spill_write_failures = 0;  ///< ENOSPC writes ridden out
+  std::uint64_t checkpoint_interval_gates = 0;  ///< config echo; 0 = off
+  std::uint64_t autosaves = 0;
+  std::uint64_t autosave_failures = 0;  ///< failed saves survived (counted)
+  double autosave_seconds = 0.0;        ///< wall time spent saving
+  std::uint64_t recoveries = 0;         ///< fault-respawn-resume cycles
+  std::uint64_t recovery_backoff_ms = 0;  ///< total backoff slept
+
   // Compression.
   double min_compression_ratio = 0.0;  ///< min over gates (Table 2 last row)
   int final_ladder_level = 0;          ///< 0 = still lossless

@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <complex>
 #include <cstring>
+#include <filesystem>
 #include <functional>
+#include <optional>
 #include <stdexcept>
+#include <thread>
 
 #include "core/memory_model.hpp"
 #include "runtime/checkpoint.hpp"
@@ -178,6 +183,14 @@ CompressedStateSimulator::CompressedStateSimulator(SimConfig config)
   if (config_.readahead_blocks < 0 || config_.readahead_blocks > 4096) {
     throw std::invalid_argument(
         "simulator: readahead_blocks must be in [0, 4096]");
+  }
+  // Auto-checkpoint knobs travel in pairs: an interval with nowhere to
+  // save (or a path that never saves) is a latent misconfiguration.
+  if ((config_.checkpoint_interval_gates != 0) !=
+      (!config_.auto_checkpoint_path.empty())) {
+    throw std::invalid_argument(
+        "simulator: checkpoint_interval_gates and auto_checkpoint_path "
+        "must be set together");
   }
   backend_ = qsim::detect_kernel_backend(config_.enable_simd_kernels);
   map_ = runtime::QubitMap::identity(config_.num_qubits);
@@ -478,7 +491,30 @@ void CompressedStateSimulator::resume_circuit(const qsim::Circuit& circuit) {
 
 void CompressedStateSimulator::run_from_cursor(const qsim::Circuit& circuit) {
   const auto& ops = circuit.ops();
-  if (gate_cursor_ >= ops.size()) return;
+  // Consume the circuit in autosave-interval-aligned chunks of source
+  // gates. Fusion buffers single-qubit runs per qubit and emits them out
+  // of source order, so a mid-schedule state is NOT a source-gate prefix
+  // — the only honest checkpoint cursors are chunk boundaries, where the
+  // whole scheduled slice has drained. Each chunk is fused / remap-
+  // planned / scheduled independently, and boundaries sit at absolute
+  // multiples of the interval, so a resumed run re-chunks exactly like
+  // the uninterrupted autosaved run and stays bit-identical to it.
+  while (gate_cursor_ < ops.size()) {
+    std::size_t end = ops.size();
+    if (config_.checkpoint_interval_gates > 0) {
+      const std::uint64_t interval = config_.checkpoint_interval_gates;
+      end = static_cast<std::size_t>(std::min<std::uint64_t>(
+          end, (gate_cursor_ / interval + 1) * interval));
+    }
+    run_source_range(circuit, end);
+    maybe_autosave();
+  }
+}
+
+void CompressedStateSimulator::run_source_range(const qsim::Circuit& circuit,
+                                                std::size_t end) {
+  const auto& ops = circuit.ops();
+  if (gate_cursor_ >= end) return;
 
   // The remap pre-pass must run whenever the layout is non-identity (ops
   // arrive in logical indices and the blocks are stored physically), not
@@ -487,17 +523,17 @@ void CompressedStateSimulator::run_from_cursor(const qsim::Circuit& circuit) {
   const bool remap_path = config_.enable_qubit_remap || !map_.is_identity();
 
   if (!remap_path && !config_.enable_run_batching) {
-    for (std::uint64_t i = gate_cursor_; i < ops.size(); ++i) {
+    for (std::uint64_t i = gate_cursor_; i < end; ++i) {
       apply_single_counted(ops[i]);
       gate_cursor_ = i + 1;
     }
     return;
   }
 
-  // Schedule only the unapplied suffix so fused ops and runs never span
+  // Schedule only the unapplied slice so fused ops and runs never span
   // the resume point, keeping the cursor exact in source-gate units.
   qsim::Circuit suffix(circuit.num_qubits());
-  for (std::size_t i = gate_cursor_; i < ops.size(); ++i) {
+  for (std::size_t i = gate_cursor_; i < end; ++i) {
     suffix.append(ops[i]);
   }
 
@@ -1183,16 +1219,62 @@ void CompressedStateSimulator::note_gate_finished(double gate_seconds) {
   wall_seconds_ += gate_seconds;
   maintain_tiers();
   enforce_budget();
+  // The ENOSPC degradation contract: ride out the full disk as long as
+  // the resident state fits Eq. 8's budget (the ladder has already done
+  // what it can by now); past that the run cannot make progress without
+  // lying about the budget, so the typed error surfaces after all.
+  if (budget_exceeded_ && degraded()) {
+    throw runtime::SpillError(
+        "spill: disk full on '" + config_.spill_path +
+            "' and the resident state exceeds the memory budget even at "
+            "the last ladder level: " +
+            std::strerror(ENOSPC),
+        ENOSPC);
+  }
   const double ratio = compression_ratio();
   min_ratio_ = min_ratio_ == 0.0 ? ratio : std::min(min_ratio_, ratio);
+}
+
+void CompressedStateSimulator::maybe_autosave() {
+  if (config_.checkpoint_interval_gates == 0) return;
+  if (gate_cursor_ - gates_at_last_autosave_ <
+      config_.checkpoint_interval_gates) {
+    return;
+  }
+  WallTimer timer;
+  try {
+    save_checkpoint(config_.auto_checkpoint_path);
+    ++autosaves_;
+  } catch (const std::exception&) {
+    // A failed autosave must not kill a healthy run: the atomic save left
+    // the previous file intact, so recovery merely falls back one
+    // interval further. The report carries the count.
+    ++autosave_failures_;
+  }
+  autosave_seconds_ += timer.seconds();
+  gates_at_last_autosave_ = gate_cursor_;
 }
 
 void CompressedStateSimulator::maybe_stream_spill(int rank, int block) {
   // Unconditional while the flag is set (rather than re-checking the
   // budget per block): which blocks spill then depends only on the
   // mutation set, not worker timing, keeping spill/fault counts
-  // deterministic across thread counts.
-  if (stream_spill_) ranks_[rank].spill_block(block);
+  // deterministic across thread counts. (Once degraded the counts stop
+  // being pinned — spilling is over for the run.)
+  if (!stream_spill_ || degraded()) return;
+  if (!config_.spill_degrade_on_enospc) {
+    ranks_[rank].spill_block(block);
+    return;
+  }
+  try {
+    ranks_[rank].spill_block(block);
+  } catch (const runtime::SpillError& e) {
+    if (e.code() != ENOSPC) throw;
+    // The block simply stays resident; the next maintain_tiers sees the
+    // degraded flag and stops evicting.
+    spill_write_failures_.bump();
+    spill_degraded_.bump();
+  }
 }
 
 std::size_t CompressedStateSimulator::resident_occupancy() const {
@@ -1213,6 +1295,16 @@ void CompressedStateSimulator::settle_pending_spills() {
       pending.done.get();
       ranks_[pending.rank].commit_spill(pending.block, *pending.segment,
                                         pending.generation);
+    } catch (const runtime::SpillError& e) {
+      // Under degradation a full disk is survivable: the failed write
+      // reserved no segment and its block is still resident — mark the
+      // tier degraded and keep going. Anything else stays fatal.
+      if (config_.spill_degrade_on_enospc && e.code() == ENOSPC) {
+        spill_write_failures_.bump();
+        spill_degraded_.bump();
+      } else if (!first_error) {
+        first_error = std::current_exception();
+      }
     } catch (...) {
       // Keep settling: every future must be consumed even when one write
       // hit ENOSPC, or later destructors would block on live jobs.
@@ -1241,6 +1333,12 @@ void CompressedStateSimulator::discard_pending_spills() {
 void CompressedStateSimulator::maintain_tiers() {
   if (spill_ == nullptr) return;
   settle_pending_spills();
+  // Once degraded the spill tier is read-only: blocks already parked on
+  // disk stay readable, but no new evictions or streaming writes happen.
+  if (degraded()) {
+    stream_spill_ = false;
+    return;
+  }
   const std::size_t budget = config_.resident_budget_bytes;
   const std::size_t total_blocks =
       static_cast<std::size_t>(partition_.num_ranks()) *
@@ -1665,6 +1763,9 @@ CompressedStateSimulator CompressedStateSimulator::load_checkpoint(
   }
   sim.level_ = static_cast<int>(header.ladder_level);
   sim.gate_cursor_ = header.next_gate_index;
+  // The restore point counts as saved: a resumed run's next autosave is
+  // one full interval out, matching the uninterrupted run's cadence.
+  sim.gates_at_last_autosave_ = sim.gate_cursor_;
   // Pre-v4 files carry no map (identity, which the constructor set). A v4
   // map must cover exactly this simulation's qubits. kLru recency is not
   // persisted — a resumed LRU plan starts from a cold history, which only
@@ -1720,6 +1821,64 @@ CompressedStateSimulator CompressedStateSimulator::load_checkpoint(
   // as a load error instead of at the first gate boundary.
   sim.settle_pending_spills();
   return sim;
+}
+
+CompressedStateSimulator CompressedStateSimulator::run_resilient(
+    SimConfig config, const qsim::Circuit& circuit,
+    const RecoveryOptions& options) {
+  if (options.max_recoveries < 0) {
+    throw std::invalid_argument("run_resilient: max_recoveries must be >= 0");
+  }
+  if (options.retry_backoff_ms < 0) {
+    throw std::invalid_argument(
+        "run_resilient: retry_backoff_ms must be >= 0");
+  }
+  // A resilient run rides out a full spill disk instead of failing on it.
+  config.spill_degrade_on_enospc = true;
+
+  std::uint64_t recoveries = 0;
+  std::uint64_t backoff_ms_total = 0;
+  for (;;) {
+    std::optional<CompressedStateSimulator> sim;
+    try {
+      // "The last autosave" doubles as the resume point after a *driver*
+      // restart: an existing file at the configured path is trusted to be
+      // this circuit's, which resume_circuit re-validates.
+      const bool resume =
+          !config.auto_checkpoint_path.empty() &&
+          std::filesystem::exists(config.auto_checkpoint_path);
+      if (resume) {
+        sim.emplace(load_checkpoint(config.auto_checkpoint_path, config));
+        sim->resume_circuit(circuit);
+      } else {
+        sim.emplace(config);
+        sim->apply_circuit(circuit);
+      }
+      sim->recoveries_ = recoveries;
+      sim->recovery_backoff_ms_ = backoff_ms_total;
+      return std::move(*sim);
+    } catch (const runtime::TransportError& e) {
+      // Protocol violations are bugs, not environmental faults — a retry
+      // would just trip over them again by construction.
+      if (e.kind() == runtime::TransportError::Kind::kProtocol) throw;
+      // Tear the failed attempt down *before* respawning: the destructor
+      // joins the thread pool and reaps the transport's rank processes,
+      // so the next constructor forks from a single-threaded process
+      // again (its invariant) and no zombie endpoints accumulate.
+      sim.reset();
+      if (recoveries >= static_cast<std::uint64_t>(options.max_recoveries)) {
+        throw;
+      }
+      const std::uint64_t wait =
+          static_cast<std::uint64_t>(options.retry_backoff_ms)
+          << std::min<std::uint64_t>(recoveries, 20);
+      ++recoveries;
+      if (wait > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+        backoff_ms_total += wait;
+      }
+    }
+  }
 }
 
 SimulationReport CompressedStateSimulator::report() const {
@@ -1817,6 +1976,14 @@ SimulationReport CompressedStateSimulator::report() const {
       tier_stats_->readahead_issued.load(std::memory_order_relaxed);
   rep.readahead_hits =
       tier_stats_->readahead_hits.load(std::memory_order_relaxed);
+  rep.degraded = degraded();
+  rep.spill_write_failures = spill_write_failures_.get();
+  rep.checkpoint_interval_gates = config_.checkpoint_interval_gates;
+  rep.autosaves = autosaves_;
+  rep.autosave_failures = autosave_failures_;
+  rep.autosave_seconds = autosave_seconds_;
+  rep.recoveries = recoveries_;
+  rep.recovery_backoff_ms = recovery_backoff_ms_;
   for (const auto& cache : caches_) {
     const auto stats = cache->stats();
     rep.cache.hits += stats.hits;

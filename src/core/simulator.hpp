@@ -42,6 +42,16 @@
 
 namespace cqs::core {
 
+/// Knobs of the run_resilient() recovery loop.
+struct RecoveryOptions {
+  /// Transport faults survived before the run gives up and rethrows. 0
+  /// degenerates to a plain run that still degrades on ENOSPC.
+  int max_recoveries = 3;
+  /// Wait before the first respawn, in milliseconds; doubles on every
+  /// consecutive recovery (exponential backoff). 0 retries immediately.
+  int retry_backoff_ms = 100;
+};
+
 class CompressedStateSimulator {
  public:
   explicit CompressedStateSimulator(SimConfig config);
@@ -120,6 +130,24 @@ class CompressedStateSimulator {
   static CompressedStateSimulator load_checkpoint(const std::string& path,
                                                   SimConfig config);
 
+  // --- Fault tolerance (auto-checkpointed recovery) ---
+
+  /// Runs `circuit` to completion, surviving transport faults: on a
+  /// kTimeout / kRankDead / kFrameCorrupt the failed simulator is torn
+  /// down (joining its thread pool and reaping the transport's rank
+  /// processes), the loop backs off exponentially, and a fresh simulator
+  /// — respawned rank endpoints included — reloads the last autosave at
+  /// config.auto_checkpoint_path (or restarts from scratch when none
+  /// exists yet) and resumes. Autosaves land at run boundaries, so a
+  /// recovered run is bit-identical to the fault-free one. ENOSPC spill
+  /// degradation (SimConfig::spill_degrade_on_enospc) is forced on.
+  /// After max_recoveries the last fault is rethrown; kProtocol errors
+  /// (bugs, not faults) are never retried. Returns the completed
+  /// simulator, whose report carries the recovery counters.
+  static CompressedStateSimulator run_resilient(
+      SimConfig config, const qsim::Circuit& circuit,
+      const RecoveryOptions& options = {});
+
   SimulationReport report() const;
 
   /// The communicator carrying this run's exchanges — benches and the
@@ -183,11 +211,18 @@ class CompressedStateSimulator {
                           std::span<double> out, std::size_t worker) const;
 
   /// Shared tail of apply_circuit / resume_circuit: applies the ops of
-  /// `circuit` from gate_cursor_ to the end — through the qubit-remap
-  /// pre-pass whenever remapping is on or the layout is already
-  /// non-identity — batched through the gate-run scheduler when enabled,
-  /// advancing the cursor in source-gate units.
+  /// `circuit` from gate_cursor_ to the end in autosave-interval-aligned
+  /// chunks of source gates, saving a checkpoint between chunks when
+  /// auto-checkpointing is on. Chunk boundaries are the only cursor
+  /// positions where the applied state is an exact source-gate prefix
+  /// (fusion emits buffered single-qubit runs out of source order), so
+  /// they are the only places an autosave may cut.
   void run_from_cursor(const qsim::Circuit& circuit);
+  /// One chunk of run_from_cursor: applies ops [gate_cursor_, end) —
+  /// through the qubit-remap pre-pass whenever remapping is on or the
+  /// layout is already non-identity — batched through the gate-run
+  /// scheduler when enabled, advancing the cursor in source-gate units.
+  void run_source_range(const qsim::Circuit& circuit, std::size_t end);
   /// Applies one contiguous stretch of already-physical ops, batched or
   /// per-gate, advancing the cursor. `origin_counts` carries per-op
   /// source-gate weights when the ops were fused before planning (null =
@@ -275,6 +310,15 @@ class CompressedStateSimulator {
   /// happened.
   std::uint64_t recompress_all(int new_level);
   void note_gate_finished(double gate_seconds);
+  /// Saves to auto_checkpoint_path when checkpoint_interval_gates more
+  /// gates have completed since the last autosave. Called only where the
+  /// gate cursor is consistent with the applied state (run boundaries), so
+  /// a resume from the file never re-applies or skips a gate. A failed
+  /// autosave is counted, not fatal — the previous file survives the
+  /// atomic save, so recovery just loses the newest interval.
+  void maybe_autosave();
+  /// True once a mid-run ENOSPC disabled the spill tier.
+  bool degraded() const { return spill_degraded_.get() > 0; }
 
   bool controls_satisfied_block(const GateRouting& routing, int rank,
                                 int block) const;
@@ -350,6 +394,20 @@ class CompressedStateSimulator {
   std::size_t pending_spill_bytes_ = 0;
   std::size_t evict_cursor_ = 0;  ///< round-robin global block scan position
   bool stream_spill_ = false;
+
+  // Fault tolerance. spill_degraded_ / spill_write_failures_ are bumped by
+  // workers when a streaming spill hits ENOSPC under degradation, hence
+  // the copyable-atomic counters; the autosave fields are main-thread only
+  // (run boundaries). recoveries_ / recovery_backoff_ms_ are stamped onto
+  // the final simulator by run_resilient so the report can carry them.
+  InvocationCounter spill_degraded_;        ///< > 0 once spilling disabled
+  InvocationCounter spill_write_failures_;  ///< ENOSPC writes ridden out
+  std::uint64_t autosaves_ = 0;
+  std::uint64_t autosave_failures_ = 0;
+  double autosave_seconds_ = 0.0;
+  std::uint64_t gates_at_last_autosave_ = 0;  ///< gate_cursor_ at last save
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t recovery_backoff_ms_ = 0;
 };
 
 }  // namespace cqs::core

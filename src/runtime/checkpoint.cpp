@@ -14,6 +14,7 @@
 
 #include "common/bytes.hpp"
 #include "compression/compressor.hpp"
+#include "runtime/fault_injection.hpp"
 
 namespace cqs::runtime {
 namespace {
@@ -91,6 +92,13 @@ void write_file_atomically(const std::string& path, const Bytes& buffer) {
     std::remove(tmp.c_str());
     throw std::runtime_error("checkpoint: close failed " + tmp + ": " +
                              std::strerror(errno));
+  }
+  // Scripted crash at the publish step: the durable temp image exists but
+  // the rename never happens, so the previous checkpoint must survive.
+  if (FaultInjector::instance().on_call(fault_sites::kCheckpointRename)) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: rename to " + path +
+                             " failed (injected fault before publish)");
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     const int err = errno;

@@ -14,6 +14,8 @@
 #include <cstring>
 #include <thread>
 
+#include "runtime/fault_injection.hpp"
+
 namespace cqs::runtime {
 
 namespace {
@@ -478,6 +480,26 @@ PendingExchange SocketTransport::exchange_begin(int rank_a, int rank_b,
                                                 ByteSpan from_b,
                                                 std::uint8_t codec_a,
                                                 std::uint8_t codec_b) {
+  // Scripted wire fault: the hit becomes the matching endpoint control
+  // frame, so the failure then manifests through the real machinery — a
+  // killed process, a corrupted echo, a stalled reply — and surfaces as
+  // the same typed error a spontaneous fault would.
+  if (auto hit =
+          FaultInjector::instance().on_call(fault_sites::kTransportSend)) {
+    wire::FrameType control = wire::FrameType::kDie;
+    std::uint64_t aux = hit->aux;
+    if (hit->action == "corrupt") {
+      control = wire::FrameType::kCorruptNext;
+    } else if (hit->action == "stall") {
+      control = wire::FrameType::kStallNext;
+    } else if (hit->action == "timeout") {
+      // A stall just past the deadline is how a real timeout presents.
+      control = wire::FrameType::kStallNext;
+      aux = static_cast<std::uint64_t>(timeout_ms_) * 2;
+    }
+    inject_fault(rank_b, control, aux);
+  }
+
   PendingExchange pending;
   pending.rank_a = rank_a;
   pending.rank_b = rank_b;

@@ -80,7 +80,10 @@ class SocketTransport final : public Transport {
   std::vector<RankProcess> processes() const;
 
   /// Fault injection for tests: instructs `rank`'s endpoint to corrupt its
-  /// next data echo, stall it for `stall_ms`, or die immediately.
+  /// next data echo, stall it for `stall_ms`, or die immediately. Scripted
+  /// faults (FaultInjector site "transport.send") are converted into these
+  /// same control frames by exchange_begin, so both paths exercise the
+  /// identical wire machinery.
   void inject_fault(int rank, wire::FrameType fault, std::uint64_t aux = 0);
 
  private:

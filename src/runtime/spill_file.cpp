@@ -6,10 +6,10 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <atomic>
 #include <cerrno>
 #include <cstring>
-#include <limits>
+
+#include "runtime/fault_injection.hpp"
 
 namespace cqs::runtime {
 namespace {
@@ -19,20 +19,13 @@ namespace {
 // PROT_READ + MAP_NORESERVE means no memory or swap is committed for it.
 constexpr std::uint64_t kReservationBytes = std::uint64_t{1} << 36;  // 64 GiB
 
-std::atomic<std::uint64_t> g_write_capacity{
-    std::numeric_limits<std::uint64_t>::max()};
-
 std::string errno_text(const std::string& prefix, int err) {
   return prefix + ": " + std::strerror(err);
 }
 
 }  // namespace
 
-void SpillFile::testing_set_write_capacity(std::uint64_t bytes) {
-  g_write_capacity.store(bytes, std::memory_order_relaxed);
-}
-
-SpillFile::SpillFile(const std::string& path) {
+SpillFile::SpillFile(const std::string& path) : path_(path) {
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0600);
   if (fd_ < 0) {
     throw SpillError(
@@ -95,32 +88,20 @@ SpillSegment SpillFile::write(ByteSpan payload) {
   }
   if (over_reservation) {
     free_segment(segment);
-    throw SpillError("spill: file would exceed the mapped reservation");
+    throw SpillError("spill: file '" + path_ +
+                     "' would exceed the mapped reservation");
   }
 
-  // Injected disk-full: behave exactly like a real short write on ENOSPC.
-  const std::uint64_t capacity =
-      g_write_capacity.load(std::memory_order_relaxed);
-  bool injected_full = false;
-  if (capacity != std::numeric_limits<std::uint64_t>::max()) {
-    std::uint64_t seen = capacity;
-    // Consume budget atomically so concurrent writers inject consistently.
-    while (true) {
-      if (seen < segment.size) {
-        injected_full = true;
-        break;
-      }
-      if (g_write_capacity.compare_exchange_weak(
-              seen, seen - segment.size, std::memory_order_relaxed)) {
-        break;
-      }
-    }
-  }
-  if (injected_full) {
+  // Injected disk-full: the scripted fault behaves exactly like a real
+  // short write — the reserved segment goes back first, then the typed
+  // error surfaces with the same errno a full disk would produce.
+  if (auto hit = FaultInjector::instance().on_call(fault_sites::kSpillWrite)) {
+    const int err = hit->action == "eio" ? EIO : ENOSPC;
     free_segment(segment);
-    throw SpillError(
-        errno_text("spill: write failed (injected disk full)", ENOSPC),
-        ENOSPC);
+    throw SpillError(errno_text("spill: write to '" + path_ +
+                                    "' failed (injected " + hit->action + ")",
+                                err),
+                     err);
   }
 
   const std::byte* src = payload.data();
@@ -133,11 +114,14 @@ SpillSegment SpillFile::write(ByteSpan payload) {
       if (errno == EINTR) continue;
       const int err = errno;
       free_segment(segment);
-      throw SpillError(errno_text("spill: write failed", err), err);
+      throw SpillError(
+          errno_text("spill: write to '" + path_ + "' failed", err), err);
     }
     if (n == 0) {
       free_segment(segment);
-      throw SpillError(errno_text("spill: write failed", ENOSPC), ENOSPC);
+      throw SpillError(
+          errno_text("spill: write to '" + path_ + "' failed", ENOSPC),
+          ENOSPC);
     }
     written += static_cast<std::uint64_t>(n);
   }

@@ -17,6 +17,9 @@
 //   - The file is unlinked immediately after creation: the kernel reclaims
 //     the space when the process exits (cleanly or not), and no stale
 //     spill files survive a crash.
+//   - Synthetic disk-full faults come from the process-wide FaultInjector
+//     (site "spill.write", runtime/fault_injection.hpp) — tests and chaos
+//     runs script ENOSPC without filling a disk.
 #pragma once
 
 #include <cstdint>
@@ -82,16 +85,12 @@ class SpillFile {
   std::uint64_t live_bytes() const;
   std::uint64_t live_segments() const;
 
-  /// Testing hook: after this many more payload bytes are written, every
-  /// further write fails with a synthetic ENOSPC SpillError — the
-  /// disk-full fault leg without filling a disk. UINT64_MAX (the default)
-  /// means unlimited; the value is global across SpillFile instances and
-  /// should be reset by the test that set it.
-  static void testing_set_write_capacity(std::uint64_t bytes);
-
  private:
   std::uint64_t allocate_locked(std::uint64_t size);
 
+  /// Creation path, kept (though the file is unlinked) so every later
+  /// error names the disk it happened on.
+  std::string path_;
   int fd_ = -1;
   std::byte* map_ = nullptr;
   std::uint64_t reservation_ = 0;

@@ -1,14 +1,50 @@
 #include "runtime/transport.hpp"
 
+#include <chrono>
+#include <thread>
+
+#include "runtime/fault_injection.hpp"
+
 #ifdef CQS_HAVE_SOCKET_TRANSPORT
 #include "runtime/socket_transport.hpp"
 #endif
 
 namespace cqs::runtime {
+namespace {
+
+/// Scripted wire fault on the in-process backend: with no endpoint
+/// process to kill or frame to corrupt, the hit maps straight onto the
+/// typed error the equivalent real failure would surface — so recovery
+/// paths are exercisable in every build, not just socket ones.
+void apply_loopback_fault(const FaultHit& hit, int rank) {
+  using Kind = TransportError::Kind;
+  const std::string toward = " toward rank " + std::to_string(rank);
+  if (hit.action == "corrupt") {
+    throw TransportError(Kind::kFrameCorrupt, rank,
+                         "loopback: injected frame corruption" + toward);
+  }
+  if (hit.action == "timeout") {
+    throw TransportError(Kind::kTimeout, rank,
+                         "loopback: injected exchange timeout" + toward);
+  }
+  if (hit.action == "stall") {
+    std::this_thread::sleep_for(std::chrono::milliseconds(hit.aux));
+    return;
+  }
+  throw TransportError(
+      Kind::kRankDead, rank,
+      "loopback: injected rank death (rank " + std::to_string(rank) + ")");
+}
+
+}  // namespace
 
 PendingExchange LoopbackTransport::exchange_begin(
     int rank_a, int rank_b, ByteSpan from_a, ByteSpan from_b,
     std::uint8_t /*codec_a*/, std::uint8_t /*codec_b*/) {
+  if (auto hit =
+          FaultInjector::instance().on_call(fault_sites::kTransportSend)) {
+    apply_loopback_fault(*hit, rank_b);
+  }
   PendingExchange pending;
   pending.rank_a = rank_a;
   pending.rank_b = rank_b;

@@ -1,0 +1,384 @@
+// Auto-checkpointed recovery-loop coverage — the issue's differential
+// matrix:
+//   - autosave cadence: saves land at run boundaries, the report counts
+//     them, and a resume from the autosave image is bit-identical,
+//   - run_resilient: fault-free == plain run; loopback rank death at
+//     three circuit points recovers bit-identically (tol 0); a
+//     persistent fault gives up after max_recoveries with the typed
+//     error,
+//   - ENOSPC degradation: a mid-run disk-full settles what's written,
+//     disables spilling, and finishes resident bit-identically; if the
+//     resident state cannot fit the Eq. 8 budget even at the last ladder
+//     level, the original typed SpillError surfaces,
+//   - an injected autosave failure (crash before the checkpoint rename)
+//     is survived and counted, and the previous image stays loadable,
+//   - fault-plan determinism pin: same seed => same fired (site, call)
+//     ledger across thread counts (RecoveryConcurrencyTest doubles as
+//     the TSan target),
+//   - under CQS_HAVE_SOCKET_TRANSPORT: rank death x {local, tcp}
+//     endpoints recovers bit-identically through real process respawn,
+//     and a corrupt-frame fault recovers when transient / fails typed
+//     when persistent.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/simulator.hpp"
+#include "qsim/circuit.hpp"
+#include "runtime/fault_injection.hpp"
+#include "runtime/spill_file.hpp"
+#include "runtime/transport.hpp"
+#include "test_util.hpp"
+
+#ifdef CQS_HAVE_SOCKET_TRANSPORT
+#include "runtime/socket_transport.hpp"
+#endif
+
+namespace cqs {
+namespace {
+
+using test::random_circuit;
+
+core::SimConfig base_config(int qubits, int ranks, int threads = 2) {
+  core::SimConfig config;
+  config.num_qubits = qubits;
+  config.num_ranks = ranks;
+  config.blocks_per_rank = 4;
+  config.threads = threads;
+  return config;
+}
+
+/// Reference state of an uninterrupted, fault-free run of `circuit`.
+/// References share the faulted run's checkpoint_interval_gates: the
+/// interval is a scheduling cut (fused runs never span it), so tol-0
+/// comparisons only hold between runs chunked the same way.
+std::vector<double> reference_state(core::SimConfig config,
+                                    const qsim::Circuit& circuit,
+                                    const std::string& autosave_path = "") {
+  config.auto_checkpoint_path = autosave_path;
+  config.checkpoint_interval_gates = autosave_path.empty() ? 0 : 13;
+  core::CompressedStateSimulator sim(config);
+  sim.apply_circuit(circuit);
+  return sim.to_raw();
+}
+
+using RecoveryTest = test::TempDirFixture;
+
+TEST_F(RecoveryTest, AutosaveKnobsMustBeSetTogether) {
+  auto interval_only = base_config(8, 2);
+  interval_only.checkpoint_interval_gates = 10;
+  EXPECT_THROW(core::CompressedStateSimulator{interval_only},
+               std::invalid_argument);
+
+  auto path_only = base_config(8, 2);
+  path_only.auto_checkpoint_path = path("auto.ckpt");
+  EXPECT_THROW(core::CompressedStateSimulator{path_only},
+               std::invalid_argument);
+}
+
+TEST_F(RecoveryTest, AutosavesLandAtIntervalsAndResumeBitIdentical) {
+  const auto circuit = random_circuit(10, 60, 17);
+  const auto expected =
+      reference_state(base_config(10, 2), circuit, path("ref.ckpt"));
+
+  auto config = base_config(10, 2);
+  config.checkpoint_interval_gates = 13;
+  config.auto_checkpoint_path = path("auto.ckpt");
+  core::CompressedStateSimulator sim(config);
+  sim.apply_circuit(circuit);
+  CQS_EXPECT_STATES_CLOSE(sim.to_raw(), expected, 0.0);
+
+  const auto report = sim.report();
+  EXPECT_GE(report.autosaves, 60u / 13u);
+  EXPECT_EQ(report.autosave_failures, 0u);
+  EXPECT_EQ(report.checkpoint_interval_gates, 13u);
+  ASSERT_TRUE(std::filesystem::exists(path("auto.ckpt")));
+
+  // The autosave is a real checkpoint: restore it mid-circuit and resume
+  // the suffix — the result must be bit-identical to the uninterrupted
+  // run (interval boundaries are scheduling cuts, so the resumed suffix
+  // re-chunks into exactly the remaining chunks).
+  auto resume_config = config;
+  resume_config.auto_checkpoint_path = path("resume.ckpt");
+  auto restored = core::CompressedStateSimulator::load_checkpoint(
+      path("auto.ckpt"), resume_config);
+  EXPECT_LT(restored.gate_cursor(), circuit.size());
+  restored.resume_circuit(circuit);
+  CQS_EXPECT_STATES_CLOSE(restored.to_raw(), expected, 0.0);
+}
+
+TEST_F(RecoveryTest, RunResilientFaultFreeMatchesPlainRun) {
+  const auto circuit = random_circuit(10, 50, 23);
+  auto config = base_config(10, 2);
+  const auto expected =
+      reference_state(config, circuit, path("ref.ckpt"));
+
+  config.checkpoint_interval_gates = 13;
+  config.auto_checkpoint_path = path("auto.ckpt");
+  auto sim = core::CompressedStateSimulator::run_resilient(config, circuit);
+  CQS_EXPECT_STATES_CLOSE(sim.to_raw(), expected, 0.0);
+  EXPECT_EQ(sim.report().recoveries, 0u);
+}
+
+TEST_F(RecoveryTest, RunResilientRejectsNegativeOptions) {
+  const auto circuit = random_circuit(8, 10, 1);
+  auto config = base_config(8, 2);
+  EXPECT_THROW(core::CompressedStateSimulator::run_resilient(
+                   config, circuit, {.max_recoveries = -1}),
+               std::invalid_argument);
+  EXPECT_THROW(core::CompressedStateSimulator::run_resilient(
+                   config, circuit, {.retry_backoff_ms = -1}),
+               std::invalid_argument);
+}
+
+TEST_F(RecoveryTest, LoopbackRankDeathRecoversBitIdenticalAtThreePoints) {
+  const auto circuit = random_circuit(10, 80, 31);
+  auto config = base_config(10, 4);
+  const auto expected =
+      reference_state(config, circuit, path("ref.ckpt"));
+
+  // Probe how many cross-rank sends the autosaved run performs with a
+  // plan that can never fire (the counter only runs while armed). The
+  // probe must chunk like the resilient runs: interval cuts split fused
+  // runs, which changes how many gates pay an exchange.
+  std::uint64_t total_sends = 0;
+  {
+    runtime::ScopedFaultPlan probe("transport.send@1000000000");
+    auto probe_config = config;
+    probe_config.checkpoint_interval_gates = 13;
+    probe_config.auto_checkpoint_path = path("probe.ckpt");
+    core::CompressedStateSimulator sim(probe_config);
+    sim.apply_circuit(circuit);
+    total_sends = runtime::FaultInjector::instance().calls(
+        runtime::fault_sites::kTransportSend);
+  }
+  ASSERT_GE(total_sends, 3u) << "circuit must exercise the transport";
+
+  // Kill a rank at the first, middle, and last exchange; every variant
+  // must recover exactly once and land on the uninterrupted state.
+  for (std::uint64_t point :
+       {std::uint64_t{1}, total_sends / 2, total_sends}) {
+    std::filesystem::remove(path("auto.ckpt"));
+    auto resilient = config;
+    resilient.checkpoint_interval_gates = 13;
+    resilient.auto_checkpoint_path = path("auto.ckpt");
+    runtime::ScopedFaultPlan plan("transport.send@" +
+                                  std::to_string(point) + ":die");
+    auto sim = core::CompressedStateSimulator::run_resilient(
+        resilient, circuit, {.max_recoveries = 3, .retry_backoff_ms = 1});
+    CQS_EXPECT_STATES_CLOSE(sim.to_raw(), expected, 0.0)
+        << "injection point " << point << " of " << total_sends;
+    EXPECT_EQ(sim.report().recoveries, 1u) << "injection point " << point;
+  }
+}
+
+TEST_F(RecoveryTest, PersistentFaultGivesUpAfterMaxRecoveries) {
+  const auto circuit = random_circuit(10, 40, 7);
+  auto config = base_config(10, 4);
+  config.checkpoint_interval_gates = 11;
+  config.auto_checkpoint_path = path("auto.ckpt");
+  runtime::ScopedFaultPlan plan("transport.send@1+:die");
+  try {
+    core::CompressedStateSimulator::run_resilient(
+        config, circuit, {.max_recoveries = 2, .retry_backoff_ms = 1});
+    FAIL() << "expected TransportError";
+  } catch (const runtime::TransportError& e) {
+    EXPECT_EQ(e.kind(), runtime::TransportError::Kind::kRankDead);
+  }
+  // 1 initial attempt + 2 recoveries, each dying on its first exchange
+  // sweep (a sweep may issue several sends before the throw propagates,
+  // so the ledger holds at least one hit per attempt).
+  EXPECT_GE(runtime::FaultInjector::instance().fired().size(), 3u);
+}
+
+core::SimConfig spill_config(const std::string& spill_path, int qubits,
+                             int ranks, int threads) {
+  auto config = base_config(qubits, ranks, threads);
+  config.spill_path = spill_path;
+  config.resident_budget_bytes = 1;  // essentially everything spills
+  return config;
+}
+
+TEST_F(RecoveryTest, EnospcDegradationFinishesResidentBitIdentical) {
+  const auto circuit = random_circuit(10, 60, 41);
+  const auto expected = reference_state(base_config(10, 2), circuit);
+
+  auto config = spill_config(path("spill.bin"), 10, 2, 2);
+  config.spill_degrade_on_enospc = true;
+  runtime::ScopedFaultPlan plan("spill.write@3+:enospc");
+  core::CompressedStateSimulator sim(config);
+  sim.apply_circuit(circuit);
+  CQS_EXPECT_STATES_CLOSE(sim.to_raw(), expected, 0.0);
+
+  const auto report = sim.report();
+  EXPECT_TRUE(report.degraded);
+  EXPECT_GE(report.spill_write_failures, 1u);
+}
+
+TEST_F(RecoveryTest, RunResilientForcesEnospcDegradationOn) {
+  const auto circuit = random_circuit(10, 60, 41);
+  const auto expected =
+      reference_state(base_config(10, 2), circuit, path("ref.ckpt"));
+
+  // The knob is left at its default (off): run_resilient must force it.
+  auto config = spill_config(path("spill.bin"), 10, 2, 2);
+  config.checkpoint_interval_gates = 13;
+  config.auto_checkpoint_path = path("auto.ckpt");
+  runtime::ScopedFaultPlan plan("spill.write@2+:enospc");
+  auto sim = core::CompressedStateSimulator::run_resilient(
+      config, circuit, {.max_recoveries = 1, .retry_backoff_ms = 1});
+  CQS_EXPECT_STATES_CLOSE(sim.to_raw(), expected, 0.0);
+  EXPECT_TRUE(sim.report().degraded);
+}
+
+TEST_F(RecoveryTest, DegradedRunOverBudgetSurfacesTypedError) {
+  // Disk full AND the resident state cannot fit the Eq. 8 budget even at
+  // the last ladder level: the run must fail with the typed SpillError,
+  // not silently blow the budget.
+  const auto circuit = random_circuit(10, 60, 41);
+  auto config = spill_config(path("spill.bin"), 10, 2, 2);
+  config.spill_degrade_on_enospc = true;
+  config.memory_budget_bytes = 64;  // unsatisfiable at any level
+  runtime::ScopedFaultPlan plan("spill.write@1+:enospc");
+  core::CompressedStateSimulator sim(config);
+  try {
+    sim.apply_circuit(circuit);
+    FAIL() << "expected SpillError";
+  } catch (const runtime::SpillError& e) {
+    EXPECT_EQ(e.code(), ENOSPC);
+  }
+}
+
+TEST_F(RecoveryTest, InjectedAutosaveFailureIsSurvivedAndCounted) {
+  const auto circuit = random_circuit(10, 60, 17);
+  const auto expected =
+      reference_state(base_config(10, 2), circuit, path("ref.ckpt"));
+
+  auto config = base_config(10, 2);
+  config.checkpoint_interval_gates = 13;
+  config.auto_checkpoint_path = path("auto.ckpt");
+  // The second autosave crashes after writing the temp image but before
+  // the atomic rename: the run continues, the failure is counted, and
+  // the first (published) image survives untouched.
+  runtime::ScopedFaultPlan plan("checkpoint.rename@2");
+  core::CompressedStateSimulator sim(config);
+  sim.apply_circuit(circuit);
+  CQS_EXPECT_STATES_CLOSE(sim.to_raw(), expected, 0.0);
+
+  const auto report = sim.report();
+  EXPECT_EQ(report.autosave_failures, 1u);
+  EXPECT_GE(report.autosaves, 1u);
+  auto resume_config = config;
+  resume_config.auto_checkpoint_path = path("resume.ckpt");
+  auto restored = core::CompressedStateSimulator::load_checkpoint(
+      path("auto.ckpt"), resume_config);
+  restored.resume_circuit(circuit);
+  CQS_EXPECT_STATES_CLOSE(restored.to_raw(), expected, 0.0);
+}
+
+// TSan target + the issue's determinism pin: the fired (site, call)
+// ledger of a seeded plan is a pure function of the plan — identical
+// across worker counts.
+using RecoveryConcurrencyTest = test::TempDirFixture;
+
+TEST_F(RecoveryConcurrencyTest, SeededPlanFiresIdenticallyAcrossThreads) {
+  const auto circuit = random_circuit(10, 60, 41);
+  std::vector<std::vector<runtime::FaultHit>> ledgers;
+  std::vector<std::uint64_t> resolved;
+  for (int threads : {1, 2, 4}) {
+    runtime::ScopedFaultPlan plan("seed=7;spill.write@~6:enospc");
+    resolved.push_back(
+        runtime::FaultInjector::instance().resolved_specs()[0].nth);
+    auto config = spill_config(
+        path("spill_" + std::to_string(threads) + ".bin"), 10, 2, threads);
+    config.spill_degrade_on_enospc = true;
+    core::CompressedStateSimulator sim(config);
+    sim.apply_circuit(circuit);
+    EXPECT_TRUE(sim.report().degraded);
+    ledgers.push_back(runtime::FaultInjector::instance().fired());
+  }
+  for (std::size_t i = 1; i < ledgers.size(); ++i) {
+    EXPECT_EQ(resolved[i], resolved[0]);
+    ASSERT_EQ(ledgers[i].size(), ledgers[0].size());
+    for (std::size_t j = 0; j < ledgers[0].size(); ++j) {
+      EXPECT_EQ(ledgers[i][j].site, ledgers[0][j].site);
+      EXPECT_EQ(ledgers[i][j].call, ledgers[0][j].call);
+      EXPECT_EQ(ledgers[i][j].action, ledgers[0][j].action);
+    }
+  }
+}
+
+#ifdef CQS_HAVE_SOCKET_TRANSPORT
+
+using SocketRecoveryTest = test::TempDirFixture;
+
+TEST_F(SocketRecoveryTest, RankDeathRecoversOnBothEndpoints) {
+  // A scripted "die" rides the real wire as a kDie control frame: the
+  // rank process exits, the exchange fails typed, run_resilient reaps
+  // the survivors, respawns fresh rank processes, reloads the autosave,
+  // and finishes bit-identically — on both endpoint flavors.
+  const auto circuit = random_circuit(10, 60, 59);
+  const auto expected =
+      reference_state(base_config(10, 2), circuit, path("ref.ckpt"));
+
+  for (const std::string endpoint : {"local", "tcp"}) {
+    std::filesystem::remove(path("auto.ckpt"));
+    auto config = base_config(10, 2);
+    config.transport = "socket";
+    config.socket_endpoint = endpoint;
+    config.rank_timeout_ms = 2000;
+    config.checkpoint_interval_gates = 13;
+    config.auto_checkpoint_path = path("auto.ckpt");
+    runtime::ScopedFaultPlan plan("transport.send@2:die");
+    auto sim = core::CompressedStateSimulator::run_resilient(
+        config, circuit, {.max_recoveries = 3, .retry_backoff_ms = 1});
+    CQS_EXPECT_STATES_CLOSE(sim.to_raw(), expected, 0.0)
+        << "endpoint " << endpoint;
+    EXPECT_EQ(sim.report().recoveries, 1u) << "endpoint " << endpoint;
+  }
+}
+
+TEST_F(SocketRecoveryTest, CorruptFrameRecoversWhenTransient) {
+  const auto circuit = random_circuit(10, 60, 59);
+  const auto expected =
+      reference_state(base_config(10, 2), circuit, path("ref.ckpt"));
+
+  auto config = base_config(10, 2);
+  config.transport = "socket";
+  config.rank_timeout_ms = 2000;
+  config.checkpoint_interval_gates = 13;
+  config.auto_checkpoint_path = path("auto.ckpt");
+  runtime::ScopedFaultPlan plan("transport.send@2:corrupt");
+  auto sim = core::CompressedStateSimulator::run_resilient(
+      config, circuit, {.max_recoveries = 3, .retry_backoff_ms = 1});
+  CQS_EXPECT_STATES_CLOSE(sim.to_raw(), expected, 0.0);
+  EXPECT_EQ(sim.report().recoveries, 1u);
+}
+
+TEST_F(SocketRecoveryTest, CorruptFrameFailsTypedWhenPersistent) {
+  const auto circuit = random_circuit(10, 60, 59);
+  auto config = base_config(10, 2);
+  config.transport = "socket";
+  config.rank_timeout_ms = 2000;
+  config.checkpoint_interval_gates = 13;
+  config.auto_checkpoint_path = path("auto.ckpt");
+  runtime::ScopedFaultPlan plan("transport.send@1+:corrupt");
+  try {
+    core::CompressedStateSimulator::run_resilient(
+        config, circuit, {.max_recoveries = 2, .retry_backoff_ms = 1});
+    FAIL() << "expected TransportError";
+  } catch (const runtime::TransportError& e) {
+    EXPECT_EQ(e.kind(), runtime::TransportError::Kind::kFrameCorrupt);
+  }
+}
+
+#endif  // CQS_HAVE_SOCKET_TRANSPORT
+
+}  // namespace
+}  // namespace cqs

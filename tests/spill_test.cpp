@@ -12,12 +12,14 @@
 
 #include <cerrno>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <type_traits>
 
 #include "core/config.hpp"
 #include "core/simulator.hpp"
 #include "runtime/block_store.hpp"
+#include "runtime/fault_injection.hpp"
 #include "runtime/spill_file.hpp"
 #include "test_util.hpp"
 
@@ -98,19 +100,23 @@ TEST_F(SpillFileTest, UnwritablePathThrowsTypedError) {
 
 TEST_F(SpillFileTest, DiskFullSurfacesAsSpillError) {
   runtime::SpillFile spill(path("spill.bin"));
-  runtime::SpillFile::testing_set_write_capacity(150);
+  runtime::ScopedFaultPlan plan("spill.write@2:enospc");
   EXPECT_NO_THROW(spill.write(make_bytes(100, 1)));
   try {
     spill.write(make_bytes(100, 2));
     FAIL() << "expected SpillError";
   } catch (const runtime::SpillError& e) {
     EXPECT_EQ(e.code(), ENOSPC);
+    // The message must name the disk and carry the errno text.
+    EXPECT_NE(std::string(e.what()).find("spill.bin"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(std::strerror(ENOSPC)),
+              std::string::npos);
   }
-  runtime::SpillFile::testing_set_write_capacity(
-      std::numeric_limits<std::uint64_t>::max());
-  // A failed write must not leak its reserved segment.
-  EXPECT_EQ(spill.live_bytes(), 100u);
-  EXPECT_EQ(spill.live_segments(), 1u);
+  // A failed write must not leak its reserved segment, and the one-shot
+  // fault must not refire.
+  EXPECT_NO_THROW(spill.write(make_bytes(100, 3)));
+  EXPECT_EQ(spill.live_bytes(), 200u);
+  EXPECT_EQ(spill.live_segments(), 2u);
 }
 
 using TieredBlockStoreTest = test::TempDirFixture;
@@ -373,10 +379,8 @@ TEST_F(SpillSimTest, DiskFullMidRunSurfacesTypedError) {
   const auto circuit = random_circuit(10, 60, 13);
   auto config = spill_config(path("spill.bin"), 10, 1, 2, true);
   core::CompressedStateSimulator sim(config);
-  runtime::SpillFile::testing_set_write_capacity(256);
+  runtime::ScopedFaultPlan plan("spill.write@2+:enospc");
   EXPECT_THROW(sim.apply_circuit(circuit), runtime::SpillError);
-  runtime::SpillFile::testing_set_write_capacity(
-      std::numeric_limits<std::uint64_t>::max());
 }
 
 using SpillCheckpointTest = test::TempDirFixture;
