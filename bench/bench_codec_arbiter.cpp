@@ -45,13 +45,15 @@ struct RunResult {
 };
 
 RunResult run_once(const cqs::qsim::Circuit& circuit,
-                   const std::string& policy, int level) {
+                   const std::string& policy, int level,
+                   const std::string& codec = "") {
   SimConfig config;
   config.num_qubits = circuit.num_qubits();
   config.num_ranks = 2;
   config.blocks_per_rank = 4;
   config.initial_level = level;
   config.codec_policy = policy;
+  if (!codec.empty()) config.codec = codec;
   // The cache would absorb codec passes on structured circuits; disable it
   // so the comparison isolates what the arbiter changes.
   config.enable_cache = false;
@@ -101,6 +103,45 @@ Comparison compare(const std::string& name,
   return cmp;
 }
 
+// Entropy-stage A/B: the same circuit under codec_policy=fixed with plain
+// zfp and with zfp-rans (identical plane stream, rANS re-coded). The rANS
+// stage is lossless over the zfp bitstream, so fidelity must match exactly;
+// the question is only whether the re-coding wins net bytes.
+struct EntropyComparison {
+  std::string name;
+  int qubits = 0;
+  RunResult zfp;
+  RunResult rans;
+  double zfp_fidelity = 0.0;
+  double rans_fidelity = 0.0;
+};
+
+EntropyComparison entropy_compare(const std::string& name,
+                                  const cqs::qsim::Circuit& circuit,
+                                  int level) {
+  EntropyComparison cmp;
+  cmp.name = name;
+  cmp.qubits = circuit.num_qubits();
+  cmp.zfp = run_once(circuit, "fixed", level, "zfp");
+  cmp.rans = run_once(circuit, "fixed", level, "zfp-rans");
+  const auto reference = lossless_reference(circuit);
+  cmp.zfp_fidelity = cqs::qsim::state_fidelity(cmp.zfp.state, reference);
+  cmp.rans_fidelity = cqs::qsim::state_fidelity(cmp.rans.state, reference);
+  return cmp;
+}
+
+void print_entropy_comparison(const EntropyComparison& cmp) {
+  std::printf("%-10s %2dq  |", cmp.name.c_str(), cmp.qubits);
+  std::printf(
+      " bytes zfp %8zu -> zfp-rans %8zu (%+.1f%%)  | fidelity %.8f -> "
+      "%.8f\n",
+      cmp.zfp.final_bytes, cmp.rans.final_bytes,
+      100.0 * (static_cast<double>(cmp.rans.final_bytes) /
+                   static_cast<double>(cmp.zfp.final_bytes) -
+               1.0),
+      cmp.zfp_fidelity, cmp.rans_fidelity);
+}
+
 void print_comparison(const Comparison& cmp) {
   const auto& a = cmp.adaptive.report;
   std::printf("%-10s %2dq  |", cmp.name.c_str(), cmp.qubits);
@@ -116,7 +157,8 @@ void print_comparison(const Comparison& cmp) {
 }
 
 void write_json(const std::string& path,
-                const std::vector<Comparison>& results) {
+                const std::vector<Comparison>& results,
+                const std::vector<EntropyComparison>& entropy) {
   std::ofstream out(path, std::ios::trunc);
   out << "{\n  \"bench\": \"codec_arbiter\",\n  \"circuits\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -141,6 +183,16 @@ void write_json(const std::string& path,
         << ",\n     \"fixed_fidelity\": " << c.fixed_fidelity
         << ", \"adaptive_fidelity\": " << c.adaptive_fidelity << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"entropy_stage\": [\n";
+  for (std::size_t i = 0; i < entropy.size(); ++i) {
+    const EntropyComparison& c = entropy[i];
+    out << "    {\"name\": \"" << c.name << "\", \"qubits\": " << c.qubits
+        << ", \"zfp_bytes\": " << c.zfp.final_bytes
+        << ", \"zfp_rans_bytes\": " << c.rans.final_bytes
+        << ", \"zfp_fidelity\": " << c.zfp_fidelity
+        << ", \"zfp_rans_fidelity\": " << c.rans_fidelity << "}"
+        << (i + 1 < entropy.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
 }
@@ -198,8 +250,29 @@ int main(int argc, char** argv) try {
       level));
   print_comparison(results.back());
 
+  bench::print_header("Entropy stage: fixed zfp vs fixed zfp-rans");
+  std::vector<EntropyComparison> entropy;
+  entropy.push_back(entropy_compare(
+      "grover",
+      circuits::grover_circuit({.data_qubits = 6,
+                                .marked_state = 0b101101,
+                                .iterations = 2}),
+      level));
+  print_entropy_comparison(entropy.back());
+  entropy.push_back(entropy_compare(
+      "qft",
+      circuits::qft_circuit({.num_qubits = qft_qubits,
+                             .random_input = false}),
+      level));
+  print_entropy_comparison(entropy.back());
+  entropy.push_back(entropy_compare(
+      "supremacy",
+      circuits::supremacy_circuit({.rows = 3, .cols = 4, .depth = 11}),
+      level));
+  print_entropy_comparison(entropy.back());
+
   if (!json_path.empty()) {
-    write_json(json_path, results);
+    write_json(json_path, results, entropy);
     std::printf("wrote %s\n", json_path.c_str());
   }
 
@@ -225,6 +298,24 @@ int main(int argc, char** argv) try {
     std::fprintf(stderr,
                  "FAIL: adaptive supremacy fidelity %.12f < fixed %.12f\n",
                  sup.adaptive_fidelity, sup.fixed_fidelity);
+    ok = false;
+  }
+  // Entropy stage: re-coding the plane stream must win net bytes on at
+  // least one bundled circuit, and — being lossless over the zfp
+  // bitstream — must never cost fidelity anywhere.
+  bool rans_wins_somewhere = false;
+  for (const EntropyComparison& c : entropy) {
+    if (c.rans.final_bytes < c.zfp.final_bytes) rans_wins_somewhere = true;
+    if (c.rans_fidelity < c.zfp_fidelity - 1e-12) {
+      std::fprintf(stderr,
+                   "FAIL: zfp-rans fidelity %.12f < zfp %.12f on %s\n",
+                   c.rans_fidelity, c.zfp_fidelity, c.name.c_str());
+      ok = false;
+    }
+  }
+  if (!rans_wins_somewhere) {
+    std::fprintf(stderr,
+                 "FAIL: zfp-rans won net bytes on no bundled circuit\n");
     ok = false;
   }
   std::printf("%s\n", ok ? "PASS" : "FAIL");

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "compression/rans.hpp"
 #include "lossless/huffman.hpp"
 #include "lossless/zx.hpp"
 
@@ -56,6 +57,12 @@ struct CodecScratch {
   lossless::HuffmanEncoder huff_encoder;
   lossless::HuffmanDecoder huff_decoder;
 
+  /// zfp-rans: rANS coder tables/staging plus the entropy-stage buffer the
+  /// re-coded zfp container stream lands in (both directions). Distinct
+  /// from `packed`/`codes`, which the inner zfp pass owns.
+  rans::RansScratch rans;
+  Bytes entropy;
+
   /// Bytes held across calls — the scratch-pool share of the Eq. 8
   /// footprint (vector<bool> packs 1 bit per element).
   std::size_t bytes() const {
@@ -68,7 +75,8 @@ struct CodecScratch {
            mask_a.capacity() / 8 + mask_b.capacity() / 8 +
            special_bytes.capacity() +
            special_values.capacity() * sizeof(double) +
-           huff_encoder.bytes() + huff_decoder.bytes();
+           huff_encoder.bytes() + huff_decoder.bytes() + rans.bytes() +
+           entropy.capacity();
   }
 };
 

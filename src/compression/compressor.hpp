@@ -87,7 +87,9 @@ class Compressor {
 /// Factory over every codec in the repository, keyed by the names used in
 /// the paper's figures: "zstd" (zx lossless), "sz" (Solution A),
 /// "sz-complex" (Solution B), "qzc" (Solution C), "qzc-shuffle" (Solution D),
-/// "zfp", "fpzip".
+/// "zfp", "fpzip", plus "zfp-rans" (zfp with an order-0 rANS entropy stage
+/// over the plane stream; its own append-only id so the arbiter can A/B
+/// it per block).
 std::unique_ptr<Compressor> make_compressor(const std::string& name);
 
 /// All codec names known to make_compressor.

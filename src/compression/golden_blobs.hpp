@@ -106,6 +106,18 @@ inline constexpr GoldenBlob kGoldenBlobs[] = {
      "b7c05ad4662fb3a6725308568d36ee905517eeff7f94bdf5d4068421d0f8d768"},
     {"fpzip", "rel", "sparse",
      "afd78dabe1eef0eb6db78522d5cb80280abb44394b671b029887b5d0356910f4"},
+    {"zfp-rans", "abs", "spiky",
+     "f6823b9037e81a11864e9b74e054c2a265ccebe4f97c060a6fc76fcc162485e7"},
+    {"zfp-rans", "abs", "dense",
+     "9c73de21e7ef680e6d18fc4d74fe889a7c4ee000051529a856cfc3c5ef1635c2"},
+    {"zfp-rans", "abs", "sparse",
+     "30cc9de14f793c2e91720d6dd89c32c9d6deb6512a887fb1bdd09add3bf367b8"},
+    {"zfp-rans", "rel", "spiky",
+     "45e12bbf3eb634b5e79a5deeaa89d84c356824889d26b52f4687d62c66086cf9"},
+    {"zfp-rans", "rel", "dense",
+     "8bcefbcba9a831b5502485ad6b0e766aa316782fc1af5460358190294ed74680"},
+    {"zfp-rans", "rel", "sparse",
+     "c679dfed7680d84744125614183f32de03d54d581bf47fd5fca035685c2c3ff8"},
 };
 
 inline const std::vector<double>& golden_fixture(const std::string& name) {

@@ -1,0 +1,136 @@
+#include "compression/rans.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+namespace cqs::compression::rans {
+namespace {
+
+/// Scales raw counts so they sum to exactly kProbScale with every present
+/// symbol keeping a nonzero share (a zero-frequency symbol would be
+/// unencodable). Drift from flooring is settled against the largest
+/// buckets, where the rate cost of +-1/4096 is smallest.
+void normalize_frequencies(std::vector<std::uint32_t>& freq,
+                           std::uint64_t total) {
+  std::uint64_t sum = 0;
+  for (auto& f : freq) {
+    if (f == 0) continue;
+    const std::uint64_t scaled =
+        std::max<std::uint64_t>(1, (static_cast<std::uint64_t>(f) *
+                                    kProbScale) /
+                                       total);
+    f = static_cast<std::uint32_t>(scaled);
+    sum += scaled;
+  }
+  while (sum != kProbScale) {
+    // Give to (or take from) the currently largest bucket; taking never
+    // drives a symbol to zero because the largest bucket of a sum above
+    // kProbScale >= 256 exceeds 1.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < freq.size(); ++i) {
+      if (freq[i] > freq[best]) best = i;
+    }
+    if (sum > kProbScale) {
+      --freq[best];
+      --sum;
+    } else {
+      ++freq[best];
+      ++sum;
+    }
+  }
+}
+
+}  // namespace
+
+void encode(ByteSpan in, RansScratch& scratch, Bytes& out) {
+  put_varint(out, in.size());
+  if (in.empty()) return;
+
+  scratch.freq.assign(256, 0);
+  for (std::byte b : in) ++scratch.freq[static_cast<std::uint8_t>(b)];
+  normalize_frequencies(scratch.freq, in.size());
+  for (std::uint32_t f : scratch.freq) put_varint(out, f);
+
+  scratch.cum.assign(257, 0);
+  for (std::size_t s = 0; s < 256; ++s) {
+    scratch.cum[s + 1] = scratch.cum[s] + scratch.freq[s];
+  }
+
+  // Encode back-to-front so the decoder reads symbols (and renorm bytes)
+  // forward; emitted bytes land in `reversed` and are appended mirrored.
+  Bytes& reversed = scratch.reversed;
+  reversed.clear();
+  std::uint32_t x = kStateMin;
+  for (std::size_t i = in.size(); i-- > 0;) {
+    const auto sym = static_cast<std::uint8_t>(in[i]);
+    const std::uint32_t f = scratch.freq[sym];
+    const std::uint32_t x_max = ((kStateMin >> kProbBits) << 8) * f;
+    while (x >= x_max) {
+      reversed.push_back(static_cast<std::byte>(x & 0xffu));
+      x >>= 8;
+    }
+    x = ((x / f) << kProbBits) + (x % f) + scratch.cum[sym];
+  }
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::byte>((x >> shift) & 0xffu));
+  }
+  out.insert(out.end(), reversed.rbegin(), reversed.rend());
+}
+
+void decode(ByteSpan in, std::size_t& offset, RansScratch& scratch,
+            Bytes& out) {
+  const std::uint64_t count = get_varint(in, offset);
+  out.clear();
+  if (count == 0) return;
+
+  scratch.freq.assign(256, 0);
+  std::uint64_t sum = 0;
+  for (std::size_t s = 0; s < 256; ++s) {
+    const std::uint64_t f = get_varint(in, offset);
+    if (f > kProbScale) throw std::runtime_error("rans: bad frequency");
+    scratch.freq[s] = static_cast<std::uint32_t>(f);
+    sum += f;
+  }
+  if (sum != kProbScale) {
+    throw std::runtime_error("rans: frequency table does not sum to 4096");
+  }
+  scratch.cum.assign(257, 0);
+  scratch.slot_sym.assign(kProbScale, 0);
+  for (std::size_t s = 0; s < 256; ++s) {
+    scratch.cum[s + 1] = scratch.cum[s] + scratch.freq[s];
+    for (std::uint32_t slot = scratch.cum[s]; slot < scratch.cum[s + 1];
+         ++slot) {
+      scratch.slot_sym[slot] = static_cast<std::uint8_t>(s);
+    }
+  }
+
+  if (offset + 4 > in.size()) {
+    throw std::runtime_error("rans: truncated state");
+  }
+  std::uint32_t x = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    x |= static_cast<std::uint32_t>(in[offset++]) << shift;
+  }
+
+  out.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint32_t slot = x & (kProbScale - 1);
+    const std::uint8_t sym = scratch.slot_sym[slot];
+    out[i] = static_cast<std::byte>(sym);
+    x = scratch.freq[sym] * (x >> kProbBits) + slot - scratch.cum[sym];
+    while (x < kStateMin) {
+      if (offset >= in.size()) {
+        throw std::runtime_error("rans: renorm stream truncated");
+      }
+      x = (x << 8) | static_cast<std::uint32_t>(in[offset++]);
+    }
+  }
+  // The encoder started from kStateMin, so a clean decode must end there;
+  // anything else means the stream (or table) was corrupted.
+  if (x != kStateMin) {
+    throw std::runtime_error("rans: final state mismatch (corrupt stream)");
+  }
+}
+
+}  // namespace cqs::compression::rans

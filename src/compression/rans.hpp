@@ -1,0 +1,52 @@
+// Order-0 static rANS (range asymmetric numeral system) over bytes — the
+// entropy stage the "zfp-rans" codec applies to the zfp bit-plane stream.
+// Classic byte-wise layout: a 32-bit state renormalized one byte at a time
+// against a 12-bit normalized frequency table, encoded back-to-front so the
+// decoder streams forward. The coder is exact (lossless) and self-
+// describing: count, frequency table, final state, renorm stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace cqs::compression::rans {
+
+/// Probability resolution: frequencies are normalized to sum 2^12.
+inline constexpr int kProbBits = 12;
+inline constexpr std::uint32_t kProbScale = 1u << kProbBits;
+
+/// Renormalization lower bound: the state lives in [kStateMin, kStateMin
+/// << 8), so one emitted byte always restores the invariant.
+inline constexpr std::uint32_t kStateMin = 1u << 23;
+
+/// Pooled working state (lives inside compression::CodecScratch): the
+/// frequency/cumulative tables, the slot->symbol decode LUT, and the
+/// encoder's back-to-front staging buffer. Buffers only grow.
+struct RansScratch {
+  std::vector<std::uint32_t> freq;     ///< 256 normalized frequencies
+  std::vector<std::uint32_t> cum;      ///< 257 exclusive prefix sums
+  std::vector<std::uint8_t> slot_sym;  ///< kProbScale slot -> symbol LUT
+  Bytes reversed;                      ///< encoder emission, reverse order
+
+  std::size_t bytes() const {
+    return freq.capacity() * sizeof(std::uint32_t) +
+           cum.capacity() * sizeof(std::uint32_t) +
+           slot_sym.capacity() + reversed.capacity();
+  }
+};
+
+/// Appends the rANS stream for `in` to `out`: varint(byte count), 256
+/// varint frequencies, 4-byte little-endian final state, renorm bytes.
+/// An empty input appends only the zero count.
+void encode(ByteSpan in, RansScratch& scratch, Bytes& out);
+
+/// Reverses encode() starting at `offset` (advanced past the stream);
+/// `out` is resized to the recorded count (capacity reused). Throws
+/// std::runtime_error on a malformed or truncated stream, including a
+/// final-state mismatch (whole-stream integrity check).
+void decode(ByteSpan in, std::size_t& offset, RansScratch& scratch,
+            Bytes& out);
+
+}  // namespace cqs::compression::rans

@@ -7,6 +7,7 @@
 #include "qzc/qzc.hpp"
 #include "sz/sz.hpp"
 #include "zfp/zfp.hpp"
+#include "zfp/zfp_rans.hpp"
 
 namespace cqs::compression {
 
@@ -21,12 +22,14 @@ std::unique_ptr<Compressor> make_compressor(const std::string& name) {
   if (name == "qzc-shuffle") return std::make_unique<qzc::QzcCodec>(true);
   if (name == "zfp") return std::make_unique<zfp::ZfpCodec>();
   if (name == "fpzip") return std::make_unique<fpzip::FpzipCodec>();
+  if (name == "zfp-rans") return std::make_unique<zfp::ZfpRansCodec>();
   throw std::invalid_argument("make_compressor: unknown codec '" + name +
                               "'");
 }
 
 std::vector<std::string> compressor_names() {
-  return {"zstd", "sz", "sz-complex", "qzc", "qzc-shuffle", "zfp", "fpzip"};
+  return {"zstd",        "sz",  "sz-complex", "qzc",
+          "qzc-shuffle", "zfp", "fpzip",      "zfp-rans"};
 }
 
 namespace {

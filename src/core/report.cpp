@@ -37,8 +37,11 @@ void SimulationReport::print(std::ostream& os) const {
      << "ranks x blocks:      " << num_ranks << " x " << blocks_per_rank
      << "\n"
      << "codec:               " << codec << " (" << codec_policy
-     << " policy)\n"
-     << "gates:               " << gates << "\n"
+     << " policy)\n";
+  if (!zfp_rate_control.empty()) {
+    os << "zfp rate control:    " << zfp_rate_control << "\n";
+  }
+  os << "gates:               " << gates << "\n"
      << "memory requirement:  " << format_bytes(memory_requirement_bytes)
      << "\n"
      << "peak compressed:     " << format_bytes(peak_compressed_bytes)

@@ -19,6 +19,11 @@ struct SimulationReport {
   int blocks_per_rank = 0;
   std::string codec;
 
+  /// zfp rate control in effect: "" (default bound-driven relative mode),
+  /// "fixed-accuracy" (ladder delta as absolute tolerance) or
+  /// "fixed-precision(N)" (static plane count).
+  std::string zfp_rate_control;
+
   // Workload.
   std::uint64_t gates = 0;
 

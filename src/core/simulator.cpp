@@ -16,6 +16,8 @@
 
 #include "core/memory_model.hpp"
 #include "runtime/checkpoint.hpp"
+#include "zfp/zfp.hpp"
+#include "zfp/zfp_rans.hpp"
 
 namespace cqs::core {
 
@@ -133,6 +135,36 @@ CompressedStateSimulator::CompressedStateSimulator(SimConfig config)
           "simulator: codec must support pointwise relative bounds");
     }
     lossy_codec_id_ = compression::codec_id(config_.codec);
+  }
+  // zfp rate-control knobs are validated here — not silently clamped in
+  // the codec — so a bad value fails construction with a message instead
+  // of quietly encoding at a different precision.
+  const bool zfp_family =
+      config_.codec == "zfp" || config_.codec == "zfp-rans";
+  if (config_.zfp_fixed_precision < 0 ||
+      config_.zfp_fixed_precision > zfp::kTotalPlanes) {
+    throw std::invalid_argument(
+        "simulator: zfp_fixed_precision must be in [0, 62] bit planes");
+  }
+  if (config_.zfp_fixed_precision > 0 && config_.zfp_fixed_accuracy) {
+    throw std::invalid_argument(
+        "simulator: zfp_fixed_precision and zfp_fixed_accuracy are "
+        "mutually exclusive rate-control modes");
+  }
+  if ((config_.zfp_fixed_precision > 0 || config_.zfp_fixed_accuracy) &&
+      !zfp_family) {
+    throw std::invalid_argument(
+        "simulator: zfp_fixed_precision / zfp_fixed_accuracy require a "
+        "zfp-family codec ('zfp' or 'zfp-rans')");
+  }
+  if (config_.zfp_fixed_precision > 0) {
+    // Same registry id, precision pinned at construction.
+    if (config_.codec == "zfp") {
+      lossy_ = std::make_unique<zfp::ZfpCodec>(config_.zfp_fixed_precision);
+    } else {
+      lossy_ =
+          std::make_unique<zfp::ZfpRansCodec>(config_.zfp_fixed_precision);
+    }
   }
   if (config_.error_ladder.empty()) {
     throw std::invalid_argument(
@@ -321,12 +353,20 @@ std::pair<Bytes, runtime::BlockMeta> CompressedStateSimulator::encode_block(
   auto& scratch = scratch_->codec_scratch(worker);
   auto& stats = codec_stats_[worker];
   WallTimer codec_timer;
-  Bytes payload =
-      lossless
-          ? lossless_->compress(data, ErrorBound::lossless(), scratch)
-          : lossy_->compress(
-                data, ErrorBound::relative(config_.error_ladder[level - 1]),
-                scratch);
+  Bytes payload;
+  if (lossless) {
+    payload = lossless_->compress(data, ErrorBound::lossless(), scratch);
+  } else {
+    // Fixed-accuracy mode hands the ladder delta to zfp directly as an
+    // absolute tolerance (the zfp_stream_set_accuracy idiom), skipping
+    // the pointwise-relative log-preprocessing wrapper; the default stays
+    // pointwise-relative for every codec.
+    const double delta = config_.error_ladder[level - 1];
+    const ErrorBound bound = config_.zfp_fixed_accuracy
+                                 ? ErrorBound::absolute(delta)
+                                 : ErrorBound::relative(delta);
+    payload = lossy_->compress(data, bound, scratch);
+  }
   const double seconds = codec_timer.seconds();
   if (lossless) {
     stats.lossless_compress_seconds += seconds;
@@ -1887,6 +1927,12 @@ SimulationReport CompressedStateSimulator::report() const {
   rep.num_ranks = config_.num_ranks;
   rep.blocks_per_rank = config_.blocks_per_rank;
   rep.codec = config_.codec;
+  if (config_.zfp_fixed_accuracy) {
+    rep.zfp_rate_control = "fixed-accuracy";
+  } else if (config_.zfp_fixed_precision > 0) {
+    rep.zfp_rate_control = "fixed-precision(" +
+                           std::to_string(config_.zfp_fixed_precision) + ")";
+  }
   rep.gates = gates_;
   rep.total_seconds = wall_seconds_;
   for (const auto& timers : worker_timers_) rep.phases.merge(timers);

@@ -24,12 +24,20 @@ namespace {
 // appends a codec id to every block's meta (adaptive per-block codecs);
 // v4 appends the serialized logical->physical qubit map after the codec
 // name (qubit remapping); v5 appends a tier byte to every block's meta
-// (out-of-core spilling).
+// (out-of-core spilling); v6 is layout-identical to v5 and only flags
+// that some block uses a codec id beyond the v5-era registry, so old
+// readers fail on the magic instead of misdecoding the payload.
 constexpr char kMagicV1[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '1'};
 constexpr char kMagicV2[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '2'};
 constexpr char kMagicV3[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '3'};
 constexpr char kMagicV4[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '4'};
 constexpr char kMagicV5[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '5'};
+constexpr char kMagicV6[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T', '6'};
+
+// Highest codec id the registry held while v5 was current ("fpzip").
+// Later appends (zfp-rans onward) force the v6 magic on save and are
+// corruption when claimed by a v<=5 image.
+constexpr std::uint8_t kMaxCodecIdV5 = 6;
 
 std::atomic<std::uint64_t> g_write_limit{
     std::numeric_limits<std::uint64_t>::max()};
@@ -138,10 +146,19 @@ void set_checkpoint_write_limit(std::uint64_t bytes) {
 
 void save_checkpoint(const std::string& path, const CheckpointHeader& header,
                      const std::vector<BlockStore>& ranks) {
+  // v6 only when required: images old readers could decode keep the v5
+  // magic byte-for-byte.
+  bool needs_v6 = false;
+  for (const BlockStore& store : ranks) {
+    for (int b = 0; b < store.num_blocks(); ++b) {
+      if (store.meta(b).codec > kMaxCodecIdV5) needs_v6 = true;
+    }
+  }
+  const char* magic = needs_v6 ? kMagicV6 : kMagicV5;
   Bytes buffer;
   buffer.insert(buffer.end(),
-                reinterpret_cast<const std::byte*>(kMagicV5),
-                reinterpret_cast<const std::byte*>(kMagicV5) + 8);
+                reinterpret_cast<const std::byte*>(magic),
+                reinterpret_cast<const std::byte*>(magic) + 8);
   put_varint(buffer, header.num_qubits);
   put_varint(buffer, header.num_ranks);
   put_varint(buffer, header.blocks_per_rank);
@@ -191,7 +208,8 @@ LoadedCheckpoint load_checkpoint_full(const std::string& path) {
   const bool v3 = size >= 8 && std::memcmp(buffer.data(), kMagicV3, 8) == 0;
   const bool v4 = size >= 8 && std::memcmp(buffer.data(), kMagicV4, 8) == 0;
   const bool v5 = size >= 8 && std::memcmp(buffer.data(), kMagicV5, 8) == 0;
-  if (!v1 && !v2 && !v3 && !v4 && !v5) {
+  const bool v6 = size >= 8 && std::memcmp(buffer.data(), kMagicV6, 8) == 0;
+  if (!v1 && !v2 && !v3 && !v4 && !v5 && !v6) {
     throw std::runtime_error("checkpoint: bad magic");
   }
   std::size_t offset = 8;
@@ -218,7 +236,7 @@ LoadedCheckpoint load_checkpoint_full(const std::string& path) {
   header.codec_name.assign(
       reinterpret_cast<const char*>(buffer.data()) + offset, name_len);
   offset += name_len;
-  if (v4 || v5) {
+  if (v4 || v5 || v6) {
     // Rejects non-permutation tables (corruption) with runtime_error.
     header.qubit_map = QubitMap::deserialize(buffer, offset);
   }
@@ -226,7 +244,15 @@ LoadedCheckpoint load_checkpoint_full(const std::string& path) {
   // Pre-v3 blocks never stored a codec id; level 0 was by construction
   // the lossless zx stage and every lossy level used the header codec.
   const std::uint8_t legacy_lossy_codec =
-      (v3 || v4 || v5) ? 0 : compression::codec_id(header.codec_name);
+      (v3 || v4 || v5 || v6) ? 0 : compression::codec_id(header.codec_name);
+
+  // Codec-id ceiling for this image's vintage: a v<=5 image predates every
+  // id past kMaxCodecIdV5, so a larger id is corruption, not a codec this
+  // build merely lacks; a v6 id must exist in the running registry.
+  const std::uint8_t max_codec_id =
+      v6 ? static_cast<std::uint8_t>(compression::compressor_names().size() -
+                                     1)
+         : kMaxCodecIdV5;
 
   const std::uint64_t rank_count = get_varint(buffer, offset);
   loaded.ranks.reserve(rank_count);
@@ -236,9 +262,10 @@ LoadedCheckpoint load_checkpoint_full(const std::string& path) {
     BlockStore store(block_count);
     std::vector<std::uint8_t> tiers(static_cast<std::size_t>(block_count), 0);
     for (int b = 0; b < block_count; ++b) {
-      const bool has_codec_byte = v3 || v4 || v5;
+      const bool has_codec_byte = v3 || v4 || v5 || v6;
+      const bool has_tier_byte = v5 || v6;
       const std::size_t meta_bytes =
-          1u + (has_codec_byte ? 1u : 0u) + (v5 ? 1u : 0u);
+          1u + (has_codec_byte ? 1u : 0u) + (has_tier_byte ? 1u : 0u);
       if (offset + meta_bytes > buffer.size()) {
         throw std::runtime_error("checkpoint: truncated block meta");
       }
@@ -247,7 +274,13 @@ LoadedCheckpoint load_checkpoint_full(const std::string& path) {
                        ? static_cast<std::uint8_t>(buffer[offset++])
                        : (meta.level == 0 ? compression::kLosslessCodecId
                                           : legacy_lossy_codec);
-      if (v5) {
+      if (meta.codec > max_codec_id) {
+        throw std::runtime_error(
+            "checkpoint: block codec id " + std::to_string(meta.codec) +
+            (v6 ? " is not in this build's registry"
+                : " is not valid in a v<=5 image (corrupt meta)"));
+      }
+      if (has_tier_byte) {
         tiers[static_cast<std::size_t>(b)] =
             static_cast<std::uint8_t>(buffer[offset++]) != 0 ? 1 : 0;
       }

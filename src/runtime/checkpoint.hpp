@@ -32,13 +32,16 @@ struct CheckpointHeader {
   QubitMap qubit_map;
 };
 
-/// Writes header + every rank's compressed blocks to `path` in format v5:
-/// each block carries its ladder level AND the codec id that produced its
-/// payload (v3), the header carries the logical->physical qubit map the
-/// blocks are laid out under (v4), and each block records which tier it
-/// occupied at save time (v5) — spilled payloads are read back through
-/// the spill mapping, so an out-of-core state checkpoints without being
-/// faulted into memory first.
+/// Writes header + every rank's compressed blocks to `path` in format
+/// v5/v6: each block carries its ladder level AND the codec id that
+/// produced its payload (v3), the header carries the logical->physical
+/// qubit map the blocks are laid out under (v4), and each block records
+/// which tier it occupied at save time (v5) — spilled payloads are read
+/// back through the spill mapping, so an out-of-core state checkpoints
+/// without being faulted into memory first. v6 is byte-identical to v5 in
+/// layout and is written only when some block's codec id is beyond the v5
+/// registry (ids > 6, e.g. "zfp-rans"), so images that old readers could
+/// load keep the v5 magic byte-for-byte.
 ///
 /// Durability: the image is written to `<path>.tmp`, fsynced, and
 /// atomically renamed over `path` — a crash (or I/O failure) mid-save
@@ -57,11 +60,14 @@ struct LoadedCheckpoint {
   std::vector<std::vector<std::uint8_t>> spilled;
 };
 
-/// Reads a checkpoint written by save_checkpoint. Accepts formats v1-v5;
+/// Reads a checkpoint written by save_checkpoint. Accepts formats v1-v6;
 /// v1/v2 blocks never stored a codec id, so the reader derives it from the
 /// block's level (0 = lossless zx, otherwise the header codec), and
 /// pre-v4 headers carry no qubit map (identity layout). A v4 map that is
-/// not a permutation is rejected with std::runtime_error.
+/// not a permutation is rejected with std::runtime_error. Block codec ids
+/// are validated against the format version: a v<=5 image claiming an id
+/// beyond the v5 registry (> 6) is corrupt and rejected, and a v6 id must
+/// exist in this build's registry.
 LoadedCheckpoint load_checkpoint_full(const std::string& path);
 
 /// load_checkpoint_full without the tier flags — the historical interface,

@@ -59,8 +59,8 @@ void write_legacy_checkpoint(const std::string& path, int version,
                              const std::vector<double>& raw, int num_qubits,
                              std::uint64_t gates_done,
                              std::uint64_t lossy_passes,
-                             const std::vector<int>& qubit_map_override =
-                                 {}) {
+                             const std::vector<int>& qubit_map_override = {},
+                             std::uint8_t block_codec_id = 0) {
   Bytes buffer;
   const char magic[8] = {'C', 'Q', 'S', 'C', 'K', 'P', 'T',
                          static_cast<char>('0' + version)};
@@ -95,7 +95,10 @@ void write_legacy_checkpoint(const std::string& path, int version,
           compression::ErrorBound::lossless());
       buffer.push_back(std::byte{0});  // meta level (no codec byte pre-v3)
       if (version >= 3) {
-        buffer.push_back(std::byte{0});  // codec id: lossless zx
+        buffer.push_back(static_cast<std::byte>(block_codec_id));
+      }
+      if (version >= 5) {
+        buffer.push_back(std::byte{0});  // tier: resident
       }
       put_varint(buffer, payload.size());
       buffer.insert(buffer.end(), payload.begin(), payload.end());
@@ -425,6 +428,70 @@ TEST_F(CheckpointMatrixTest, KilledMidSaveLeavesOldCheckpointIntact) {
   auto latest =
       CompressedStateSimulator::load_checkpoint(path, matrix_config(8));
   CQS_EXPECT_STATES_CLOSE(latest.to_raw(), sim.to_raw(), 0.0);
+}
+
+/// First 8 bytes of the file — the format magic.
+std::string read_magic(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[8] = {};
+  in.read(magic, 8);
+  return std::string(magic, 8);
+}
+
+TEST_F(CheckpointMatrixTest, PreV6ImagesRejectPostV5CodecIds) {
+  // A v<=5 image predates every codec id past fpzip (6): a block claiming
+  // "zfp-rans" (7) is corruption and must be rejected cleanly, not routed
+  // into a codec the image's vintage could never have produced.
+  const std::vector<double> raw(1 << 9, 0.0);  // 8 qubits of zeros
+  const std::uint8_t rans_id = compression::codec_id("zfp-rans");
+  for (int version : {3, 4, 5}) {
+    const std::string path =
+        this->path("rans_id_v" + std::to_string(version) + ".bin");
+    write_legacy_checkpoint(path, version, raw, 8, 0, 0, {}, rans_id);
+    try {
+      runtime::load_checkpoint(path);
+      FAIL() << "v" << version << " image with codec id "
+             << int(rans_id) << " was accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("codec id"), std::string::npos)
+          << "v" << version << " actual message: " << e.what();
+    }
+  }
+}
+
+TEST_F(CheckpointMatrixTest, ZfpRansStatesSaveAsV6AndRoundTrip) {
+  const auto circuit =
+      circuits::qft_circuit({.num_qubits = 8, .random_input = true});
+
+  // A lossy zfp state still fits the v5 registry: the save must keep the
+  // v5 magic byte-for-byte so older readers stay compatible.
+  SimConfig zfp_config = matrix_config(8);
+  zfp_config.codec = "zfp";
+  zfp_config.initial_level = 1;
+  CompressedStateSimulator zfp_sim(zfp_config);
+  zfp_sim.apply_circuit(circuit);
+  const std::string zfp_path = this->path("zfp_v5.bin");
+  zfp_sim.save_checkpoint(zfp_path);
+  EXPECT_EQ(read_magic(zfp_path), "CQSCKPT5");
+
+  // The same run under zfp-rans stores codec id 7 somewhere, which must
+  // flip the image to v6 — and the v6 loader must resume it exactly.
+  SimConfig rans_config = matrix_config(8);
+  rans_config.codec = "zfp-rans";
+  rans_config.initial_level = 1;
+  CompressedStateSimulator sim(rans_config);
+  sim.apply_circuit(circuit);
+  const auto report = sim.report();
+  ASSERT_GT(report.final_lossy_blocks, 0u)
+      << "fixture run produced no zfp-rans block; v6 never exercised";
+  const std::string path = this->path("rans_v6.bin");
+  sim.save_checkpoint(path);
+  EXPECT_EQ(read_magic(path), "CQSCKPT6");
+
+  auto resumed =
+      CompressedStateSimulator::load_checkpoint(path, rans_config);
+  CQS_EXPECT_STATES_CLOSE(resumed.to_raw(), sim.to_raw(), 0.0);
+  EXPECT_EQ(resumed.report().lossy_passes, report.lossy_passes);
 }
 
 }  // namespace

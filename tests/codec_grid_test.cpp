@@ -104,7 +104,8 @@ TEST_P(CodecGridTest, RoundTripWithinBound) {
 std::vector<GridParam> grid() {
   std::vector<GridParam> params;
   for (const auto& codec :
-       {"sz", "sz-complex", "qzc", "qzc-shuffle", "zfp", "fpzip"}) {
+       {"sz", "sz-complex", "qzc", "qzc-shuffle", "zfp", "fpzip",
+        "zfp-rans"}) {
     for (int shape = 0; shape <= 5; ++shape) {
       for (std::size_t size : {std::size_t{1}, std::size_t{7},
                                std::size_t{64}, std::size_t{4096}}) {

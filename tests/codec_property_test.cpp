@@ -94,7 +94,8 @@ const double kBounds[] = {1e-1, 1e-2, 1e-3, 1e-4, 1e-5};
 std::vector<Param> all_params() {
   std::vector<Param> params;
   for (const auto& name :
-       {"sz", "sz-complex", "qzc", "qzc-shuffle", "zfp", "fpzip"}) {
+       {"sz", "sz-complex", "qzc", "qzc-shuffle", "zfp", "fpzip",
+        "zfp-rans"}) {
     for (double b : kBounds) params.emplace_back(name, b);
   }
   return params;

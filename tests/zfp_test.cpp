@@ -1,12 +1,17 @@
 // Unit tests specific to the ZFP-like transform codec.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "compression/rans.hpp"
 #include "compression/verify.hpp"
 #include "zfp/zfp.hpp"
+#include "zfp/zfp_rans.hpp"
 
 namespace cqs::zfp {
 namespace {
@@ -107,6 +112,172 @@ TEST(ZfpTest, NonfiniteRejected) {
   ZfpCodec codec;
   EXPECT_THROW(codec.compress(data, ErrorBound::absolute(1e-3)),
                std::invalid_argument);
+}
+
+TEST(ZfpTest, FixedPrecisionValidatedAtConstruction) {
+  EXPECT_THROW(ZfpCodec(-1), std::invalid_argument);
+  EXPECT_THROW(ZfpCodec(kTotalPlanes + 1), std::invalid_argument);
+  EXPECT_THROW(ZfpRansCodec(-1), std::invalid_argument);
+  EXPECT_THROW(ZfpRansCodec(kTotalPlanes + 1), std::invalid_argument);
+  EXPECT_NO_THROW(ZfpCodec(0));
+  EXPECT_NO_THROW(ZfpCodec(kTotalPlanes));
+}
+
+TEST(ZfpTest, PlanesForToleranceEdgeCases) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  // Non-positive or NaN tolerance: keep everything (exact).
+  EXPECT_EQ(planes_for_tolerance(0.0, 0), kTotalPlanes);
+  EXPECT_EQ(planes_for_tolerance(-1.0, 0), kTotalPlanes);
+  EXPECT_EQ(planes_for_tolerance(std::nan(""), 0), kTotalPlanes);
+  // Infinite tolerance: keep nothing.
+  EXPECT_EQ(planes_for_tolerance(inf, 0), 0);
+  EXPECT_EQ(planes_for_tolerance(inf, -1074), 0);
+  // Tolerance below one ulp of the block scale: keep everything.
+  EXPECT_EQ(planes_for_tolerance(5e-324, 100), kTotalPlanes);
+  // Tolerance at/above the block max: keep (almost) nothing.
+  EXPECT_EQ(planes_for_tolerance(1e300, -1000), 0);
+  // Extreme exponents must clamp, not misbehave: an emax far beyond the
+  // double range drives ulp to inf (sub-ulp tolerance -> keep all) or to
+  // zero (tolerance dwarfs the block -> keep none).
+  EXPECT_EQ(planes_for_tolerance(1e-6, 5000), kTotalPlanes);
+  EXPECT_EQ(planes_for_tolerance(1e-6, -5000), 0);
+}
+
+TEST(ZfpTest, PlanesForTolerancePropertyOverRandomPairs) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 20000; ++trial) {
+    // Tolerances across the full double range plus edge values; emax well
+    // beyond the ilogb range in both directions.
+    const double mag = std::ldexp(1.0, static_cast<int>(
+        std::floor(rng.next_double() * 4200.0) - 2100.0));
+    const double tolerance = rng.next_bool() ? mag : -mag;
+    const int emax = static_cast<int>(
+        std::floor(rng.next_double() * 6000.0) - 3000.0);
+    const int kept = planes_for_tolerance(tolerance, emax);
+    ASSERT_GE(kept, 0) << "tolerance " << tolerance << " emax " << emax;
+    ASSERT_LE(kept, kTotalPlanes)
+        << "tolerance " << tolerance << " emax " << emax;
+    if (tolerance > 0.0 && std::isfinite(tolerance)) {
+      // Looser tolerance can never keep more planes at the same exponent.
+      const int kept_looser = planes_for_tolerance(tolerance * 16.0, emax);
+      ASSERT_LE(kept_looser, kept)
+          << "tolerance " << tolerance << " emax " << emax;
+    }
+  }
+}
+
+TEST(ZfpTest, DispatchedTransformMatchesScalarReference) {
+  // The codec feeds the transform values up to ~2^59 (kFixedExp + Haar
+  // growth); the pin sweeps that domain plus structured corners.
+  Rng rng(777);
+  const auto backend = detail::transform_backend();
+  for (int trial = 0; trial < 50000; ++trial) {
+    std::array<std::int64_t, 4> v{};
+    for (auto& x : v) {
+      const double u = rng.next_double() * 2.0 - 1.0;
+      x = static_cast<std::int64_t>(u * std::ldexp(1.0, 59));
+      if (rng.next_bool()) x >>= (trial % 57);  // mixed magnitudes
+    }
+    auto scalar_fwd = v;
+    detail::forward_transform_scalar(scalar_fwd);
+    auto simd_fwd = v;
+    detail::forward_transform(simd_fwd);
+    ASSERT_EQ(scalar_fwd, simd_fwd) << "forward mismatch on " << backend;
+
+    auto scalar_inv = scalar_fwd;
+    detail::inverse_transform_scalar(scalar_inv);
+    auto simd_inv = scalar_fwd;
+    detail::inverse_transform(simd_inv);
+    ASSERT_EQ(scalar_inv, simd_inv) << "inverse mismatch on " << backend;
+    ASSERT_EQ(scalar_inv, v) << "lifting must be exactly invertible";
+  }
+}
+
+TEST(ZfpRansTest, EntropyStageNeverLosesMoreThanHeader) {
+  Rng rng(91);
+  std::vector<double> data(4096);
+  for (auto& d : data) d = rng.next_normal();
+  ZfpCodec plain;
+  ZfpRansCodec staged;
+  for (double bound : {1e-2, 1e-4, 1e-8}) {
+    const auto p = plain.compress(data, ErrorBound::absolute(bound));
+    const auto s = staged.compress(data, ErrorBound::absolute(bound));
+    // Worst case is the raw-fallback flag path: zfp container + the
+    // 'Z','R',flags header and element-count varint.
+    EXPECT_LE(s.size(), p.size() + 3 + 3);
+    std::vector<double> out(data.size());
+    staged.decompress(s, out);
+    EXPECT_LE(measure_error(data, out).max_absolute, bound);
+  }
+}
+
+TEST(ZfpRansTest, EmptyBlockRunsCompressBelowRawZfp) {
+  // Near-empty states (long runs of the 1-bit empty-block flag) are where
+  // the entropy stage pays: the plane stream is mostly identical bytes.
+  // The fixture must be large enough that the 256-entry frequency table
+  // (~260 bytes) amortizes; tiny payloads take the raw-fallback path.
+  std::vector<double> data(262144, 0.0);
+  data[0] = 1.0;
+  data[100000] = -0.5;
+  ZfpCodec plain;
+  ZfpRansCodec staged;
+  const auto p = plain.compress(data, ErrorBound::absolute(1e-9));
+  const auto s = staged.compress(data, ErrorBound::absolute(1e-9));
+  EXPECT_LT(s.size(), p.size());
+  std::vector<double> out(data.size());
+  staged.decompress(s, out);
+  EXPECT_NEAR(out[0], 1.0, 1e-9);
+  EXPECT_NEAR(out[100000], -0.5, 1e-9);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (i == 100000) continue;
+    ASSERT_EQ(out[i], 0.0);
+  }
+}
+
+TEST(ZfpRansTest, CorruptStreamsRejected) {
+  Rng rng(17);
+  std::vector<double> data(512);
+  for (auto& d : data) d = rng.next_normal();
+  ZfpRansCodec codec;
+  auto compressed = codec.compress(data, ErrorBound::absolute(1e-6));
+  std::vector<double> out(data.size());
+  // Truncation anywhere in the rANS stream must throw, never misdecode
+  // silently (the final-state check backstops mid-stream damage).
+  Bytes truncated(compressed.begin(),
+                  compressed.end() - static_cast<std::ptrdiff_t>(5));
+  EXPECT_THROW(codec.decompress(truncated, out), std::exception);
+  Bytes flipped = compressed;
+  flipped[flipped.size() / 2] ^= std::byte{0x40};
+  try {
+    codec.decompress(flipped, out);
+    // A flip that survives decode must still reproduce the recorded count
+    // contract; reaching here without a throw is acceptable only because
+    // the flipped byte may sit in the raw zfp payload of a fallback
+    // container — re-verify the container is not the entropy path.
+    ASSERT_NE((static_cast<std::uint8_t>(compressed[2]) & 1), 0u);
+  } catch (const std::exception&) {
+    // expected on the entropy path
+  }
+}
+
+TEST(ZfpRansTest, RansRoundTripsArbitraryByteStreams) {
+  Rng rng(23);
+  compression::rans::RansScratch scratch;
+  for (std::size_t len : {0u, 1u, 2u, 17u, 256u, 5000u}) {
+    Bytes in(len);
+    // Skewed alphabet to exercise normalization; includes the
+    // single-symbol degenerate table.
+    for (auto& b : in) {
+      b = static_cast<std::byte>(len <= 2 ? 7 : (rng.next_u64() & 0x0F));
+    }
+    Bytes encoded;
+    compression::rans::encode(in, scratch, encoded);
+    Bytes decoded;
+    std::size_t offset = 0;
+    compression::rans::decode(encoded, offset, scratch, decoded);
+    ASSERT_EQ(offset, encoded.size());
+    ASSERT_EQ(decoded, in);
+  }
 }
 
 TEST(ZfpTest, WideDynamicRangePerBlockExponent) {
